@@ -1,0 +1,83 @@
+// Command silc is the SIL "compiler" driver: it parses, checks, analyzes
+// and parallelizes a SIL source file and prints the requested artifacts.
+//
+// Usage:
+//
+//	silc [-report] [-par] [-seq] [-matrices] [-no-readonly] file.sil
+//
+// With no file argument, silc reads the built-in add_and_reverse program
+// (the paper's Figure 7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/progs"
+	"repro/internal/sil/ast"
+)
+
+func main() {
+	log.SetFlags(0)
+	report := flag.Bool("report", true, "print the analysis report")
+	parOut := flag.Bool("par", true, "print the parallelized program")
+	seqOut := flag.Bool("seq", false, "print the normalized sequential program")
+	matrices := flag.Bool("matrices", false, "print the path matrix before every procedure call")
+	noReadOnly := flag.Bool("no-readonly", false, "disable the §5.2 read-only argument refinement")
+	flag.Parse()
+
+	src := progs.AddAndReverse
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(data)
+	}
+	opts := core.DefaultOptions()
+	if *noReadOnly {
+		opts.Par = par.Options{FuseBasic: true, FuseCalls: true, FuseSequences: true}
+	}
+	pipe, err := core.Build(src, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *report {
+		fmt.Print(pipe.Report())
+		fmt.Println()
+	}
+	if *matrices {
+		for _, d := range pipe.Prog.Decls {
+			var walk func(s ast.Stmt)
+			walk = func(s ast.Stmt) {
+				switch s := s.(type) {
+				case *ast.Block:
+					for _, st := range s.Stmts {
+						walk(st)
+					}
+				case *ast.If:
+					walk(s.Then)
+					if s.Else != nil {
+						walk(s.Else)
+					}
+				case *ast.While:
+					walk(s.Body)
+				case *ast.CallStmt:
+					fmt.Printf("--- matrix before %s(...) at %s (in %s) ---\n%s\n\n",
+						s.Name, s.Pos(), d.Name, pipe.MatrixBefore(s))
+				}
+			}
+			walk(d.Body)
+		}
+	}
+	if *seqOut {
+		fmt.Println(pipe.SequentialText())
+	}
+	if *parOut {
+		fmt.Println(pipe.ParallelText())
+	}
+}

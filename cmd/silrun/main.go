@@ -1,0 +1,108 @@
+// Command silrun executes a SIL program: sequentially, with deterministic
+// parallel semantics after auto-parallelization, or on real goroutines.
+//
+// Usage:
+//
+//	silrun [-mode seq|par|conc] [-tree N] [-list N] [-races] [-procs "1,2,4"] file.sil
+//
+// -tree/-list bind main's root/cur to a generated workload. With -procs,
+// the parallelized program's trace is scheduled on the simulated machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/progs"
+	"repro/internal/runtime"
+)
+
+func main() {
+	log.SetFlags(0)
+	mode := flag.String("mode", "par", "execution mode: seq, par (deterministic), conc (goroutines)")
+	tree := flag.Int("tree", 0, "bind main's root to a balanced tree of this depth")
+	list := flag.Int("list", 0, "bind main's cur to a list of this length")
+	races := flag.Bool("races", false, "enable the dynamic race detector")
+	procsFlag := flag.String("procs", "", "comma-separated processor counts for the simulated machine (0 = unbounded)")
+	flag.Parse()
+
+	src := progs.AddAndReverse
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(data)
+	}
+	pipe, err := core.Build(src, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var setup runtime.Setup
+	switch {
+	case *tree > 0:
+		setup = progs.BalancedTreeSetup(*tree)
+	case *list > 0:
+		setup = progs.ListSetup(*list)
+	}
+	cfg := interp.Config{DetectRaces: *races}
+	var res *interp.Result
+	switch *mode {
+	case "seq":
+		res, err = pipe.RunSequential(cfg, setup)
+	case "par":
+		res, err = pipe.RunParallel(cfg, setup)
+	case "conc":
+		cfg.Concurrent = true
+		cfg.DetectRaces = false
+		res, err = pipe.RunParallel(cfg, setup)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steps=%d work=%d span=%d heap=%d nodes\n", res.Steps, res.Work, res.Span, res.Heap.Len())
+	names := make([]string, 0, len(res.Env))
+	for n := range res.Env {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := res.Env[n]
+		if v.IsHandle && !v.Node.IsNil() {
+			fmt.Printf("%s -> %s (%d reachable nodes)\n", n, res.Heap.Classify(v.Node), len(res.Heap.Reachable(v.Node)))
+		} else {
+			fmt.Printf("%s = %s\n", n, v)
+		}
+	}
+	if *races {
+		if len(res.Races) == 0 {
+			fmt.Println("races: none")
+		} else {
+			fmt.Printf("races:\n%s\n", interp.RacesString(res.Races))
+		}
+	}
+	if *procsFlag != "" {
+		var procs []int
+		for _, s := range strings.Split(*procsFlag, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad -procs: %v", err)
+			}
+			procs = append(procs, p)
+		}
+		sp, err := pipe.Speedup(interp.Config{}, setup, procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(sp.String())
+	}
+}

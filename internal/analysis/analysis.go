@@ -1,0 +1,572 @@
+// Package analysis computes a path matrix for every program point of a SIL
+// program — the core contribution of Hendren & Nicolau (§4). It implements:
+//
+//   - transfer functions for every basic handle statement (transfer.go),
+//     validated against the paper's Figure 2;
+//   - condition refinement for nil tests (refine.go);
+//   - the iterative approximation for while loops (Figure 3) with the
+//     widening bounds of path.Limits guaranteeing convergence;
+//   - interprocedural analysis with the symbolic handles h*i (the caller's
+//     i-th handle argument) and h**i (all stacked recursive arguments),
+//     reproducing Figure 7's matrices pA and pB, via a worklist fixpoint
+//     over per-procedure summaries;
+//   - mod-ref classification of handle parameters into read-only and
+//     update arguments (§5.2's refinement);
+//   - structure verification: TREE/DAG/cycle verdicts on every structure
+//     update (§3.1), reported as diagnostics.
+//
+// The engine requires normalized (basic-statement) programs; run
+// types.Normalize first.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/path"
+	"repro/internal/sil/ast"
+	"repro/internal/sil/token"
+	"repro/internal/sil/types"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// Limits bounds the path-expression domain (zero value: DefaultLimits).
+	Limits path.Limits
+	// MaxLoopIters caps Figure 3's iteration as a backstop beyond widening.
+	MaxLoopIters int
+	// MaxWorklist caps procedure reanalyses.
+	MaxWorklist int
+	// ExternalRoots names main locals that the execution environment binds
+	// to externally built structures before main runs (the paper's
+	// "... build a tree at root ..." realized by a Setup function). They
+	// start possibly-non-nil with unknown indegree, and — since the
+	// builder may have aliased them — pairwise possibly related.
+	ExternalRoots []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Limits == (path.Limits{}) {
+		o.Limits = path.DefaultLimits
+	}
+	if o.MaxLoopIters == 0 {
+		o.MaxLoopIters = 40
+	}
+	if o.MaxWorklist == 0 {
+		o.MaxWorklist = 400
+	}
+	return o
+}
+
+// Diagnostic is a structure-verification or safety finding.
+type Diagnostic struct {
+	Pos   token.Pos
+	Level string // "warn" or "error"
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Level, d.Msg)
+}
+
+// Summary is the interprocedural abstraction of one procedure.
+type Summary struct {
+	Proc *ast.ProcDecl
+	// Entry is the merged entry matrix over formals and symbolic handles
+	// (h*i, h**i), combining every call context seen so far.
+	Entry *matrix.Matrix
+	// Exit is the matrix at procedure exit projected onto the formals,
+	// symbolic handles and (for functions) the return variable. nil means
+	// bottom: no terminating path analyzed yet.
+	Exit *matrix.Matrix
+	// UpdateParams[i] reports that the i-th parameter is an update argument
+	// (§5.2): some write (value or link) may occur through it. Non-handle
+	// parameters are always false.
+	UpdateParams []bool
+	// LinkParams[i] reports that a structure update (a.f := …) may occur
+	// through the i-th parameter.
+	LinkParams []bool
+	// AttachesParams[i] reports that the i-th argument's node itself may
+	// gain a parent inside the callee (it appears as the right side of a
+	// structure update).
+	AttachesParams []bool
+	// ModifiesLinks reports any structure update anywhere in the procedure
+	// or its callees.
+	ModifiesLinks bool
+	// HandleParamIdx maps handle-parameter order (1-based symbolic index)
+	// to parameter positions.
+	HandleParamIdx []int
+}
+
+// ReadOnlyParam reports whether parameter i is read-only (§5.2).
+func (s *Summary) ReadOnlyParam(i int) bool {
+	return i < len(s.UpdateParams) && !s.UpdateParams[i]
+}
+
+// Info is the analysis result.
+type Info struct {
+	Prog *ast.Program
+	Opts Options
+	// Before and After give the path matrix at the program point
+	// immediately before / after each statement (merged over all contexts
+	// of the final fixpoint iteration).
+	Before map[ast.Stmt]*matrix.Matrix
+	After  map[ast.Stmt]*matrix.Matrix
+	// Summaries maps procedure names to their fixpoint summaries.
+	Summaries map[string]*Summary
+	// Diags are the structure-verification findings, deduplicated.
+	Diags []Diagnostic
+
+	stmtProc map[ast.Stmt]string
+}
+
+// ProcOf returns the name of the procedure containing the statement.
+func (in *Info) ProcOf(s ast.Stmt) (string, bool) {
+	name, ok := in.stmtProc[s]
+	return name, ok
+}
+
+// Shape returns the worst structure estimate over every program point of
+// the whole program. A temporary DAG (the §1 node swap) degrades this
+// verdict even when the structure recovers; see ExitShape for the estimate
+// at main's exit.
+func (in *Info) Shape() matrix.Shape {
+	worst := matrix.ShapeTree
+	for _, m := range in.After {
+		if m != nil && m.Shape() > worst {
+			worst = m.Shape()
+		}
+	}
+	return worst
+}
+
+// ExitShape returns the structure estimate at the end of main — TREE for
+// programs that only pass through temporary violations.
+func (in *Info) ExitShape() matrix.Shape {
+	main := in.Prog.Proc("main")
+	if main == nil || len(main.Body.Stmts) == 0 {
+		return matrix.ShapeTree
+	}
+	m := in.After[main.Body.Stmts[len(main.Body.Stmts)-1]]
+	if m == nil {
+		return matrix.ShapeTree
+	}
+	return m.Shape()
+}
+
+// DiagStrings renders diagnostics deterministically.
+func (in *Info) DiagStrings() []string {
+	out := make([]string, len(in.Diags))
+	for i, d := range in.Diags {
+		out[i] = d.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analyze runs the whole-program analysis. The program must be checked and
+// normalized; Analyze verifies the basic-statement invariants first.
+func Analyze(prog *ast.Program, opts Options) (*Info, error) {
+	if err := types.VerifyBasic(prog); err != nil {
+		return nil, fmt.Errorf("analysis: program is not in basic form: %w", err)
+	}
+	main := prog.Proc("main")
+	if main == nil {
+		return nil, fmt.Errorf("analysis: no main procedure")
+	}
+	opts = opts.withDefaults()
+	a := &analyzer{
+		prog: prog,
+		opts: opts,
+		info: &Info{
+			Prog:      prog,
+			Opts:      opts,
+			Before:    map[ast.Stmt]*matrix.Matrix{},
+			After:     map[ast.Stmt]*matrix.Matrix{},
+			Summaries: map[string]*Summary{},
+			stmtProc:  map[ast.Stmt]string{},
+		},
+		callers: map[string]map[string]bool{},
+		diagSet: map[string]bool{},
+	}
+	for _, d := range prog.Decls {
+		walkStmts(d.Body, func(s ast.Stmt) { a.info.stmtProc[s] = d.Name })
+	}
+	a.ensureSummary(main, entryForMain(main, opts))
+	a.enqueue("main")
+	for steps := 0; len(a.work) > 0; steps++ {
+		if steps > opts.MaxWorklist {
+			return nil, fmt.Errorf("analysis: worklist did not converge in %d steps", opts.MaxWorklist)
+		}
+		name := a.work[0]
+		a.work = a.work[1:]
+		a.inWork[name] = false
+		a.reanalyze(name)
+	}
+	// One final pass per reachable procedure so Before/After reflect the
+	// fixpoint summaries.
+	a.recording = true
+	for _, name := range a.analysisOrder() {
+		a.reanalyze(name)
+	}
+	return a.info, nil
+}
+
+type analyzer struct {
+	prog    *ast.Program
+	opts    Options
+	info    *Info
+	work    []string
+	inWork  map[string]bool
+	callers map[string]map[string]bool
+	diagSet map[string]bool
+	// recording enables Before/After capture (final pass only).
+	recording bool
+	// sink, when non-nil, receives before-matrices instead of info.Before
+	// (used by Replay).
+	sink map[ast.Stmt]*matrix.Matrix
+	// mute suppresses diagnostics (replays re-traverse analyzed code).
+	mute bool
+	// cur is the procedure under analysis.
+	cur *ast.ProcDecl
+}
+
+// Replay re-runs the abstract transformers over a statement sequence from
+// an explicit starting matrix, returning the matrix before every statement
+// in the sequence (including nested ones) and the final matrix. §5.3 uses
+// it to obtain Figure 9's per-statement matrices for U and V from the same
+// initial point, independent of the sequential order the program text has.
+func (in *Info) Replay(procName string, p0 *matrix.Matrix, seq []ast.Stmt) (map[ast.Stmt]*matrix.Matrix, *matrix.Matrix) {
+	d := in.Prog.Proc(procName)
+	a := &analyzer{
+		prog:      in.Prog,
+		opts:      in.Opts,
+		info:      in,
+		callers:   map[string]map[string]bool{},
+		diagSet:   map[string]bool{},
+		recording: true,
+		mute:      true, // replays must not duplicate diagnostics
+		sink:      map[ast.Stmt]*matrix.Matrix{},
+		cur:       d,
+	}
+	m := p0.Copy()
+	for _, s := range seq {
+		m = a.stmt(m, s)
+	}
+	return a.sink, m
+}
+
+func (a *analyzer) analysisOrder() []string {
+	names := make([]string, 0, len(a.info.Summaries))
+	for n := range a.info.Summaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (a *analyzer) enqueue(name string) {
+	if a.recording {
+		return // the final recording pass must not perturb the fixpoint
+	}
+	if a.inWork == nil {
+		a.inWork = map[string]bool{}
+	}
+	if !a.inWork[name] {
+		a.inWork[name] = true
+		a.work = append(a.work, name)
+	}
+}
+
+func (a *analyzer) diag(pos token.Pos, level, msg string) {
+	if a.mute {
+		return
+	}
+	d := Diagnostic{Pos: pos, Level: level, Msg: msg}
+	key := d.String()
+	if !a.diagSet[key] {
+		a.diagSet[key] = true
+		a.info.Diags = append(a.info.Diags, d)
+	}
+}
+
+// handleParams returns the positions of handle parameters.
+func handleParams(d *ast.ProcDecl) []int {
+	var out []int
+	for i, p := range d.Params {
+		if p.Type == ast.HandleT {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// entryForMain builds main's entry matrix: every local starts definitely
+// nil (the interpreter's semantics for uninitialized handles), except the
+// declared external roots, which the environment may bind to arbitrary
+// tree structures.
+func entryForMain(main *ast.ProcDecl, opts Options) *matrix.Matrix {
+	ext := make(map[string]bool, len(opts.ExternalRoots))
+	for _, r := range opts.ExternalRoots {
+		ext[r] = true
+	}
+	m := matrix.New()
+	var roots []matrix.Handle
+	for _, v := range main.Locals {
+		if v.Type != ast.HandleT {
+			continue
+		}
+		if ext[v.Name] {
+			h := matrix.Handle(v.Name)
+			m.Add(h, matrix.Attr{Nil: matrix.MaybeNil, Indeg: matrix.UnknownDeg})
+			roots = append(roots, h)
+		} else {
+			m.Add(matrix.Handle(v.Name), matrix.Attr{Nil: matrix.DefNil, Indeg: matrix.Root})
+		}
+	}
+	maybeAnywhere := path.NewSet(path.SamePossible(), path.NewPossible(path.Plus(path.DownD)))
+	for _, a := range roots {
+		for _, b := range roots {
+			if a != b {
+				m.Put(a, b, maybeAnywhere)
+			}
+		}
+	}
+	return m
+}
+
+func (a *analyzer) ensureSummary(d *ast.ProcDecl, entry *matrix.Matrix) *Summary {
+	s, ok := a.info.Summaries[d.Name]
+	if !ok {
+		s = &Summary{
+			Proc:           d,
+			Entry:          entry,
+			UpdateParams:   make([]bool, len(d.Params)),
+			LinkParams:     make([]bool, len(d.Params)),
+			AttachesParams: make([]bool, len(d.Params)),
+			HandleParamIdx: handleParams(d),
+		}
+		a.info.Summaries[d.Name] = s
+	}
+	return s
+}
+
+// reanalyze runs one pass over a procedure body from its current entry.
+func (a *analyzer) reanalyze(name string) {
+	s := a.info.Summaries[name]
+	if s == nil {
+		return
+	}
+	a.cur = s.Proc
+	m := s.Entry.Copy()
+	// Locals start definitely nil — unless the entry matrix already binds
+	// them (main's external roots).
+	for _, v := range s.Proc.Locals {
+		if v.Type == ast.HandleT && !m.Has(matrix.Handle(v.Name)) {
+			m.Add(matrix.Handle(v.Name), matrix.Attr{Nil: matrix.DefNil, Indeg: matrix.Root})
+		}
+	}
+	if a.recording {
+		clearRecords(a.info, s.Proc)
+	}
+	exit := a.stmt(m, s.Proc.Body)
+	changed := false
+	if exit != nil {
+		// Project onto the caller-visible handles.
+		keep := make([]matrix.Handle, 0, 8)
+		for _, h := range exit.Handles() {
+			if h.IsSymbolic() {
+				keep = append(keep, h)
+			}
+		}
+		for _, v := range s.Proc.Params {
+			if v.Type == ast.HandleT {
+				keep = append(keep, matrix.Handle(v.Name))
+			}
+		}
+		if s.Proc.IsFunction() {
+			keep = append(keep, matrix.Handle(s.Proc.ReturnVar))
+		}
+		proj := exit.Project(keep)
+		proj.Widen(a.opts.Limits)
+		if s.Exit == nil || !s.Exit.Equal(proj) {
+			if s.Exit != nil {
+				merged := s.Exit.Merge(proj)
+				merged.Widen(a.opts.Limits)
+				proj = merged
+			}
+			if s.Exit == nil || !s.Exit.Equal(proj) {
+				s.Exit = proj
+				changed = true
+			}
+		}
+	}
+	if changed {
+		for caller := range a.callers[name] {
+			a.enqueue(caller)
+		}
+		// Self-recursive procedures must also converge.
+		if a.callers[name][name] || a.selfCalls(s.Proc) {
+			a.enqueue(name)
+		}
+	}
+}
+
+func (a *analyzer) selfCalls(d *ast.ProcDecl) bool {
+	found := false
+	walkStmts(d.Body, func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.CallStmt:
+			if s.Name == d.Name {
+				found = true
+			}
+		case *ast.Assign:
+			if c, ok := s.Rhs.(*ast.CallExpr); ok && c.Name == d.Name {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func clearRecords(in *Info, d *ast.ProcDecl) {
+	walkStmts(d.Body, func(s ast.Stmt) {
+		delete(in.Before, s)
+		delete(in.After, s)
+	})
+}
+
+// walkStmts visits every statement in a subtree.
+func walkStmts(s ast.Stmt, f func(ast.Stmt)) {
+	if s == nil {
+		return
+	}
+	f(s)
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			walkStmts(st, f)
+		}
+	case *ast.Par:
+		for _, st := range s.Branches {
+			walkStmts(st, f)
+		}
+	case *ast.If:
+		walkStmts(s.Then, f)
+		walkStmts(s.Else, f)
+	case *ast.While:
+		walkStmts(s.Body, f)
+	}
+}
+
+func (a *analyzer) record(before bool, s ast.Stmt, m *matrix.Matrix) {
+	if !a.recording || m == nil {
+		return
+	}
+	if a.sink != nil {
+		if !before {
+			return
+		}
+		if prev, ok := a.sink[s]; ok {
+			merged := prev.Merge(m)
+			merged.Widen(a.opts.Limits)
+			a.sink[s] = merged
+		} else {
+			a.sink[s] = m.Copy()
+		}
+		return
+	}
+	tab := a.info.Before
+	if !before {
+		tab = a.info.After
+	}
+	if prev, ok := tab[s]; ok {
+		merged := prev.Merge(m)
+		merged.Widen(a.opts.Limits)
+		tab[s] = merged
+	} else {
+		tab[s] = m.Copy()
+	}
+}
+
+// stmt is the abstract transformer: given the matrix before s, it returns
+// the matrix after s, or nil (bottom) when the point after s is not
+// reachable in the current approximation.
+func (a *analyzer) stmt(m *matrix.Matrix, s ast.Stmt) *matrix.Matrix {
+	if m == nil {
+		return nil
+	}
+	a.record(true, s, m)
+	var out *matrix.Matrix
+	switch s := s.(type) {
+	case *ast.Block:
+		out = m
+		for _, st := range s.Stmts {
+			out = a.stmt(out, st)
+		}
+	case *ast.Par:
+		// The analysis treats parallel branches as sequential composition;
+		// the interference analyses of §5 independently verify that the
+		// branches do not interfere, which makes any order equivalent.
+		out = m
+		for _, st := range s.Branches {
+			out = a.stmt(out, st)
+		}
+	case *ast.If:
+		thenIn := refineCond(m.Copy(), s.Cond, true)
+		elseIn := refineCond(m.Copy(), s.Cond, false)
+		thenOut := a.stmt(thenIn, s.Then)
+		elseOut := elseIn
+		if s.Else != nil {
+			elseOut = a.stmt(elseIn, s.Else)
+		}
+		out = mergeMaybe(thenOut, elseOut)
+		if out != nil {
+			out.Widen(a.opts.Limits)
+		}
+	case *ast.While:
+		out = a.while(m, s)
+	case *ast.CallStmt:
+		out = a.call(m, s.Name, s.Args, nil, s.Pos())
+	case *ast.Assign:
+		out = a.assign(m, s)
+	default:
+		out = m
+	}
+	a.record(false, s, out)
+	return out
+}
+
+// mergeMaybe joins two possibly-bottom matrices.
+func mergeMaybe(x, y *matrix.Matrix) *matrix.Matrix {
+	switch {
+	case x == nil:
+		return y
+	case y == nil:
+		return x
+	default:
+		return x.Merge(y)
+	}
+}
+
+// while implements the iterative approximation of Figure 3: starting from
+// p0 (zero iterations), repeatedly analyze one more iteration and merge,
+// widening until the matrix stabilizes at p+.
+func (a *analyzer) while(m *matrix.Matrix, s *ast.While) *matrix.Matrix {
+	acc := m.Copy()
+	for i := 0; i < a.opts.MaxLoopIters; i++ {
+		bodyIn := refineCond(acc.Copy(), s.Cond, true)
+		bodyOut := a.stmt(bodyIn, s.Body)
+		next := mergeMaybe(acc, bodyOut)
+		if next == nil {
+			return nil
+		}
+		next.Widen(a.opts.Limits)
+		if next.Equal(acc) {
+			break
+		}
+		acc = next
+	}
+	return refineCond(acc.Copy(), s.Cond, false)
+}

@@ -1,0 +1,368 @@
+package analysis
+
+// Figure-replay tests: each test reproduces one figure of Hendren &
+// Nicolau (1989) and asserts the exact matrices (modulo the canonical
+// spelling of path expressions: the paper's L^1L+L^2 coalesces to L4+).
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/path"
+	"repro/internal/sil/ast"
+	"repro/internal/sil/parser"
+	"repro/internal/sil/token"
+	"repro/internal/sil/types"
+)
+
+func newTestAnalyzer() *analyzer {
+	return &analyzer{
+		opts: Options{}.withDefaults(),
+		info: &Info{
+			Before:    map[ast.Stmt]*matrix.Matrix{},
+			After:     map[ast.Stmt]*matrix.Matrix{},
+			Summaries: map[string]*Summary{},
+		},
+		diagSet: map[string]bool{},
+		cur:     &ast.ProcDecl{Name: "test"},
+		callers: map[string]map[string]bool{},
+	}
+}
+
+func wantEntry(t *testing.T, m *matrix.Matrix, row, col matrix.Handle, want string) {
+	t.Helper()
+	got := m.Get(row, col).String()
+	if got != want {
+		t.Errorf("p[%s,%s] = %q, want %q", row, col, got, want)
+	}
+}
+
+// TestFig2HandleAssignments replays Figure 2: the initial three-handle
+// matrix, then d := a.right (2b), then e := d.left (2c).
+func TestFig2HandleAssignments(t *testing.T) {
+	a := newTestAnalyzer()
+	m := matrix.New()
+	nonNil := matrix.Attr{Nil: matrix.NonNil, Indeg: matrix.UnknownDeg}
+	for _, h := range []matrix.Handle{"a", "b", "c"} {
+		m.Add(h, nonNil)
+	}
+	// Figure 2(a): a→b = L^1L+L^2 (canonically L4+), a→c = R^1D+.
+	m.Put("a", "b", path.MustParseSet("L4+"))
+	m.Put("a", "c", path.MustParseSet("R1D+"))
+
+	// Figure 2(b): d := a.right.
+	m = a.loadField(m, "d", "a", path.RightD, token.Pos{})
+	wantEntry(t, m, "a", "d", "R1")
+	wantEntry(t, m, "d", "c", "D+") // definite: the R edge surely matched
+	wantEntry(t, m, "d", "b", "{}") // b is down the left spine
+	wantEntry(t, m, "a", "b", "L4+")
+	wantEntry(t, m, "d", "d", "S")
+
+	// Figure 2(c): e := d.left.
+	m = a.loadField(m, "e", "d", path.LeftD, token.Pos{})
+	wantEntry(t, m, "d", "e", "L1")
+	wantEntry(t, m, "a", "e", "R1L1")
+	// The paper's highlighted result: e and c may be the same node, or c
+	// is one or more edges below e.
+	wantEntry(t, m, "e", "c", "S?, D+?")
+	wantEntry(t, m, "e", "b", "{}")
+	for _, d := range a.info.Diags {
+		if d.Level == "error" {
+			t.Errorf("unexpected error diagnostic: %v", d)
+		}
+	}
+}
+
+func mustAnalyze(t *testing.T, src string, opts Options) *Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := types.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	types.Normalize(prog)
+	info, err := Analyze(prog, opts)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info
+}
+
+// findWhile returns the n-th while statement of the named procedure.
+func findWhile(prog *ast.Program, proc string, n int) *ast.While {
+	var out *ast.While
+	count := 0
+	walkStmts(prog.Proc(proc).Body, func(s ast.Stmt) {
+		if w, ok := s.(*ast.While); ok {
+			if count == n {
+				out = w
+			}
+			count++
+		}
+	})
+	return out
+}
+
+// findCall returns the n-th call to callee inside proc.
+func findCall(prog *ast.Program, proc, callee string, n int) ast.Stmt {
+	var out ast.Stmt
+	count := 0
+	walkStmts(prog.Proc(proc).Body, func(s ast.Stmt) {
+		if c, ok := s.(*ast.CallStmt); ok && c.Name == callee {
+			if count == n {
+				out = c
+			}
+			count++
+		}
+	})
+	return out
+}
+
+// TestFig3WhileLoopFixpoint replays Figure 3: h := l's chain converges to
+// L+ under the iterative approximation. Our loop estimate also retains the
+// zero-iteration S? alternative (the paper's p0).
+func TestFig3WhileLoopFixpoint(t *testing.T) {
+	src := `
+program fig3
+procedure main()
+  h, l: handle
+begin
+  h := new();
+  l := h;
+  while l.left <> nil do
+    l := l.left
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	w := findWhile(info.Prog, "main", 0)
+	if w == nil {
+		t.Fatal("no while")
+	}
+	after := info.After[w]
+	if after == nil {
+		t.Fatal("no matrix after loop")
+	}
+	// p+ merged with p0: h→l ∈ {S?, L+?}.
+	wantEntry(t, after, "h", "l", "S?, L+?")
+	wantEntry(t, after, "l", "h", "S?")
+	if after.Shape() != matrix.ShapeTree {
+		t.Errorf("shape = %v", after.Shape())
+	}
+}
+
+// fig7Source is the paper's Figure 7 program with the "... build a tree at
+// root ..." comment realized by an explicit builder procedure.
+const fig7Source = `
+program add_and_reverse
+
+procedure main()
+  root, lside, rside: handle; i: int
+begin
+  root := new();
+  build(root, 5);
+  lside := root.left;
+  rside := root.right;
+  { PROGRAM POINT A }
+  add_n(lside, 1);
+  add_n(rside, -1);
+  reverse(root)
+end;
+
+procedure build(h: handle; d: int)
+  l, r: handle
+begin
+  if d > 0 then
+  begin
+    l := new();
+    r := new();
+    h.left := l;
+    h.right := r;
+    build(l, d - 1);
+    build(r, d - 1)
+  end
+end;
+
+procedure add_n(h: handle; n: int)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    h.value := h.value + n;
+    l := h.left;
+    r := h.right;
+    { PROGRAM POINT B }
+    add_n(l, n);
+    add_n(r, n)
+  end
+end;
+
+procedure reverse(h: handle)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    l := h.left;
+    r := h.right;
+    { PROGRAM POINT C }
+    reverse(l);
+    reverse(r);
+    h.left := r;
+    h.right := l
+  end
+end;
+`
+
+// TestFig7PointA replays the matrix pA: root relates to lside by one left
+// edge and to rside by one right edge, and lside/rside are unrelated —
+// which licenses running the two add_n calls in parallel (§5.2).
+func TestFig7PointA(t *testing.T) {
+	info := mustAnalyze(t, fig7Source, Options{})
+	callA := findCall(info.Prog, "main", "add_n", 0)
+	if callA == nil {
+		t.Fatal("no add_n call")
+	}
+	pA := info.Before[callA]
+	if pA == nil {
+		t.Fatal("no matrix at point A")
+	}
+	wantEntry(t, pA, "root", "lside", "L1")
+	wantEntry(t, pA, "root", "rside", "R1")
+	wantEntry(t, pA, "lside", "rside", "{}")
+	wantEntry(t, pA, "rside", "lside", "{}")
+	wantEntry(t, pA, "root", "root", "S")
+	if pA.Shape() != matrix.ShapeTree {
+		t.Errorf("shape at A = %v, want TREE", pA.Shape())
+	}
+}
+
+// TestFig7PointB replays the matrix pB inside add_n before the recursive
+// calls: the three handle groups of the paper (h* for the caller's
+// argument, h** for stacked recursive arguments, and the locals h, l, r).
+// The crucial entries are pB[l,r] = pB[r,l] = {}, which make the recursive
+// calls safe to run in parallel.
+func TestFig7PointB(t *testing.T) {
+	info := mustAnalyze(t, fig7Source, Options{})
+	callB := findCall(info.Prog, "add_n", "add_n", 0)
+	if callB == nil {
+		t.Fatal("no recursive call")
+	}
+	pB := info.Before[callB]
+	if pB == nil {
+		t.Fatal("no matrix at point B")
+	}
+	// The parallelization-critical entries.
+	wantEntry(t, pB, "l", "r", "{}")
+	wantEntry(t, pB, "r", "l", "{}")
+	// Local structure below the current node.
+	wantEntry(t, pB, "h", "l", "L1")
+	wantEntry(t, pB, "h", "r", "R1")
+	// The caller's argument node h*1: equal to h on the first invocation.
+	if !pB.Has(matrix.Symbolic(1)) {
+		t.Fatalf("pB lacks h*1; handles: %v", pB.Handles())
+	}
+	hstar := pB.Get(matrix.Symbolic(1), "h")
+	if !hstar.HasSame() {
+		t.Errorf("p[h*1,h] = %s should include S", hstar)
+	}
+	// Stacked arguments h**1 sit at or above h.
+	if !pB.Has(matrix.Stacked(1)) {
+		t.Fatalf("pB lacks h**1; handles: %v", pB.Handles())
+	}
+	if down := pB.Get(matrix.Stacked(1), "h"); down.IsEmpty() {
+		t.Errorf("p[h**1,h] should be non-empty (stacked args are ancestors), got {}")
+	}
+	if pB.Shape() != matrix.ShapeTree {
+		t.Errorf("shape at B = %v, want TREE", pB.Shape())
+	}
+}
+
+// TestFig7PointC checks the reverse procedure's recursion point: l and r
+// remain unrelated (the parallel recursive calls of Figure 8), and the
+// structure is still a TREE before the swap.
+func TestFig7PointC(t *testing.T) {
+	info := mustAnalyze(t, fig7Source, Options{})
+	callC := findCall(info.Prog, "reverse", "reverse", 0)
+	if callC == nil {
+		t.Fatal("no recursive reverse call")
+	}
+	pC := info.Before[callC]
+	if pC == nil {
+		t.Fatal("no matrix at point C")
+	}
+	wantEntry(t, pC, "l", "r", "{}")
+	wantEntry(t, pC, "r", "l", "{}")
+	wantEntry(t, pC, "h", "l", "L1")
+	wantEntry(t, pC, "h", "r", "R1")
+	if pC.Shape() != matrix.ShapeTree {
+		t.Errorf("shape at C = %v, want TREE (swap happens after recursion)", pC.Shape())
+	}
+}
+
+// TestFig7ModRef checks §5.2's read-only/update classification: add_n and
+// reverse update through their handle parameter; build does too; and a
+// pure reader is classified read-only.
+func TestFig7ModRef(t *testing.T) {
+	info := mustAnalyze(t, fig7Source, Options{})
+	for _, name := range []string{"add_n", "reverse", "build"} {
+		s := info.Summaries[name]
+		if s == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		if !s.UpdateParams[0] {
+			t.Errorf("%s param 0 should be update", name)
+		}
+	}
+	if !info.Summaries["reverse"].LinkParams[0] {
+		t.Error("reverse modifies links through its parameter")
+	}
+	if info.Summaries["add_n"].LinkParams[0] {
+		t.Error("add_n does not modify links")
+	}
+	if info.Summaries["add_n"].ModifiesLinks {
+		t.Error("add_n.ModifiesLinks should be false")
+	}
+	if !info.Summaries["reverse"].ModifiesLinks {
+		t.Error("reverse.ModifiesLinks should be true")
+	}
+}
+
+// TestReadOnlyClassification: a pure reader is read-only (§5.2's
+// refinement), even though it traverses the whole structure.
+func TestReadOnlyClassification(t *testing.T) {
+	src := `
+program reader
+procedure main()
+  root: handle; total: int
+begin
+  root := new();
+  total := sum(root)
+end;
+function sum(h: handle): int
+  s, a, b: int; l, r: handle
+begin
+  if h = nil then s := 0
+  else
+  begin
+    l := h.left;
+    r := h.right;
+    a := sum(l);
+    b := sum(r);
+    s := h.value + a + b
+  end
+end
+return (s);
+`
+	info := mustAnalyze(t, src, Options{})
+	s := info.Summaries["sum"]
+	if s == nil {
+		t.Fatal("no summary")
+	}
+	if !s.ReadOnlyParam(0) {
+		t.Error("sum's handle parameter should be read-only")
+	}
+	if s.ModifiesLinks {
+		t.Error("sum modifies no links")
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/path"
+	"repro/internal/sil/ast"
+)
+
+// refineCond sharpens the matrix using the branch condition: in the branch
+// where the condition holds (want == true) or fails (want == false). This
+// is what lets the recursive base-case guard "if h <> nil" prove h non-nil
+// inside the body — without it, Figure 7's matrices would drown in
+// possible-nil noise.
+func refineCond(m *matrix.Matrix, cond ast.Expr, want bool) *matrix.Matrix {
+	if m == nil {
+		return nil
+	}
+	switch e := cond.(type) {
+	case *ast.Unary:
+		if e.Op == ast.Not {
+			return refineCond(m, e.X, !want)
+		}
+	case *ast.Binary:
+		switch e.Op {
+		case ast.And:
+			if want {
+				return refineCond(refineCond(m, e.X, true), e.Y, true)
+			}
+			// !(X and Y) gives no single-branch fact.
+			return m
+		case ast.Or:
+			if !want {
+				return refineCond(refineCond(m, e.X, false), e.Y, false)
+			}
+			return m
+		case ast.Eq, ast.Neq:
+			eq := e.Op == ast.Eq
+			if !want {
+				eq = !eq
+			}
+			return refineComparison(m, e.X, e.Y, eq)
+		}
+	}
+	return m
+}
+
+// refineComparison applies h = nil / h <> nil / h = g facts.
+func refineComparison(m *matrix.Matrix, x, y ast.Expr, equal bool) *matrix.Matrix {
+	xv, xIsVar := x.(*ast.VarRef)
+	yv, yIsVar := y.(*ast.VarRef)
+	_, xIsNil := x.(*ast.NilLit)
+	_, yIsNil := y.(*ast.NilLit)
+	switch {
+	case xIsVar && yIsNil:
+		return refineNil(m, matrix.Handle(xv.Name), equal)
+	case yIsVar && xIsNil:
+		return refineNil(m, matrix.Handle(yv.Name), equal)
+	case xIsVar && yIsVar:
+		hx, hy := matrix.Handle(xv.Name), matrix.Handle(yv.Name)
+		if !m.Has(hx) || !m.Has(hy) {
+			return m // int comparison, or unknown handles
+		}
+		if equal {
+			// Same node: each side gains a definite S to the other.
+			if m.Attr(hx).Nil != matrix.DefNil && m.Attr(hy).Nil != matrix.DefNil {
+				m.AddPaths(hx, hy, path.NewSet(path.Same()))
+				m.AddPaths(hy, hx, path.NewSet(path.Same()))
+			}
+			return m
+		}
+		// Known different nodes: drop S members.
+		notSame := func(p path.Path) bool { return !p.IsSame() }
+		m.Put(hx, hy, m.Get(hx, hy).Filter(notSame))
+		m.Put(hy, hx, m.Get(hy, hx).Filter(notSame))
+		return m
+	}
+	return m
+}
+
+// refineNil records that h is (equal == true) or is not nil.
+func refineNil(m *matrix.Matrix, h matrix.Handle, isNil bool) *matrix.Matrix {
+	if !m.Has(h) {
+		return m
+	}
+	at := m.Attr(h)
+	if isNil {
+		// h denotes no node: its relations vanish in this branch.
+		m.Remove(h)
+		m.Add(h, matrix.Attr{Nil: matrix.DefNil, Indeg: matrix.Root})
+		return m
+	}
+	if at.Nil != matrix.NonNil {
+		at.Nil = matrix.NonNil
+		m.Add(h, at) // restores the definite S diagonal
+		// Paths guarded on h's existence firm up only for the diagonal;
+		// other entries keep their flags (they may still depend on other
+		// handles' existence).
+	}
+	return m
+}

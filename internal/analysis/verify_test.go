@@ -1,0 +1,318 @@
+package analysis
+
+// Structure-verification tests (§3.1, §4): the analyzer must detect cycle
+// and DAG creation, report nil dereferences, and agree with the concrete
+// heap classification on whole programs.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func hasDiag(info *Info, level, substr string) bool {
+	for _, d := range info.Diags {
+		if d.Level == level && strings.Contains(d.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVerifyCycleCreation(t *testing.T) {
+	src := `
+program cyc
+procedure main()
+  a, b: handle
+begin
+  a := new();
+  b := new();
+  a.left := b;
+  b.left := a
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if got := info.Shape(); got != matrix.ShapeCyclic {
+		t.Errorf("shape = %v, want CYCLE", got)
+	}
+	if !hasDiag(info, "error", "creates a cycle") {
+		t.Errorf("missing cycle diagnostic: %v", info.DiagStrings())
+	}
+}
+
+func TestVerifySelfLoop(t *testing.T) {
+	src := `
+program selfloop
+procedure main()
+  a: handle
+begin
+  a := new();
+  a.right := a
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if got := info.Shape(); got != matrix.ShapeCyclic {
+		t.Errorf("shape = %v, want CYCLE", got)
+	}
+}
+
+func TestVerifyDAGCreation(t *testing.T) {
+	src := `
+program dag
+procedure main()
+  a, b, c: handle
+begin
+  a := new();
+  b := new();
+  c := new();
+  a.left := c;
+  b.left := c
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if got := info.Shape(); got != matrix.ShapeDAG {
+		t.Errorf("shape = %v, want DAG", got)
+	}
+	if !hasDiag(info, "warn", "DAG") {
+		t.Errorf("missing DAG diagnostic: %v", info.DiagStrings())
+	}
+}
+
+func TestVerifyTreeStaysTree(t *testing.T) {
+	src := `
+program tree
+procedure main()
+  a, b, c: handle
+begin
+  a := new();
+  b := new();
+  c := new();
+  a.left := b;
+  a.right := c
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if got := info.Shape(); got != matrix.ShapeTree {
+		t.Errorf("shape = %v, want TREE", got)
+	}
+	if len(info.Diags) != 0 {
+		t.Errorf("unexpected diagnostics: %v", info.DiagStrings())
+	}
+}
+
+// TestVerifySwapRecoversTree: the §1 motivating case — the temporary DAG
+// during a child swap is reported but the final estimate is TREE again.
+func TestVerifySwapRecoversTree(t *testing.T) {
+	src := `
+program swap
+procedure main()
+  h, l, r: handle
+begin
+  h := new();
+  l := new();
+  r := new();
+  h.left := l;
+  h.right := r;
+  h.left := r;
+  h.right := l
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if !hasDiag(info, "warn", "DAG") {
+		t.Errorf("the temporary DAG should be reported: %v", info.DiagStrings())
+	}
+	// The matrix after the final statement must be TREE again.
+	main := info.Prog.Proc("main")
+	last := main.Body.Stmts[len(main.Body.Stmts)-1]
+	after := info.After[last]
+	if after == nil {
+		t.Fatal("no matrix after last statement")
+	}
+	if got := after.Shape(); got != matrix.ShapeTree {
+		t.Errorf("shape after swap = %v, want TREE", got)
+	}
+}
+
+func TestVerifyNilDereference(t *testing.T) {
+	src := `
+program nildef
+procedure main()
+  a: handle; x: int
+begin
+  x := a.value
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if !hasDiag(info, "error", "definitely-nil") {
+		t.Errorf("missing nil-deref error: %v", info.DiagStrings())
+	}
+}
+
+func TestVerifyPossibleNilDereference(t *testing.T) {
+	src := `
+program maybenil
+procedure main()
+  a, b: handle; x: int
+begin
+  a := new();
+  b := a.left;
+  x := b.value
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if !hasDiag(info, "warn", "possible nil dereference") {
+		t.Errorf("missing possible-nil warn: %v", info.DiagStrings())
+	}
+}
+
+func TestNilGuardSuppressesWarning(t *testing.T) {
+	src := `
+program guarded
+procedure main()
+  a, b: handle; x: int
+begin
+  a := new();
+  b := a.left;
+  if b <> nil then
+    x := b.value
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if hasDiag(info, "warn", "possible nil dereference") {
+		t.Errorf("guard should suppress the warning: %v", info.DiagStrings())
+	}
+}
+
+func TestGuardedCycleOnlyPossible(t *testing.T) {
+	// The analysis cannot see that the branch never runs, but the path
+	// being merely possible must downgrade the verdict.
+	src := `
+program maybecyc
+procedure main()
+  a, b, c: handle
+begin
+  a := new();
+  b := a.left;
+  if b <> nil then
+    b.left := a
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	// After the if-merge the damage is only possible: one branch is clean.
+	main := info.Prog.Proc("main")
+	last := main.Body.Stmts[len(main.Body.Stmts)-1]
+	if got := info.After[last].Shape(); got != matrix.ShapeMaybeCyclic {
+		t.Errorf("shape after merge = %v, want CYCLE?", got)
+	}
+	// Inside the branch the guard assumes b non-nil, so the update there
+	// definitely builds a cycle — the diagnostic is definite; the merged
+	// verdict above is only possible.
+	if !hasDiag(info, "error", "creates a cycle") {
+		t.Errorf("missing cycle diagnostic: %v", info.DiagStrings())
+	}
+}
+
+// TestListAppendStaysTree: classic list building in a loop.
+func TestListAppendStaysTree(t *testing.T) {
+	src := `
+program listbuild
+procedure main()
+  head, cur, fresh: handle; i: int
+begin
+  head := new();
+  cur := head;
+  i := 0;
+  while i < 10 do
+  begin
+    fresh := new();
+    cur.left := fresh;
+    cur := fresh;
+    i := i + 1
+  end
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if got := info.Shape(); got != matrix.ShapeTree {
+		t.Errorf("list building shape = %v, want TREE\ndiags: %v", got, info.DiagStrings())
+	}
+}
+
+// TestInterproceduralDAGDetection: the sharing happens inside a callee.
+func TestInterproceduralDAGDetection(t *testing.T) {
+	src := `
+program procdag
+procedure main()
+  a, b, c: handle
+begin
+  a := new();
+  b := new();
+  c := new();
+  attach(a, c);
+  attach(b, c)
+end;
+procedure attach(p: handle; q: handle)
+begin
+  p.left := q
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	if got := info.Shape(); got < matrix.ShapeMaybeDAG {
+		t.Errorf("shape = %v, want at least DAG?", got)
+	}
+	sum := info.Summaries["attach"]
+	if sum == nil || !sum.LinkParams[0] {
+		t.Fatal("attach should link through param 0")
+	}
+	if !sum.AttachesParams[1] {
+		t.Error("attach should attach its second parameter")
+	}
+	if sum.UpdateParams[1] {
+		t.Error("attach does not write through its second parameter")
+	}
+}
+
+// TestWhileLoopDeepensPaths: walking down in a loop produces the widened
+// L+ family, and updating below the cursor keeps soundness.
+func TestWhileLoopDeepensPaths(t *testing.T) {
+	src := `
+program walker
+procedure main()
+  root, cur: handle; i: int
+begin
+  root := new();
+  build(root, 6);
+  cur := root;
+  i := 0;
+  while i < 5 do
+  begin
+    cur := cur.left;
+    i := i + 1
+  end
+end;
+procedure build(h: handle; d: int)
+  l, r: handle
+begin
+  if d > 0 then
+  begin
+    l := new();
+    r := new();
+    h.left := l;
+    h.right := r;
+    build(l, d - 1);
+    build(r, d - 1)
+  end
+end;
+`
+	info := mustAnalyze(t, src, Options{})
+	w := findWhile(info.Prog, "main", 0)
+	after := info.After[w]
+	if after == nil {
+		t.Fatal("no matrix after loop")
+	}
+	got := after.Get("root", "cur").String()
+	// root→cur: zero or more left steps.
+	if got != "S?, L+?" {
+		t.Errorf("root→cur = %q, want S?, L+?", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package core is the library's stable surface: it wires the full
+// Hendren–Nicolau pipeline — parse → type-check → normalize → path-matrix
+// analysis → structure verification → interference analysis →
+// parallelization → execution/measurement — behind one Pipeline type.
+// Examples and commands use this package; the internal packages remain
+// directly importable for fine-grained use.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/interp"
+	"repro/internal/matrix"
+	"repro/internal/par"
+	"repro/internal/runtime"
+	"repro/internal/sil/ast"
+	"repro/internal/sil/parser"
+	"repro/internal/sil/printer"
+	"repro/internal/sil/types"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	Analysis analysis.Options
+	Par      par.Options
+}
+
+// DefaultOptions enables every transformation with default widening.
+func DefaultOptions() Options {
+	return Options{Par: par.DefaultOptions}
+}
+
+// Pipeline is one compiled-and-analyzed SIL program.
+type Pipeline struct {
+	Source string
+	Prog   *ast.Program // checked, normalized
+	Info   *analysis.Info
+	Par    *par.Result
+	Opts   Options
+}
+
+// Build runs the whole static pipeline on a SIL source text.
+func Build(src string, opts Options) (*Pipeline, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	if err := types.Check(prog); err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	types.Normalize(prog)
+	info, err := analysis.Analyze(prog, opts.Analysis)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	return &Pipeline{
+		Source: src,
+		Prog:   prog,
+		Info:   info,
+		Par:    par.Parallelize(info, opts.Par),
+		Opts:   opts,
+	}, nil
+}
+
+// SequentialText renders the normalized sequential program.
+func (p *Pipeline) SequentialText() string { return printer.Print(p.Prog) }
+
+// ParallelText renders the parallelized program (Figure 8 style).
+func (p *Pipeline) ParallelText() string { return printer.Print(p.Par.Prog) }
+
+// Shape returns the overall structure verification verdict.
+func (p *Pipeline) Shape() matrix.Shape { return p.Info.Shape() }
+
+// Diagnostics returns the structure/safety findings, deterministically.
+func (p *Pipeline) Diagnostics() []string { return p.Info.DiagStrings() }
+
+// MatrixBefore returns the path matrix before a statement, rendered in the
+// paper's layout (for inspection tools).
+func (p *Pipeline) MatrixBefore(s ast.Stmt) string {
+	m := p.Info.Before[s]
+	if m == nil {
+		return "(unreachable)"
+	}
+	return m.String()
+}
+
+// RunSequential executes the normalized sequential program.
+func (p *Pipeline) RunSequential(cfg interp.Config, setup runtime.Setup) (*interp.Result, error) {
+	return interp.Run(p.Prog, cfg, setup)
+}
+
+// RunParallel executes the parallelized program (deterministic parallel
+// semantics; set cfg.Concurrent for real goroutines).
+func (p *Pipeline) RunParallel(cfg interp.Config, setup runtime.Setup) (*interp.Result, error) {
+	return interp.Run(p.Par.Prog, cfg, setup)
+}
+
+// Verify runs the sequential and parallel programs from identical states
+// and checks observable equivalence plus race freedom.
+func (p *Pipeline) Verify(cfg interp.Config, setup runtime.Setup) (*runtime.EquivalenceReport, error) {
+	return runtime.CheckEquivalence(p.Prog, p.Par.Prog, cfg, setup)
+}
+
+// Speedup measures the parallelized program on the simulated machine.
+func (p *Pipeline) Speedup(cfg interp.Config, setup runtime.Setup, procs []int) (*runtime.Speedup, error) {
+	return runtime.MeasureSpeedup(p.Par.Prog, cfg, setup, procs)
+}
+
+// Report renders a human-readable summary of the static results.
+func (p *Pipeline) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Prog.Name)
+	fmt.Fprintf(&b, "structure: worst point %s, at main exit %s\n", p.Shape(), p.Info.ExitShape())
+	fmt.Fprintf(&b, "parallel statements: %d (branches %d; leaf groups %d, sequence groups %d)\n",
+		p.Par.Stats.ParStatements, p.Par.Stats.Branches, p.Par.Stats.LeafGroups, p.Par.Stats.SeqGroups)
+	names := make([]string, 0, len(p.Info.Summaries))
+	for name := range p.Info.Summaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sum := p.Info.Summaries[name]
+		var ro []string
+		for i, prm := range sum.Proc.Params {
+			if prm.Type == ast.HandleT && sum.ReadOnlyParam(i) {
+				ro = append(ro, prm.Name)
+			}
+		}
+		if len(ro) > 0 {
+			fmt.Fprintf(&b, "read-only handle parameters of %s: %s\n", name, strings.Join(ro, ", "))
+		}
+	}
+	if ds := p.Diagnostics(); len(ds) > 0 {
+		b.WriteString("diagnostics:\n")
+		for _, d := range ds {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/matrix"
+	"repro/internal/progs"
+)
+
+func TestBuildPipeline(t *testing.T) {
+	pipe, err := Build(progs.AddAndReverse, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Prog.Name != "add_and_reverse" {
+		t.Errorf("name = %q", pipe.Prog.Name)
+	}
+	if pipe.Par.Stats.ParStatements == 0 {
+		t.Error("no parallelism found")
+	}
+	par := pipe.ParallelText()
+	if !strings.Contains(par, "add_n(l, n) || add_n(r, n)") {
+		t.Errorf("Figure 8 line missing:\n%s", par)
+	}
+	seq := pipe.SequentialText()
+	if strings.Contains(seq, "||") {
+		t.Error("sequential text must not contain parallel statements")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("garbage", DefaultOptions()); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Errorf("parse error expected, got %v", err)
+	}
+	if _, err := Build("program p procedure main() begin x := 1 end;", DefaultOptions()); err == nil || !strings.Contains(err.Error(), "check") {
+		t.Errorf("check error expected, got %v", err)
+	}
+}
+
+func TestVerifyAndSpeedup(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Analysis.ExternalRoots = []string{"root"}
+	pipe, err := Build(progs.TreeAdd, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pipe.Verify(interp.Config{}, progs.BalancedTreeSetup(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := pipe.Speedup(interp.Config{}, progs.BalancedTreeSetup(6), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.SpeedupAt(1) < 2 {
+		t.Errorf("P=4 speedup %.2f too low", sp.SpeedupAt(1))
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Analysis.ExternalRoots = []string{"root"}
+	pipe, err := Build(progs.TreeSum, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := pipe.Report()
+	if !strings.Contains(rep, "read-only handle parameters of sum: h") {
+		t.Errorf("report lacks read-only classification:\n%s", rep)
+	}
+	if !strings.Contains(rep, "structure: worst point TREE, at main exit TREE") {
+		t.Errorf("report lacks structure line:\n%s", rep)
+	}
+}
+
+func TestShapeAndDiagnostics(t *testing.T) {
+	pipe, err := Build(progs.TreeDagDemo, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Shape() < matrix.ShapeDAG {
+		t.Errorf("dagdemo shape = %v", pipe.Shape())
+	}
+	found := false
+	for _, d := range pipe.Diagnostics() {
+		if strings.Contains(d, "cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dagdemo should report the cycle: %v", pipe.Diagnostics())
+	}
+}
+
+func TestMatrixBefore(t *testing.T) {
+	pipe, err := Build(progs.AddAndReverse, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := pipe.Prog.Proc("main").Body.Stmts[0]
+	if s := pipe.MatrixBefore(first); !strings.Contains(s, "shape:") {
+		t.Errorf("MatrixBefore = %q", s)
+	}
+	if s := pipe.MatrixBefore(nil); s != "(unreachable)" {
+		t.Errorf("nil statement: %q", s)
+	}
+}
+
+func TestRunSequentialAndParallel(t *testing.T) {
+	pipe, err := Build(progs.AddAndReverse, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := pipe.RunSequential(interp.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pipe.RunParallel(interp.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Work != par.Work {
+		t.Errorf("work differs: %d vs %d", seq.Work, par.Work)
+	}
+	if par.Span >= seq.Span {
+		t.Errorf("parallel span %d should beat sequential %d", par.Span, seq.Span)
+	}
+}

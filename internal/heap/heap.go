@@ -1,0 +1,342 @@
+// Package heap models the SIL store: a growable pool of binary nodes, each
+// with an integer value and left/right links (§3.1's "basic building
+// blocks"). It also provides the concrete structural classification
+// (TREE / DAG / CYCLIC) that serves as the ground truth against which the
+// static structure verification is tested.
+package heap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeID identifies a node; 0 is nil.
+type NodeID int32
+
+// Nil is the null handle value.
+const Nil NodeID = 0
+
+// IsNil reports whether the id is the null handle.
+func (id NodeID) IsNil() bool { return id == Nil }
+
+// Field selects a link of a node.
+type Field uint8
+
+// Link fields.
+const (
+	Left Field = iota
+	Right
+)
+
+func (f Field) String() string {
+	if f == Left {
+		return "left"
+	}
+	return "right"
+}
+
+type node struct {
+	value       int64
+	left, right NodeID
+	indeg       int32
+}
+
+// Heap is a store of nodes. The zero value is not usable; call New.
+type Heap struct {
+	nodes  []node // nodes[0] is a sentinel for Nil
+	shared int    // number of nodes with indegree > 1
+}
+
+// New returns an empty heap.
+func New() *Heap { return &Heap{nodes: make([]node, 1)} }
+
+// AnyShared reports whether any node currently has more than one parent —
+// the exact concrete counterpart of the analysis' possible-DAG verdict.
+func (h *Heap) AnyShared() bool { return h.shared > 0 }
+
+// Indegree returns the number of parents of id.
+func (h *Heap) Indegree(id NodeID) int32 {
+	if id.IsNil() || int(id) >= len(h.nodes) {
+		return 0
+	}
+	return h.nodes[id].indeg
+}
+
+func (h *Heap) bumpIndeg(id NodeID, delta int32) {
+	if id.IsNil() {
+		return
+	}
+	before := h.nodes[id].indeg
+	h.nodes[id].indeg = before + delta
+	after := h.nodes[id].indeg
+	if before <= 1 && after > 1 {
+		h.shared++
+	}
+	if before > 1 && after <= 1 {
+		h.shared--
+	}
+}
+
+// Alloc creates a fresh node with zero value and nil links.
+func (h *Heap) Alloc() NodeID {
+	h.nodes = append(h.nodes, node{})
+	return NodeID(len(h.nodes) - 1)
+}
+
+// Len returns the number of allocated nodes.
+func (h *Heap) Len() int { return len(h.nodes) - 1 }
+
+func (h *Heap) check(id NodeID) error {
+	if id.IsNil() {
+		return fmt.Errorf("nil handle dereference")
+	}
+	if int(id) >= len(h.nodes) || id < 0 {
+		return fmt.Errorf("dangling handle %d", id)
+	}
+	return nil
+}
+
+// Value reads the value field.
+func (h *Heap) Value(id NodeID) (int64, error) {
+	if err := h.check(id); err != nil {
+		return 0, err
+	}
+	return h.nodes[id].value, nil
+}
+
+// SetValue writes the value field.
+func (h *Heap) SetValue(id NodeID, v int64) error {
+	if err := h.check(id); err != nil {
+		return err
+	}
+	h.nodes[id].value = v
+	return nil
+}
+
+// Link reads the left or right field.
+func (h *Heap) Link(id NodeID, f Field) (NodeID, error) {
+	if err := h.check(id); err != nil {
+		return Nil, err
+	}
+	if f == Left {
+		return h.nodes[id].left, nil
+	}
+	return h.nodes[id].right, nil
+}
+
+// SetLink writes the left or right field.
+func (h *Heap) SetLink(id NodeID, f Field, to NodeID) error {
+	if err := h.check(id); err != nil {
+		return err
+	}
+	if !to.IsNil() {
+		if err := h.check(to); err != nil {
+			return err
+		}
+	}
+	if f == Left {
+		h.bumpIndeg(h.nodes[id].left, -1)
+		h.nodes[id].left = to
+	} else {
+		h.bumpIndeg(h.nodes[id].right, -1)
+		h.nodes[id].right = to
+	}
+	h.bumpIndeg(to, 1)
+	return nil
+}
+
+// HasCycleFrom reports whether a directed cycle is reachable from roots.
+func (h *Heap) HasCycleFrom(roots ...NodeID) bool {
+	return h.hasCycle(h.Reachable(roots...))
+}
+
+// Shape is the concrete structural classification of (a region of) the
+// heap, mirroring §3.1's definitions: TREE — every node has at most one
+// parent; DAG — some node has more than one parent but there is no directed
+// cycle; CYCLIC — a directed cycle exists.
+type Shape uint8
+
+// Concrete shapes.
+const (
+	Tree Shape = iota
+	DAG
+	Cyclic
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Tree:
+		return "TREE"
+	case DAG:
+		return "DAG"
+	case Cyclic:
+		return "CYCLE"
+	}
+	return "?"
+}
+
+// Classify computes the concrete shape of the subgraph reachable from the
+// given roots.
+func (h *Heap) Classify(roots ...NodeID) Shape {
+	indeg := map[NodeID]int{}
+	seen := map[NodeID]bool{}
+	var stack []NodeID
+	push := func(id NodeID) {
+		if !id.IsNil() && !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range []NodeID{h.nodes[id].left, h.nodes[id].right} {
+			if next.IsNil() {
+				continue
+			}
+			indeg[next]++
+			push(next)
+		}
+	}
+	if h.hasCycle(seen) {
+		return Cyclic
+	}
+	for _, d := range indeg {
+		if d > 1 {
+			return DAG
+		}
+	}
+	return Tree
+}
+
+// hasCycle runs an iterative three-color DFS over the given node set.
+func (h *Heap) hasCycle(nodes map[NodeID]bool) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[NodeID]int{}
+	type frame struct {
+		id   NodeID
+		next int // 0 = left pending, 1 = right pending, 2 = done
+	}
+	for start := range nodes {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{id: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next == 2 {
+				color[f.id] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			var child NodeID
+			if f.next == 0 {
+				child = h.nodes[f.id].left
+			} else {
+				child = h.nodes[f.id].right
+			}
+			f.next++
+			if child.IsNil() {
+				continue
+			}
+			switch color[child] {
+			case gray:
+				return true
+			case white:
+				color[child] = gray
+				stack = append(stack, frame{id: child})
+			}
+		}
+	}
+	return false
+}
+
+// Reachable returns the set of nodes reachable from the roots.
+func (h *Heap) Reachable(roots ...NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{}
+	var stack []NodeID
+	push := func(id NodeID) {
+		if !id.IsNil() && !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		push(h.nodes[id].left)
+		push(h.nodes[id].right)
+	}
+	return seen
+}
+
+// Fingerprint renders the subgraph reachable from root as a canonical
+// string (structure and values), used to compare sequential and parallel
+// execution results. Shared substructure and cycles are rendered through
+// first-visit labels, so the fingerprint is well-defined for all shapes.
+func (h *Heap) Fingerprint(root NodeID) string {
+	var b strings.Builder
+	labels := map[NodeID]int{}
+	var walk func(id NodeID)
+	walk = func(id NodeID) {
+		if id.IsNil() {
+			b.WriteString("_")
+			return
+		}
+		if l, ok := labels[id]; ok {
+			fmt.Fprintf(&b, "^%d", l)
+			return
+		}
+		labels[id] = len(labels)
+		fmt.Fprintf(&b, "(%d ", h.nodes[id].value)
+		walk(h.nodes[id].left)
+		b.WriteString(" ")
+		walk(h.nodes[id].right)
+		b.WriteString(")")
+	}
+	// Iterative wrapper is unnecessary: fingerprints are used on test-scale
+	// structures; document the recursion bound at the call sites.
+	walk(root)
+	return b.String()
+}
+
+// BuildBalanced builds a complete binary tree of the given depth (depth 0
+// is a single node), assigning values by preorder index offset. It is the
+// standard workload builder used by tests and benchmarks.
+func (h *Heap) BuildBalanced(depth int, base int64) NodeID {
+	id := h.Alloc()
+	h.nodes[id].value = base
+	if depth > 0 {
+		l := h.BuildBalanced(depth-1, base*2+1)
+		r := h.BuildBalanced(depth-1, base*2+2)
+		_ = h.SetLink(id, Left, l)
+		_ = h.SetLink(id, Right, r)
+	}
+	return id
+}
+
+// BuildList builds a left-spine list of n nodes with the given values
+// (value i at position i), returning the head.
+func (h *Heap) BuildList(n int) NodeID {
+	var head NodeID = Nil
+	for i := n - 1; i >= 0; i-- {
+		id := h.Alloc()
+		h.nodes[id].value = int64(i)
+		if !head.IsNil() {
+			_ = h.SetLink(id, Left, head)
+		}
+		head = id
+	}
+	return head
+}

@@ -1,0 +1,274 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndFields(t *testing.T) {
+	h := New()
+	a := h.Alloc()
+	b := h.Alloc()
+	if a.IsNil() || b.IsNil() || a == b {
+		t.Fatalf("alloc ids: %d %d", a, b)
+	}
+	if err := h.SetValue(a, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.Value(a); v != 7 {
+		t.Errorf("value = %d", v)
+	}
+	if err := h.SetLink(a, Left, b); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := h.Link(a, Left); l != b {
+		t.Errorf("left = %d", l)
+	}
+	if r, _ := h.Link(a, Right); !r.IsNil() {
+		t.Errorf("right = %d", r)
+	}
+	if h.Len() != 2 {
+		t.Errorf("len = %d", h.Len())
+	}
+}
+
+func TestNilAndDanglingErrors(t *testing.T) {
+	h := New()
+	if _, err := h.Value(Nil); err == nil {
+		t.Error("nil deref should fail")
+	}
+	if err := h.SetLink(Nil, Left, Nil); err == nil {
+		t.Error("nil update should fail")
+	}
+	if _, err := h.Link(NodeID(99), Left); err == nil {
+		t.Error("dangling should fail")
+	}
+	a := h.Alloc()
+	if err := h.SetLink(a, Left, NodeID(99)); err == nil {
+		t.Error("dangling target should fail")
+	}
+	if err := h.SetLink(a, Left, Nil); err != nil {
+		t.Errorf("nil target is fine: %v", err)
+	}
+}
+
+func TestClassifyTree(t *testing.T) {
+	h := New()
+	root := h.BuildBalanced(3, 0)
+	if got := h.Classify(root); got != Tree {
+		t.Errorf("balanced tree classified %v", got)
+	}
+}
+
+func TestClassifyDAG(t *testing.T) {
+	h := New()
+	a, b, c := h.Alloc(), h.Alloc(), h.Alloc()
+	h.SetLink(a, Left, b)
+	h.SetLink(a, Right, c)
+	h.SetLink(b, Right, c) // c has two parents
+	if got := h.Classify(a); got != DAG {
+		t.Errorf("diamond classified %v", got)
+	}
+}
+
+func TestClassifyCycle(t *testing.T) {
+	h := New()
+	a, b := h.Alloc(), h.Alloc()
+	h.SetLink(a, Left, b)
+	h.SetLink(b, Left, a)
+	if got := h.Classify(a); got != Cyclic {
+		t.Errorf("cycle classified %v", got)
+	}
+	// Self-loop.
+	h2 := New()
+	s := h2.Alloc()
+	h2.SetLink(s, Right, s)
+	if got := h2.Classify(s); got != Cyclic {
+		t.Errorf("self-loop classified %v", got)
+	}
+}
+
+func TestClassifyScope(t *testing.T) {
+	// A DAG exists in the heap, but not reachable from the given root.
+	h := New()
+	root := h.BuildBalanced(2, 0)
+	a, b, c := h.Alloc(), h.Alloc(), h.Alloc()
+	h.SetLink(a, Left, c)
+	h.SetLink(b, Left, c)
+	if got := h.Classify(root); got != Tree {
+		t.Errorf("unreachable sharing should not affect root: %v", got)
+	}
+	if got := h.Classify(a, b); got != DAG {
+		t.Errorf("shared child: %v", got)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	h := New()
+	root := h.BuildBalanced(2, 0) // 7 nodes
+	lone := h.Alloc()
+	r := h.Reachable(root)
+	if len(r) != 7 {
+		t.Errorf("reachable = %d, want 7", len(r))
+	}
+	if r[lone] {
+		t.Error("lone node should not be reachable")
+	}
+	if len(h.Reachable(Nil)) != 0 {
+		t.Error("nil root reaches nothing")
+	}
+}
+
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	h := New()
+	a := h.BuildBalanced(1, 0)
+	b := h.BuildBalanced(1, 0)
+	if h.Fingerprint(a) != h.Fingerprint(b) {
+		t.Error("identical trees should fingerprint equal")
+	}
+	h.SetValue(b, 99)
+	if h.Fingerprint(a) == h.Fingerprint(b) {
+		t.Error("value change should alter fingerprint")
+	}
+	// Sharing is visible.
+	h2 := New()
+	p, q := h2.Alloc(), h2.Alloc()
+	h2.SetLink(p, Left, q)
+	h2.SetLink(p, Right, q)
+	h3 := New()
+	p3, q3, q4 := h3.Alloc(), h3.Alloc(), h3.Alloc()
+	h3.SetLink(p3, Left, q3)
+	h3.SetLink(p3, Right, q4)
+	if h2.Fingerprint(p) == h3.Fingerprint(p3) {
+		t.Error("shared vs copied children must differ")
+	}
+	// Cycles terminate.
+	hc := New()
+	c := hc.Alloc()
+	hc.SetLink(c, Left, c)
+	_ = hc.Fingerprint(c)
+}
+
+func TestBuildBalancedShape(t *testing.T) {
+	h := New()
+	root := h.BuildBalanced(4, 0)
+	if got := len(h.Reachable(root)); got != 31 {
+		t.Errorf("depth-4 tree has %d nodes, want 31", got)
+	}
+	if h.Classify(root) != Tree {
+		t.Error("built tree should classify TREE")
+	}
+}
+
+func TestBuildList(t *testing.T) {
+	h := New()
+	head := h.BuildList(5)
+	n := 0
+	for id := head; !id.IsNil(); {
+		v, err := h.Value(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(n) {
+			t.Errorf("list value %d at %d", v, n)
+		}
+		n++
+		id, _ = h.Link(id, Left)
+	}
+	if n != 5 {
+		t.Errorf("list length %d", n)
+	}
+	if h.Classify(head) != Tree {
+		t.Error("list is a (degenerate) tree")
+	}
+}
+
+// TestClassifyRandomSound builds random link structures and cross-checks
+// Classify against an independent brute-force classification.
+func TestClassifyRandomSound(t *testing.T) {
+	f := func(seed int64) bool {
+		h := New()
+		const n = 8
+		ids := make([]NodeID, n)
+		for i := range ids {
+			ids[i] = h.Alloc()
+		}
+		s := seed
+		next := func(mod int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int(uint64(s) % uint64(mod))
+			return v
+		}
+		for _, id := range ids {
+			if next(3) > 0 {
+				h.SetLink(id, Left, ids[next(n)])
+			}
+			if next(3) > 0 {
+				h.SetLink(id, Right, ids[next(n)])
+			}
+		}
+		got := h.Classify(ids...)
+		want := bruteClassify(h, ids)
+		if got != want {
+			t.Logf("seed %d: got %v want %v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteClassify recomputes the shape by explicit indegree counting over the
+// reachable region and DFS cycle search along every path (exponential but
+// tiny inputs).
+func bruteClassify(h *Heap, roots []NodeID) Shape {
+	seen := h.Reachable(roots...)
+	// Cycle: DFS from each node with an on-path set.
+	var cyc func(id NodeID, onPath map[NodeID]bool) bool
+	cyc = func(id NodeID, onPath map[NodeID]bool) bool {
+		if id.IsNil() {
+			return false
+		}
+		if onPath[id] {
+			return true
+		}
+		onPath[id] = true
+		defer delete(onPath, id)
+		l, _ := h.Link(id, Left)
+		r, _ := h.Link(id, Right)
+		return cyc(l, onPath) || cyc(r, onPath)
+	}
+	for id := range seen {
+		if cyc(id, map[NodeID]bool{}) {
+			return Cyclic
+		}
+	}
+	indeg := map[NodeID]int{}
+	for id := range seen {
+		l, _ := h.Link(id, Left)
+		r, _ := h.Link(id, Right)
+		if !l.IsNil() {
+			indeg[l]++
+		}
+		if !r.IsNil() {
+			indeg[r]++
+		}
+	}
+	for _, d := range indeg {
+		if d > 1 {
+			return DAG
+		}
+	}
+	return Tree
+}
+
+func TestShapeString(t *testing.T) {
+	if Tree.String() != "TREE" || DAG.String() != "DAG" || Cyclic.String() != "CYCLE" {
+		t.Error("shape strings")
+	}
+	if Left.String() != "left" || Right.String() != "right" {
+		t.Error("field strings")
+	}
+}

@@ -1,0 +1,232 @@
+// Package interfere implements the three interference analyses of §5 of
+// Hendren & Nicolau (1989):
+//
+//   - basic statements (§5.1): location abstraction, the alias function A,
+//     the read/write sets of Figure 5, the pairwise interference set
+//     I(si,sj,p) of Figure 6 and its incremental n-statement extension
+//     (Figure 4);
+//   - procedure calls (§5.2): the argument-relatedness test with the
+//     read-only/update refinement;
+//   - statement sequences (§5.3): relative locations rooted at live
+//     handles (Figures 9–10), valid on TREE-shaped stores.
+package interfere
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/matrix"
+	"repro/internal/sil/ast"
+)
+
+// LocKind is the kind component of the paper's location abstraction.
+type LocKind uint8
+
+// Location kinds: a variable, or one of the three node fields.
+const (
+	VarLoc LocKind = iota
+	LeftLoc
+	RightLoc
+	ValueLoc
+)
+
+func (k LocKind) String() string {
+	switch k {
+	case VarLoc:
+		return "var"
+	case LeftLoc:
+		return "left"
+	case RightLoc:
+		return "right"
+	case ValueLoc:
+		return "value"
+	}
+	return "?"
+}
+
+func kindOf(f ast.Field) LocKind {
+	switch f {
+	case ast.Left:
+		return LeftLoc
+	case ast.Right:
+		return RightLoc
+	default:
+		return ValueLoc
+	}
+}
+
+// Location is the paper's (name, kind) pair: (x, var) is the variable x
+// itself; (a, left/right/value) is a field of the node named by a.
+type Location struct {
+	Name string
+	Kind LocKind
+}
+
+func (l Location) String() string { return fmt.Sprintf("(%s,%s)", l.Name, l.Kind) }
+
+// LocSet is a set of locations.
+type LocSet map[Location]bool
+
+// Add inserts a location.
+func (s LocSet) Add(l Location) { s[l] = true }
+
+// AddAll inserts every location of t.
+func (s LocSet) AddAll(t LocSet) {
+	for l := range t {
+		s[l] = true
+	}
+}
+
+// Intersects reports whether the sets share a location.
+func (s LocSet) Intersects(t LocSet) bool {
+	for l := range s {
+		if t[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersection returns the common locations.
+func (s LocSet) Intersection(t LocSet) LocSet {
+	out := LocSet{}
+	for l := range s {
+		if t[l] {
+			out.Add(l)
+		}
+	}
+	return out
+}
+
+// String renders the set deterministically, in the figures' notation.
+func (s LocSet) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	parts := make([]string, 0, len(s))
+	for l := range s {
+		parts = append(parts, l.String())
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Alias is the paper's A(a, f, p): the set of locations that may be aliased
+// to (a, f). Location (x, f) is in the result iff p[a,x] (or p[x,a])
+// contains S or S?.
+func Alias(a string, f LocKind, p *matrix.Matrix) LocSet {
+	out := LocSet{}
+	out.Add(Location{a, f})
+	ha := matrix.Handle(a)
+	for _, x := range p.Handles() {
+		if x == ha || x.IsSymbolic() {
+			continue
+		}
+		if p.Get(ha, x).HasSame() || p.Get(x, ha).HasSame() {
+			out.Add(Location{string(x), f})
+		}
+	}
+	return out
+}
+
+// ReadWrite computes the paper's R(s, p) and W(s, p) (Figure 5, extended
+// to the scalar-expression granularity Figure 8 itself uses). ok is false
+// for statements outside the basic fragment (blocks, ifs, loops, calls —
+// calls are handled by the coarse-grain §5.2 analysis).
+func ReadWrite(s ast.Stmt, p *matrix.Matrix) (r, w LocSet, ok bool) {
+	r, w = LocSet{}, LocSet{}
+	asg, isAssign := s.(*ast.Assign)
+	if !isAssign {
+		return nil, nil, false
+	}
+	switch lhs := asg.Lhs.(type) {
+	case *ast.VarLV:
+		w.Add(Location{lhs.Name, VarLoc})
+		switch rhs := asg.Rhs.(type) {
+		case *ast.NilLit, *ast.NewExpr:
+			// R = {}
+		case *ast.VarRef:
+			r.Add(Location{rhs.Name, VarLoc})
+		case *ast.FieldRef:
+			r.Add(Location{rhs.Base, VarLoc})
+			r.AddAll(Alias(rhs.Base, kindOf(rhs.Field), p))
+		case *ast.CallExpr:
+			return nil, nil, false
+		default:
+			exprReads(asg.Rhs, p, r)
+		}
+	case *ast.FieldLV:
+		r.Add(Location{lhs.Base, VarLoc})
+		if lhs.Field == ast.Value {
+			exprReads(asg.Rhs, p, r)
+		} else {
+			if v, okV := asg.Rhs.(*ast.VarRef); okV {
+				r.Add(Location{v.Name, VarLoc})
+			}
+		}
+		w.AddAll(Alias(lhs.Base, kindOf(lhs.Field), p))
+	default:
+		return nil, nil, false
+	}
+	return r, w, true
+}
+
+// exprReads collects the read locations of a scalar expression.
+func exprReads(e ast.Expr, p *matrix.Matrix, r LocSet) {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		r.Add(Location{e.Name, VarLoc})
+	case *ast.FieldRef:
+		r.Add(Location{e.Base, VarLoc})
+		r.AddAll(Alias(e.Base, kindOf(e.Field), p))
+	case *ast.Unary:
+		exprReads(e.X, p, r)
+	case *ast.Binary:
+		exprReads(e.X, p, r)
+		exprReads(e.Y, p, r)
+	}
+}
+
+// Interference is the paper's I(si, sj, p): the locations through which
+// the two statements may interfere. The second result is false when either
+// statement is outside the basic fragment.
+func Interference(si, sj ast.Stmt, p *matrix.Matrix) (LocSet, bool) {
+	ri, wi, ok1 := ReadWrite(si, p)
+	rj, wj, ok2 := ReadWrite(sj, p)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	out := LocSet{}
+	rwj := LocSet{}
+	rwj.AddAll(rj)
+	rwj.AddAll(wj)
+	out.AddAll(wi.Intersection(rwj))
+	rwi := LocSet{}
+	rwi.AddAll(ri)
+	rwi.AddAll(wi)
+	out.AddAll(wj.Intersection(rwi))
+	return out, true
+}
+
+// NoInterferenceN reports whether the n statements may all execute in
+// parallel: the incremental scheme of §5.1 — each statement is checked
+// against the accumulated read and write sets of those before it.
+func NoInterferenceN(stmts []ast.Stmt, p *matrix.Matrix) bool {
+	accR, accW := LocSet{}, LocSet{}
+	for _, s := range stmts {
+		r, w, ok := ReadWrite(s, p)
+		if !ok {
+			return false
+		}
+		rw := LocSet{}
+		rw.AddAll(r)
+		rw.AddAll(w)
+		if accW.Intersects(rw) || w.Intersects(accR) {
+			return false
+		}
+		accR.AddAll(r)
+		accW.AddAll(w)
+	}
+	return true
+}

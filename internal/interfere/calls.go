@@ -1,0 +1,186 @@
+package interfere
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/matrix"
+	"repro/internal/sil/ast"
+)
+
+// This file implements §5.2: coarse-grain interference between procedure
+// calls. Two calls do not interfere when every update argument of one is
+// unrelated to every handle argument of the other (in a TREE, unrelated
+// handles root disjoint sub-structures). Without the read-only refinement
+// (useReadOnly=false — the paper's "first approximation", and our E-AB1
+// ablation), every handle argument counts as an update argument.
+
+// callHandleArgs extracts a call's handle-actual names.
+func callHandleArgs(prog *ast.Program, name string, args []ast.Expr) []string {
+	callee := prog.Proc(name)
+	if callee == nil {
+		return nil
+	}
+	var out []string
+	for i, p := range callee.Params {
+		if p.Type != ast.HandleT || i >= len(args) {
+			continue
+		}
+		if v, ok := args[i].(*ast.VarRef); ok {
+			out = append(out, v.Name)
+		}
+	}
+	return out
+}
+
+// callUpdateArgs extracts the actuals bound to update parameters.
+func callUpdateArgs(prog *ast.Program, info *analysis.Info, name string, args []ast.Expr, useReadOnly bool) []string {
+	callee := prog.Proc(name)
+	if callee == nil {
+		return nil
+	}
+	sum := info.Summaries[name]
+	var out []string
+	for i, p := range callee.Params {
+		if p.Type != ast.HandleT || i >= len(args) {
+			continue
+		}
+		if useReadOnly && sum != nil && sum.ReadOnlyParam(i) {
+			continue
+		}
+		if v, ok := args[i].(*ast.VarRef); ok {
+			out = append(out, v.Name)
+		}
+	}
+	return out
+}
+
+// unrelated implements the §5.2 test p[x,y] = p[y,x] = {} (same names are
+// trivially related).
+func unrelated(p *matrix.Matrix, x, y string) bool {
+	if x == y {
+		return false
+	}
+	return !p.Related(matrix.Handle(x), matrix.Handle(y))
+}
+
+// CallsInterfere decides whether two procedure calls may interfere when
+// executed in parallel from a program point with path matrix p. Scalar
+// arguments never interfere (call-by-value); handle arguments interfere
+// through the structure per the paper's rule.
+func CallsInterfere(prog *ast.Program, info *analysis.Info, p *matrix.Matrix,
+	c1, c2 *ast.CallStmt, useReadOnly bool) bool {
+	args1 := callHandleArgs(prog, c1.Name, c1.Args)
+	args2 := callHandleArgs(prog, c2.Name, c2.Args)
+	upd1 := callUpdateArgs(prog, info, c1.Name, c1.Args, useReadOnly)
+	upd2 := callUpdateArgs(prog, info, c2.Name, c2.Args, useReadOnly)
+	for _, u := range upd1 {
+		for _, y := range args2 {
+			if !unrelated(p, u, y) {
+				return true
+			}
+		}
+	}
+	for _, u := range upd2 {
+		for _, x := range args1 {
+			if !unrelated(p, u, x) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmtHandleUses lists the handles a basic statement reads or writes
+// through, and whether it writes into the structure at all.
+func stmtHandleUses(s *ast.Assign) (reads, writes []string, writesVar string) {
+	switch lhs := s.Lhs.(type) {
+	case *ast.VarLV:
+		writesVar = lhs.Name
+	case *ast.FieldLV:
+		writes = append(writes, lhs.Base)
+	}
+	var scan func(e ast.Expr)
+	scan = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.VarRef:
+			reads = append(reads, e.Name)
+		case *ast.FieldRef:
+			reads = append(reads, e.Base)
+		case *ast.Unary:
+			scan(e.X)
+		case *ast.Binary:
+			scan(e.X)
+			scan(e.Y)
+		}
+	}
+	scan(s.Rhs)
+	return reads, writes, writesVar
+}
+
+// StmtCallInterfere decides whether a basic statement and a procedure call
+// may interfere when run in parallel: the statement's structure accesses
+// must be unrelated to the call's update arguments, its structure writes
+// unrelated to every argument, and it must not write a variable the call
+// passes (the call reads its argument variables).
+func StmtCallInterfere(prog *ast.Program, info *analysis.Info, p *matrix.Matrix,
+	s ast.Stmt, call *ast.CallStmt, useReadOnly bool) bool {
+	asg, ok := s.(*ast.Assign)
+	if !ok {
+		return true // not basic: be conservative
+	}
+	args := callHandleArgs(prog, call.Name, call.Args)
+	upd := callUpdateArgs(prog, info, call.Name, call.Args, useReadOnly)
+	reads, writes, writesVar := stmtHandleUses(asg)
+	// A variable the call evaluates (either type) must not be overwritten.
+	if writesVar != "" {
+		for _, a := range call.Args {
+			if v, okV := a.(*ast.VarRef); okV && v.Name == writesVar {
+				return true
+			}
+		}
+	}
+	// The statement's heap reads clash with the call's heap writes.
+	isFieldRead := func(name string) bool {
+		// Only dereferences matter; (x, var) reads were handled above.
+		switch rhs := asg.Rhs.(type) {
+		case *ast.FieldRef:
+			return rhs.Base == name
+		default:
+			// Scalar expressions read value fields of every FieldRef base.
+			found := false
+			var scan func(e ast.Expr)
+			scan = func(e ast.Expr) {
+				if fr, okF := e.(*ast.FieldRef); okF && fr.Base == name {
+					found = true
+				}
+				switch e := e.(type) {
+				case *ast.Unary:
+					scan(e.X)
+				case *ast.Binary:
+					scan(e.X)
+					scan(e.Y)
+				}
+			}
+			scan(asg.Rhs)
+			return found
+		}
+	}
+	for _, h := range reads {
+		if !isFieldRead(h) {
+			continue
+		}
+		for _, u := range upd {
+			if !unrelated(p, h, u) {
+				return true
+			}
+		}
+	}
+	// The statement's heap writes clash with anything the call can reach.
+	for _, h := range writes {
+		for _, a := range args {
+			if !unrelated(p, h, a) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,502 @@
+package interfere
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/matrix"
+	"repro/internal/path"
+	"repro/internal/sil/ast"
+	"repro/internal/sil/parser"
+	"repro/internal/sil/types"
+)
+
+// fig6Matrix builds the tree and matrix at the top of Figure 6:
+// a and b are handles to the same node; c and d hang below with
+// p[c,d] = {S?, R+?}.
+func fig6Matrix(t *testing.T) *matrix.Matrix {
+	t.Helper()
+	m := matrix.New()
+	nonNil := matrix.Attr{Nil: matrix.NonNil, Indeg: matrix.UnknownDeg}
+	for _, h := range []matrix.Handle{"a", "b", "c", "d"} {
+		m.Add(h, nonNil)
+	}
+	m.Put("a", "b", path.MustParseSet("S"))
+	m.Put("b", "a", path.MustParseSet("S"))
+	m.Put("a", "d", path.MustParseSet("D+"))
+	m.Put("b", "d", path.MustParseSet("D+"))
+	m.Put("c", "d", path.MustParseSet("S?, R+?"))
+	m.Put("d", "c", path.MustParseSet("S?"))
+	// Scalar variables referenced by the examples.
+	return m
+}
+
+func parseStmt(t *testing.T, src string) ast.Stmt {
+	t.Helper()
+	stmts, err := parser.ParseStmts(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return stmts[0]
+}
+
+// TestFig6Example1: variable interference — x := a.left writes x, y := x
+// reads it.
+func TestFig6Example1(t *testing.T) {
+	p := fig6Matrix(t)
+	s1 := parseStmt(t, "x := a.left")
+	s2 := parseStmt(t, "y := x")
+	got, ok := Interference(s1, s2, p)
+	if !ok {
+		t.Fatal("statements should be basic")
+	}
+	if want := "{(x,var)}"; got.String() != want {
+		t.Errorf("I(s1,s2) = %s, want %s", got, want)
+	}
+}
+
+// TestFig6Example2: field interference through aliases — x := a.left reads
+// the left field that b.left := nil writes (a and b are the same node).
+func TestFig6Example2(t *testing.T) {
+	p := fig6Matrix(t)
+	s1 := parseStmt(t, "x := a.left")
+	s2 := parseStmt(t, "b.left := nil")
+	r1, w1, _ := ReadWrite(s1, p)
+	if want := "{(a,left),(a,var),(b,left)}"; r1.String() != want {
+		t.Errorf("R(s1) = %s, want %s", r1, want)
+	}
+	if want := "{(x,var)}"; w1.String() != want {
+		t.Errorf("W(s1) = %s, want %s", w1, want)
+	}
+	_, w2, _ := ReadWrite(s2, p)
+	if want := "{(a,left),(b,left)}"; w2.String() != want {
+		t.Errorf("W(s2) = %s, want %s", w2, want)
+	}
+	got, _ := Interference(s1, s2, p)
+	if want := "{(a,left),(b,left)}"; got.String() != want {
+		t.Errorf("I(s1,s2) = %s, want %s", got, want)
+	}
+}
+
+// TestFig6Example3: conservative interference — c and d may be the same
+// node, so n := d.value and c.value := 0 may clash on the value field.
+func TestFig6Example3(t *testing.T) {
+	p := fig6Matrix(t)
+	s1 := parseStmt(t, "n := d.value")
+	s2 := parseStmt(t, "c.value := 0")
+	r1, _, _ := ReadWrite(s1, p)
+	if want := "{(c,value),(d,value),(d,var)}"; r1.String() != want {
+		t.Errorf("R(s1) = %s, want %s", r1, want)
+	}
+	_, w2, _ := ReadWrite(s2, p)
+	if want := "{(c,value),(d,value)}"; w2.String() != want {
+		t.Errorf("W(s2) = %s, want %s", w2, want)
+	}
+	got, _ := Interference(s1, s2, p)
+	if want := "{(c,value),(d,value)}"; got.String() != want {
+		t.Errorf("I(s1,s2) = %s, want %s", got, want)
+	}
+}
+
+// TestFig5ReadWriteSets covers every row of Figure 5.
+func TestFig5ReadWriteSets(t *testing.T) {
+	p := fig6Matrix(t)
+	cases := []struct {
+		src   string
+		wantR string
+		wantW string
+	}{
+		{"a := nil", "{}", "{(a,var)}"},
+		{"a := new()", "{}", "{(a,var)}"},
+		{"a := b", "{(b,var)}", "{(a,var)}"},
+		{"a := b.left", "{(a,left),(b,left),(b,var)}", "{(a,var)}"}, // A(b,left,p) includes the alias a
+		{"a.left := b", "{(a,var),(b,var)}", "{(a,left),(b,left)}"},
+		{"x := a.value", "{(a,value),(a,var),(b,value)}", "{(x,var)}"},
+		{"a.value := x", "{(a,var),(x,var)}", "{(a,value),(b,value)}"},
+	}
+	for _, c := range cases {
+		r, w, ok := ReadWrite(parseStmt(t, c.src), p)
+		if !ok {
+			t.Errorf("%q should be basic", c.src)
+			continue
+		}
+		if r.String() != c.wantR {
+			t.Errorf("R(%q) = %s, want %s", c.src, r, c.wantR)
+		}
+		if w.String() != c.wantW {
+			t.Errorf("W(%q) = %s, want %s", c.src, w, c.wantW)
+		}
+	}
+}
+
+func TestNoInterferenceNFusion(t *testing.T) {
+	// Figure 8's three-way parallel statement inside add_n.
+	m := matrix.New()
+	nonNil := matrix.Attr{Nil: matrix.NonNil, Indeg: matrix.UnknownDeg}
+	m.Add("h", nonNil)
+	m.Add("l", matrix.Attr{Nil: matrix.DefNil, Indeg: matrix.Root})
+	m.Add("r", matrix.Attr{Nil: matrix.DefNil, Indeg: matrix.Root})
+	m.Add("n", nonNil) // n is an int; harmless in the matrix
+	stmts := []ast.Stmt{
+		parseStmt(t, "h.value := h.value + n"),
+		parseStmt(t, "l := h.left"),
+		parseStmt(t, "r := h.right"),
+	}
+	if !NoInterferenceN(stmts, m) {
+		t.Error("the Figure 8 triple should fuse")
+	}
+	// Adding a conflicting fourth statement breaks it.
+	bad := append(append([]ast.Stmt{}, stmts...), parseStmt(t, "l := h.right"))
+	if NoInterferenceN(bad, m) {
+		t.Error("duplicate write of l must interfere")
+	}
+	// Value write vs value read through a possible alias.
+	m2 := fig6Matrix(t)
+	pair := []ast.Stmt{parseStmt(t, "n := d.value"), parseStmt(t, "c.value := 0")}
+	if NoInterferenceN(pair, m2) {
+		t.Error("Figure 6 example 3 must interfere")
+	}
+}
+
+// ------------------------- §5.2 procedure calls -------------------------
+
+func analyzeFig7(t *testing.T) *analysis.Info {
+	t.Helper()
+	src := `
+program add_and_reverse
+procedure main()
+  root, lside, rside: handle; i: int
+begin
+  root := new();
+  build(root, 5);
+  lside := root.left;
+  rside := root.right;
+  add_n(lside, 1);
+  add_n(rside, -1);
+  reverse(root)
+end;
+procedure build(h: handle; d: int)
+  l, r: handle
+begin
+  if d > 0 then
+  begin
+    l := new();
+    r := new();
+    h.left := l;
+    h.right := r;
+    build(l, d - 1);
+    build(r, d - 1)
+  end
+end;
+procedure add_n(h: handle; n: int)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    h.value := h.value + n;
+    l := h.left;
+    r := h.right;
+    add_n(l, n);
+    add_n(r, n)
+  end
+end;
+procedure reverse(h: handle)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    l := h.left;
+    r := h.right;
+    reverse(l);
+    reverse(r);
+    h.left := r;
+    h.right := l
+  end
+end;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := types.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	types.Normalize(prog)
+	info, err := analysis.Analyze(prog, analysis.Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info
+}
+
+func findCallStmt(prog *ast.Program, proc, callee string, n int) *ast.CallStmt {
+	var out *ast.CallStmt
+	count := 0
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *ast.Par:
+			for _, st := range s.Branches {
+				walk(st)
+			}
+		case *ast.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.While:
+			walk(s.Body)
+		case *ast.CallStmt:
+			if s.Name == callee {
+				if count == n {
+					out = s
+				}
+				count++
+			}
+		}
+	}
+	walk(prog.Proc(proc).Body)
+	return out
+}
+
+// TestFig7CallsDoNotInterfere: the two add_n calls at point A, and the
+// recursive call pairs inside add_n and reverse, are all independent.
+func TestFig7CallsDoNotInterfere(t *testing.T) {
+	info := analyzeFig7(t)
+	cases := []struct{ proc, callee string }{
+		{"main", "add_n"},
+		{"add_n", "add_n"},
+		{"reverse", "reverse"},
+	}
+	for _, c := range cases {
+		c1 := findCallStmt(info.Prog, c.proc, c.callee, 0)
+		c2 := findCallStmt(info.Prog, c.proc, c.callee, 1)
+		if c1 == nil || c2 == nil {
+			t.Fatalf("calls to %s in %s not found", c.callee, c.proc)
+		}
+		p := info.Before[c1]
+		if p == nil {
+			t.Fatalf("no matrix before first %s call in %s", c.callee, c.proc)
+		}
+		if CallsInterfere(info.Prog, info, p, c1, c2, true) {
+			t.Errorf("%s calls in %s should not interfere", c.callee, c.proc)
+		}
+		// The first approximation (no read-only refinement) also proves
+		// these, because the arguments are unrelated.
+		if CallsInterfere(info.Prog, info, p, c1, c2, false) {
+			t.Errorf("%s calls in %s should not interfere even coarsely", c.callee, c.proc)
+		}
+	}
+}
+
+// TestCallsSameArgInterfere: passing the same handle to two updating calls
+// interferes; read-only calls on the same argument do not (the §5.2
+// refinement), but only when the refinement is enabled.
+func TestCallsSameArgInterfere(t *testing.T) {
+	src := `
+program sharing
+procedure main()
+  root: handle; x, y: int
+begin
+  root := new();
+  bump(root);
+  bump(root);
+  x := peek(root);
+  y := peek(root)
+end;
+procedure bump(h: handle)
+begin
+  if h <> nil then h.value := h.value + 1
+end;
+function peek(h: handle): int
+  v: int
+begin
+  if h <> nil then v := h.value
+end
+return (v);
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := types.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	types.Normalize(prog)
+	info, err := analysis.Analyze(prog, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := findCallStmt(prog, "main", "bump", 0)
+	b2 := findCallStmt(prog, "main", "bump", 1)
+	p := info.Before[b1]
+	if !CallsInterfere(prog, info, p, b1, b2, true) {
+		t.Error("two bump(root) calls must interfere")
+	}
+	// peek is read-only: simulate two calls via synthetic CallStmts.
+	pk := &ast.CallStmt{Name: "peek", Args: b1.Args}
+	if CallsInterfere(prog, info, p, pk, pk, true) {
+		t.Error("two peek(root) calls should not interfere with refinement")
+	}
+	if !CallsInterfere(prog, info, p, pk, pk, false) {
+		t.Error("without the refinement, same-argument calls interfere")
+	}
+}
+
+// TestStmtCallInterference: a basic statement against a call.
+func TestStmtCallInterference(t *testing.T) {
+	info := analyzeFig7(t)
+	call := findCallStmt(info.Prog, "main", "add_n", 0) // add_n(lside,1)
+	p := info.Before[call]
+	// Writing rside's value does not disturb add_n(lside, 1).
+	s := parseStmt(t, "rside.value := 0")
+	if StmtCallInterfere(info.Prog, info, p, s, call, true) {
+		t.Error("rside write vs add_n(lside) should not interfere")
+	}
+	// Writing lside's value does.
+	s2 := parseStmt(t, "lside.value := 0")
+	if !StmtCallInterfere(info.Prog, info, p, s2, call, true) {
+		t.Error("lside write vs add_n(lside) must interfere")
+	}
+	// Reassigning the variable passed as argument interferes (the call
+	// reads it).
+	s3 := parseStmt(t, "lside := nil")
+	if !StmtCallInterfere(info.Prog, info, p, s3, call, true) {
+		t.Error("overwriting the argument variable must interfere")
+	}
+	// Reading root's value vs an updating call on lside: root is related
+	// to lside, but add_n only writes value fields below lside, and root's
+	// own value is above — still conservative: related ⇒ interfere.
+	s4 := parseStmt(t, "i := root.value")
+	if !StmtCallInterfere(info.Prog, info, p, s4, call, true) {
+		t.Error("conservative: root related to lside ⇒ interfere")
+	}
+}
+
+// ------------------------- §5.3 statement sequences -------------------------
+
+func TestSequencesDisjointSubtrees(t *testing.T) {
+	info := analyzeFig7(t)
+	// At point A: U touches lside's subtree, V touches rside's.
+	callA := findCallStmt(info.Prog, "main", "add_n", 0)
+	p0 := info.Before[callA]
+	U := []ast.Stmt{parseStmt(t, "lside.value := 1")}
+	V := []ast.Stmt{parseStmt(t, "rside.value := 2")}
+	interferes, err := SequencesInterfere(info, "main", p0, U, V, true)
+	if err != nil {
+		t.Fatalf("SequencesInterfere: %v", err)
+	}
+	if interferes {
+		t.Error("disjoint subtree sequences should not interfere")
+	}
+	// Same subtree: interference.
+	V2 := []ast.Stmt{parseStmt(t, "lside.value := 2")}
+	interferes, err = SequencesInterfere(info, "main", p0, U, V2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interferes {
+		t.Error("same-location sequences must interfere")
+	}
+}
+
+func TestSequencesWithCalls(t *testing.T) {
+	info := analyzeFig7(t)
+	c1 := findCallStmt(info.Prog, "main", "add_n", 0)
+	c2 := findCallStmt(info.Prog, "main", "add_n", 1)
+	p0 := info.Before[c1]
+	interferes, err := SequencesInterfere(info, "main", p0, []ast.Stmt{c1}, []ast.Stmt{c2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interferes {
+		t.Error("add_n(lside) ; add_n(rside) as sequences should not interfere")
+	}
+	// add_n(lside) vs a read of lside's region.
+	U := []ast.Stmt{c1}
+	V := []ast.Stmt{parseStmt(t, "i := lside.value")}
+	interferes, err = SequencesInterfere(info, "main", p0, U, V, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interferes {
+		t.Error("updating call vs read of same region must interfere")
+	}
+}
+
+func TestSequencesRequireTree(t *testing.T) {
+	info := analyzeFig7(t)
+	callA := findCallStmt(info.Prog, "main", "add_n", 0)
+	p0 := info.Before[callA].Copy()
+	p0.SetShape(matrix.ShapeMaybeDAG)
+	_, err := SequencesInterfere(info, "main", p0,
+		[]ast.Stmt{parseStmt(t, "lside.value := 1")},
+		[]ast.Stmt{parseStmt(t, "rside.value := 2")}, true)
+	if err != ErrNotTree {
+		t.Errorf("want ErrNotTree, got %v", err)
+	}
+}
+
+func TestRelConflictTranslation(t *testing.T) {
+	// Roots related by L1: (root, value, L1) and (lside, value, S) clash.
+	m := matrix.New()
+	nonNil := matrix.Attr{Nil: matrix.NonNil, Indeg: matrix.UnknownDeg}
+	m.Add("root", nonNil)
+	m.Add("lside", nonNil)
+	m.Put("root", "lside", path.MustParseSet("L1"))
+	a := RelLocation{"root", ValueLoc, path.MustParseSet("L1")}
+	b := RelLocation{"lside", ValueLoc, path.MustParseSet("S")}
+	if !RelConflict(a, b, m) {
+		t.Error("L1-from-root and S-from-lside are the same node")
+	}
+	c := RelLocation{"root", ValueLoc, path.MustParseSet("R1")}
+	if RelConflict(c, b, m) {
+		t.Error("R1-from-root is not lside")
+	}
+	// Different fields never conflict.
+	d := RelLocation{"root", LeftLoc, path.MustParseSet("L1")}
+	if RelConflict(d, b, m) {
+		t.Error("left vs value cannot conflict")
+	}
+	// Var locations conflict by name.
+	v1 := RelLocation{"x", VarLoc, sameS}
+	v2 := RelLocation{"x", VarLoc, sameS}
+	if !RelConflict(v1, v2, m) {
+		t.Error("same variable conflicts")
+	}
+	if RelConflict(v1, RelLocation{"y", VarLoc, sameS}, m) {
+		t.Error("different variables do not conflict")
+	}
+}
+
+func TestUsedBeforeDefined(t *testing.T) {
+	src := `
+program ubd
+procedure main()
+  a, b, c: handle; x: int
+begin
+  a := new();
+  b := a.left;
+  x := c.value
+end;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Proc("main")
+	live := UsedBeforeDefined(d, d.Body.Stmts)
+	if live["a"] {
+		t.Error("a is defined first; not live-in")
+	}
+	if !live["c"] {
+		t.Error("c is used before defined")
+	}
+	if live["b"] {
+		t.Error("b is defined before use")
+	}
+}

@@ -1,0 +1,358 @@
+package interfere
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/matrix"
+	"repro/internal/path"
+	"repro/internal/sil/ast"
+)
+
+// This file implements §5.3: interference between statement sequences U
+// and V executed from the same program point (Figure 9). Locations are
+// relative: (name, field, access-path) where name is a live root handle
+// and the access path is a set of path expressions from that root
+// (Figure 10). The method is valid when the store is a TREE at the initial
+// point; the paper's induction on tree height fails for DAGs, and
+// SequencesInterfere refuses accordingly.
+
+// ErrNotTree reports that the §5.3 analysis was applied to a store that
+// may not be a TREE.
+var ErrNotTree = errors.New("interfere: sequence analysis requires a TREE store at the initial point")
+
+// RelLocation is the paper's relative location triple.
+type RelLocation struct {
+	Root  string
+	Kind  LocKind
+	Paths path.Set
+}
+
+func (l RelLocation) String() string {
+	return fmt.Sprintf("(%s,%s,%s)", l.Root, l.Kind, l.Paths)
+}
+
+// RelSet is a set of relative locations.
+type RelSet []RelLocation
+
+// String renders deterministically.
+func (s RelSet) String() string {
+	parts := make([]string, len(s))
+	for i, l := range s {
+		parts[i] = l.String()
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (s *RelSet) add(l RelLocation) {
+	if l.Kind != VarLoc && l.Paths.IsEmpty() {
+		return
+	}
+	*s = append(*s, l)
+}
+
+// RelAlias is the paper's A^r(h, f, L, p): the relative locations possibly
+// aliased to h.f, expressed from the live roots. When h itself is live,
+// the diagonal S entry contributes (h, f, S) automatically.
+func RelAlias(h string, f LocKind, live map[string]bool, p *matrix.Matrix) RelSet {
+	var out RelSet
+	for l := range live {
+		rel := p.Get(matrix.Handle(l), matrix.Handle(h))
+		if !rel.IsEmpty() {
+			out.add(RelLocation{Root: l, Kind: f, Paths: rel})
+		}
+	}
+	return out
+}
+
+// sameS is the access path {S}.
+var sameS = path.NewSet(path.Same())
+
+// relReadWrite computes R^r(s, p, L) and W^r(s, p, L) for one basic
+// statement (Figure 10, extended to scalar expressions and calls; for a
+// call, every node reachable from a handle argument is readable and every
+// node reachable from an update argument is writable — the D* closure).
+func relReadWrite(prog *ast.Program, info *analysis.Info, s ast.Stmt, p *matrix.Matrix,
+	live map[string]bool, useReadOnly bool) (r, w RelSet, ok bool) {
+	switch s := s.(type) {
+	case *ast.Assign:
+		switch lhs := s.Lhs.(type) {
+		case *ast.VarLV:
+			w.add(RelLocation{lhs.Name, VarLoc, sameS})
+			switch rhs := s.Rhs.(type) {
+			case *ast.NilLit, *ast.NewExpr:
+			case *ast.VarRef:
+				r.add(RelLocation{rhs.Name, VarLoc, sameS})
+			case *ast.FieldRef:
+				r.add(RelLocation{rhs.Base, VarLoc, sameS})
+				r = append(r, RelAlias(rhs.Base, kindOf(rhs.Field), live, p)...)
+			case *ast.CallExpr:
+				cr, cw := relCall(prog, info, p, live, rhs.Name, rhs.Args, useReadOnly)
+				r = append(r, cr...)
+				w = append(w, cw...)
+			default:
+				relExprReads(s.Rhs, p, live, &r)
+			}
+		case *ast.FieldLV:
+			r.add(RelLocation{lhs.Base, VarLoc, sameS})
+			if lhs.Field == ast.Value {
+				relExprReads(s.Rhs, p, live, &r)
+			} else if v, okV := s.Rhs.(*ast.VarRef); okV {
+				r.add(RelLocation{v.Name, VarLoc, sameS})
+			}
+			w = append(w, RelAlias(lhs.Base, kindOf(lhs.Field), live, p)...)
+		}
+		return r, w, true
+	case *ast.CallStmt:
+		cr, cw := relCall(prog, info, p, live, s.Name, s.Args, useReadOnly)
+		return cr, cw, true
+	}
+	return nil, nil, false
+}
+
+// relCall abstracts a call's effects as relative locations: each handle
+// argument contributes its whole subtree (paths p[l,arg]·D*) as reads, and
+// each update argument contributes it as writes, across all three fields.
+func relCall(prog *ast.Program, info *analysis.Info, p *matrix.Matrix, live map[string]bool,
+	name string, args []ast.Expr, useReadOnly bool) (r, w RelSet) {
+	star := path.NewSet(path.SamePossible(), path.NewPossible(path.Plus(path.DownD)))
+	handleArgs := callHandleArgs(prog, name, args)
+	updateArgs := map[string]bool{}
+	for _, u := range callUpdateArgs(prog, info, name, args, useReadOnly) {
+		updateArgs[u] = true
+	}
+	// The call reads its argument variables (of either type).
+	for _, a := range args {
+		if v, ok := a.(*ast.VarRef); ok {
+			r.add(RelLocation{v.Name, VarLoc, sameS})
+		}
+	}
+	fields := []LocKind{LeftLoc, RightLoc, ValueLoc}
+	for _, h := range handleArgs {
+		for l := range live {
+			rel := p.Get(matrix.Handle(l), matrix.Handle(h))
+			if rel.IsEmpty() {
+				continue
+			}
+			sub := rel.ConcatAll(star)
+			for _, f := range fields {
+				r.add(RelLocation{l, f, sub})
+				if updateArgs[h] {
+					w.add(RelLocation{l, f, sub})
+				}
+			}
+		}
+	}
+	return r, w
+}
+
+func relExprReads(e ast.Expr, p *matrix.Matrix, live map[string]bool, r *RelSet) {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		r.add(RelLocation{e.Name, VarLoc, sameS})
+	case *ast.FieldRef:
+		r.add(RelLocation{e.Base, VarLoc, sameS})
+		*r = append(*r, RelAlias(e.Base, kindOf(e.Field), live, p)...)
+	case *ast.Unary:
+		relExprReads(e.X, p, live, r)
+	case *ast.Binary:
+		relExprReads(e.X, p, live, r)
+		relExprReads(e.Y, p, live, r)
+	}
+}
+
+// RelConflict decides whether two relative locations can denote the same
+// concrete location, given the initial-point matrix p0. Variable locations
+// conflict on name equality; field locations need the same field kind and
+// overlapping access paths, translated across roots via p0.
+func RelConflict(a, b RelLocation, p0 *matrix.Matrix) bool {
+	if a.Kind == VarLoc || b.Kind == VarLoc {
+		return a.Kind == VarLoc && b.Kind == VarLoc && a.Root == b.Root
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Root == b.Root {
+		return path.MayOverlapSet(a.Paths, b.Paths)
+	}
+	// Translate b's paths into a's root (and vice versa) via p0.
+	if rel := p0.Get(matrix.Handle(a.Root), matrix.Handle(b.Root)); !rel.IsEmpty() {
+		if path.MayOverlapSet(a.Paths, rel.ConcatAll(b.Paths)) {
+			return true
+		}
+	}
+	if rel := p0.Get(matrix.Handle(b.Root), matrix.Handle(a.Root)); !rel.IsEmpty() {
+		if path.MayOverlapSet(b.Paths, rel.ConcatAll(a.Paths)) {
+			return true
+		}
+	}
+	// Unrelated roots head disjoint subtrees in a TREE.
+	return false
+}
+
+// anyConflict checks W against R∪W location-wise.
+func anyConflict(w, rw RelSet, p0 *matrix.Matrix) bool {
+	for _, x := range w {
+		for _, y := range rw {
+			if RelConflict(x, y, p0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UsedBeforeDefined computes the live-root set L of §5.3 for a sequence:
+// handles read by some statement before any statement of the sequence
+// assigns them.
+func UsedBeforeDefined(d *ast.ProcDecl, seq []ast.Stmt) map[string]bool {
+	used := map[string]bool{}
+	defined := map[string]bool{}
+	isHandle := func(name string) bool {
+		v := d.Lookup(name)
+		return v != nil && v.Type == ast.HandleT
+	}
+	noteUse := func(name string) {
+		if isHandle(name) && !defined[name] {
+			used[name] = true
+		}
+	}
+	var scanExpr func(e ast.Expr)
+	scanExpr = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.VarRef:
+			noteUse(e.Name)
+		case *ast.FieldRef:
+			noteUse(e.Base)
+		case *ast.Unary:
+			scanExpr(e.X)
+		case *ast.Binary:
+			scanExpr(e.X)
+			scanExpr(e.Y)
+		case *ast.CallExpr:
+			for _, a := range e.Args {
+				scanExpr(a)
+			}
+		}
+	}
+	var scanStmt func(s ast.Stmt)
+	scanStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				scanStmt(st)
+			}
+		case *ast.Par:
+			for _, st := range s.Branches {
+				scanStmt(st)
+			}
+		case *ast.If:
+			scanExpr(s.Cond)
+			scanStmt(s.Then)
+			if s.Else != nil {
+				scanStmt(s.Else)
+			}
+		case *ast.While:
+			scanExpr(s.Cond)
+			scanStmt(s.Body)
+		case *ast.CallStmt:
+			for _, a := range s.Args {
+				scanExpr(a)
+			}
+		case *ast.Assign:
+			scanExpr(s.Rhs)
+			switch lhs := s.Lhs.(type) {
+			case *ast.FieldLV:
+				noteUse(lhs.Base)
+			case *ast.VarLV:
+				if isHandle(lhs.Name) {
+					// Straight-line definition kills later uses; inside
+					// branches/loops the definition may not execute, so
+					// only top-level assignments count as definitions.
+					defined[lhs.Name] = true
+				}
+			}
+		}
+	}
+	for _, s := range seq {
+		if asg, ok := s.(*ast.Assign); ok {
+			scanStmt(asg)
+			continue
+		}
+		// Conservatively treat nested statements as uses only.
+		saved := defined
+		defined = map[string]bool{}
+		for k, v := range saved {
+			defined[k] = v
+		}
+		scanStmt(s)
+		defined = saved
+	}
+	return used
+}
+
+// SequencesInterfere implements §5.3: given two statement sequences U and
+// V at a common initial point with matrix p0 inside procedure procName, it
+// decides whether U ‖ V is safe. It returns ErrNotTree when the store may
+// not be a TREE (the method's validity condition).
+func SequencesInterfere(info *analysis.Info, procName string, p0 *matrix.Matrix,
+	U, V []ast.Stmt, useReadOnly bool) (bool, error) {
+	if !p0.Shape().IsTree() {
+		return true, ErrNotTree
+	}
+	d := info.Prog.Proc(procName)
+	if d == nil {
+		return true, fmt.Errorf("interfere: unknown procedure %s", procName)
+	}
+	live := UsedBeforeDefined(d, U)
+	for h := range UsedBeforeDefined(d, V) {
+		live[h] = true
+	}
+	collect := func(seq []ast.Stmt) (RelSet, RelSet, error) {
+		mats, _ := info.Replay(procName, p0, seq)
+		var rAll, wAll RelSet
+		bad := false
+		for s, m := range mats {
+			switch s.(type) {
+			case *ast.Assign, *ast.CallStmt:
+				r, w, ok := relReadWrite(info.Prog, info, s, m, live, useReadOnly)
+				if !ok {
+					bad = true
+					continue
+				}
+				rAll = append(rAll, r...)
+				wAll = append(wAll, w...)
+			case *ast.If:
+				var rs RelSet
+				relExprReads(s.(*ast.If).Cond, m, live, &rs)
+				rAll = append(rAll, rs...)
+			case *ast.While:
+				var rs RelSet
+				relExprReads(s.(*ast.While).Cond, m, live, &rs)
+				rAll = append(rAll, rs...)
+			}
+		}
+		if bad {
+			return nil, nil, fmt.Errorf("interfere: sequence contains non-analyzable statements")
+		}
+		return rAll, wAll, nil
+	}
+	rU, wU, err := collect(U)
+	if err != nil {
+		return true, err
+	}
+	rV, wV, err := collect(V)
+	if err != nil {
+		return true, err
+	}
+	rwU := append(append(RelSet{}, rU...), wU...)
+	rwV := append(append(RelSet{}, rV...), wV...)
+	if anyConflict(wU, rwV, p0) || anyConflict(wV, rwU, p0) {
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,804 @@
+// Package interp executes SIL programs on the concrete heap. It provides:
+//
+//   - call-by-value semantics per §3.2 (handles are node names; passing a
+//     handle copies the name, not the structure);
+//   - the parallel statement s1 || s2 || …, executed either deterministically
+//     (branches in order, used as the semantic reference) or concurrently
+//     with real goroutines (statement-level atomicity);
+//   - work/span accounting: Work is total operation cost (T1), Span is the
+//     critical path (T∞) where parallel branches contribute their maximum;
+//   - a dynamic race detector: in deterministic mode each parallel branch's
+//     read and write locations are recorded and conflicting sibling accesses
+//     are reported — the paper's §1 debugging application, and the oracle
+//     for the static interference analysis' soundness tests;
+//   - optional runtime structure checking (worst concrete shape observed).
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/heap"
+	"repro/internal/sil/ast"
+	"repro/internal/sil/token"
+)
+
+// CostModel assigns abstract time units to operations; the simulated
+// machine in the runtime package schedules these costs.
+type CostModel struct {
+	Stmt int64 // any basic statement
+	Cond int64 // evaluating an if/while condition
+	Call int64 // procedure/function call overhead
+	New  int64 // allocation
+}
+
+// DefaultCosts charges one unit per operation.
+var DefaultCosts = CostModel{Stmt: 1, Cond: 1, Call: 1, New: 1}
+
+// Config controls one execution.
+type Config struct {
+	// MaxSteps bounds the number of executed statements (0 = default).
+	MaxSteps int64
+	// Costs is the cost model (zero value = DefaultCosts).
+	Costs CostModel
+	// DetectRaces records per-branch access sets at every parallel
+	// statement and reports conflicts (deterministic mode only).
+	DetectRaces bool
+	// RecordTrace builds the fork-join trace consumed by the simulated
+	// multiprocessor.
+	RecordTrace bool
+	// CheckStructure classifies the reachable heap after every structure
+	// update and records the worst shape observed.
+	CheckStructure bool
+	// Concurrent executes parallel branches on real goroutines with
+	// statement-level atomicity instead of deterministic order.
+	Concurrent bool
+}
+
+const defaultMaxSteps = 200_000_000
+
+// Race describes one dynamic interference between parallel branches.
+type Race struct {
+	Pos      token.Pos // position of the parallel statement
+	Location string    // conflicting location (variable or node field)
+	Kind     string    // "write/write" or "read/write"
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("%s: %s race on %s", r.Pos, r.Kind, r.Location)
+}
+
+// Trace is a fork-join execution trace. A leaf (no Kids) carries Cost;
+// a Par node runs its Kids concurrently; a non-Par interior node runs them
+// in sequence.
+type Trace struct {
+	Par  bool
+	Cost int64
+	Kids []*Trace
+}
+
+// Work returns the total cost of the trace (T1).
+func (t *Trace) Work() int64 {
+	if t == nil {
+		return 0
+	}
+	w := t.Cost
+	for _, k := range t.Kids {
+		w += k.Work()
+	}
+	return w
+}
+
+// Span returns the critical-path cost of the trace (T∞).
+func (t *Trace) Span() int64 {
+	if t == nil {
+		return 0
+	}
+	if t.Par {
+		var max int64
+		for _, k := range t.Kids {
+			if s := k.Span(); s > max {
+				max = s
+			}
+		}
+		return t.Cost + max
+	}
+	s := t.Cost
+	for _, k := range t.Kids {
+		s += k.Span()
+	}
+	return s
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Heap  *heap.Heap
+	Env   map[string]Value // main's variables at exit
+	Work  int64            // T1
+	Span  int64            // T∞
+	Steps int64
+	Races []Race
+	Trace *Trace
+	Shape heap.Shape // worst shape observed (CheckStructure only)
+}
+
+// Value is a SIL runtime value.
+type Value struct {
+	IsHandle bool
+	Int      int64
+	Node     heap.NodeID
+}
+
+// IntV makes an int value.
+func IntV(v int64) Value { return Value{Int: v} }
+
+// HandleV makes a handle value.
+func HandleV(id heap.NodeID) Value { return Value{IsHandle: true, Node: id} }
+
+func (v Value) String() string {
+	if v.IsHandle {
+		if v.Node.IsNil() {
+			return "nil"
+		}
+		return fmt.Sprintf("node#%d", v.Node)
+	}
+	return fmt.Sprintf("%d", v.Int)
+}
+
+// Run executes prog starting at main. Setup, when non-nil, runs against the
+// fresh heap and main's frame before the body (tests and benchmarks use it
+// to build input structures "… build a tree at root …" as the paper's
+// Figure 7 comment does).
+func Run(prog *ast.Program, cfg Config, setup func(h *heap.Heap, env map[string]Value)) (*Result, error) {
+	main := prog.Proc("main")
+	if main == nil {
+		return nil, fmt.Errorf("interp: program has no main")
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = defaultMaxSteps
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts
+	}
+	ex := &exec{prog: prog, cfg: cfg, heap: heap.New()}
+	fr := ex.newFrame(main)
+	if setup != nil {
+		setup(ex.heap, fr.vars)
+	}
+	var tr *Trace
+	if cfg.RecordTrace {
+		tr = &Trace{}
+	}
+	w, s, err := ex.stmt(fr, main.Body, tr)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Heap: ex.heap, Env: fr.vars, Work: w, Span: s,
+		Steps: ex.steps, Races: ex.races, Trace: tr, Shape: ex.worst,
+	}
+	return res, nil
+}
+
+type frame struct {
+	decl *ast.ProcDecl
+	vars map[string]Value
+	id   int
+}
+
+type exec struct {
+	prog  *ast.Program
+	cfg   Config
+	heap  *heap.Heap
+	steps int64
+	races []Race
+	worst heap.Shape
+
+	// concMu serializes every basic statement in concurrent mode: the heap
+	// and the frames are shared between parallel branches, and the paper's
+	// parallel statements assume basic statements as atomic units.
+	concMu sync.Mutex
+	// stepMu guards the step and frame counters in concurrent mode.
+	stepMu sync.Mutex
+	frames int
+	access []*accessSet // stack of active race-detection collectors
+}
+
+type accessSet struct {
+	reads  map[string]bool
+	writes map[string]bool
+}
+
+func newAccessSet() *accessSet {
+	return &accessSet{reads: map[string]bool{}, writes: map[string]bool{}}
+}
+
+func (ex *exec) record(write bool, loc string) {
+	if len(ex.access) == 0 {
+		return
+	}
+	top := ex.access[len(ex.access)-1]
+	if write {
+		top.writes[loc] = true
+	} else {
+		top.reads[loc] = true
+	}
+}
+
+func (ex *exec) newFrame(d *ast.ProcDecl) *frame {
+	if ex.cfg.Concurrent {
+		ex.stepMu.Lock()
+		defer ex.stepMu.Unlock()
+	}
+	ex.frames++
+	fr := &frame{decl: d, vars: make(map[string]Value), id: ex.frames}
+	for _, v := range append(append([]*ast.VarDecl{}, d.Params...), d.Locals...) {
+		if v.Type == ast.HandleT {
+			fr.vars[v.Name] = HandleV(heap.Nil)
+		} else {
+			fr.vars[v.Name] = IntV(0)
+		}
+	}
+	return fr
+}
+
+func (ex *exec) fuel(pos token.Pos) error {
+	if ex.cfg.Concurrent {
+		ex.stepMu.Lock()
+		defer ex.stepMu.Unlock()
+	}
+	ex.steps++
+	if ex.steps > ex.cfg.MaxSteps {
+		return fmt.Errorf("%s: step limit (%d) exceeded — possible non-termination", pos, ex.cfg.MaxSteps)
+	}
+	return nil
+}
+
+// errAt wraps heap errors with a source position.
+func errAt(pos token.Pos, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s: %v", pos, err)
+}
+
+func (ex *exec) varLoc(fr *frame, name string) string {
+	return fmt.Sprintf("v:%d:%s", fr.id, name)
+}
+
+func nodeLoc(id heap.NodeID, field string) string {
+	return fmt.Sprintf("n:%d:%s", id, field)
+}
+
+func (ex *exec) readVar(fr *frame, name string, pos token.Pos) (Value, error) {
+	v, ok := fr.vars[name]
+	if !ok {
+		return Value{}, fmt.Errorf("%s: undeclared variable %s", pos, name)
+	}
+	ex.record(false, ex.varLoc(fr, name))
+	return v, nil
+}
+
+func (ex *exec) writeVar(fr *frame, name string, v Value, pos token.Pos) error {
+	if _, ok := fr.vars[name]; !ok {
+		return fmt.Errorf("%s: undeclared variable %s", pos, name)
+	}
+	ex.record(true, ex.varLoc(fr, name))
+	fr.vars[name] = v
+	return nil
+}
+
+// stmt executes s, returning its (work, span). The trace node tr, when
+// non-nil, accumulates the fork-join shape: sequential cost folds into the
+// last leaf, parallel statements append Par children.
+func (ex *exec) stmt(fr *frame, s ast.Stmt, tr *Trace) (int64, int64, error) {
+	switch s := s.(type) {
+	case *ast.Block:
+		var w, sp int64
+		for _, st := range s.Stmts {
+			bw, bs, err := ex.stmt(fr, st, tr)
+			if err != nil {
+				return 0, 0, err
+			}
+			w += bw
+			sp += bs
+		}
+		return w, sp, nil
+	case *ast.Par:
+		return ex.parStmt(fr, s, tr)
+	case *ast.If:
+		if err := ex.fuel(s.Pos()); err != nil {
+			return 0, 0, err
+		}
+		c := ex.cfg.Costs.Cond
+		addCost(tr, c)
+		cond, err := ex.cond(fr, s.Cond)
+		if err != nil {
+			return 0, 0, err
+		}
+		var w, sp int64
+		if cond {
+			w, sp, err = ex.stmt(fr, s.Then, tr)
+		} else if s.Else != nil {
+			w, sp, err = ex.stmt(fr, s.Else, tr)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		return w + c, sp + c, nil
+	case *ast.While:
+		var w, sp int64
+		for {
+			if err := ex.fuel(s.Pos()); err != nil {
+				return 0, 0, err
+			}
+			c := ex.cfg.Costs.Cond
+			addCost(tr, c)
+			w += c
+			sp += c
+			cond, err := ex.cond(fr, s.Cond)
+			if err != nil {
+				return 0, 0, err
+			}
+			if !cond {
+				return w, sp, nil
+			}
+			bw, bs, err := ex.stmt(fr, s.Body, tr)
+			if err != nil {
+				return 0, 0, err
+			}
+			w += bw
+			sp += bs
+		}
+	case *ast.CallStmt:
+		_, w, sp, err := ex.call(fr, s.Name, s.Args, s.Pos(), tr)
+		return w, sp, err
+	case *ast.Assign:
+		if err := ex.fuel(s.Pos()); err != nil {
+			return 0, 0, err
+		}
+		return ex.assign(fr, s, tr)
+	}
+	return 0, 0, fmt.Errorf("%s: unknown statement %T", s.Pos(), s)
+}
+
+func addCost(tr *Trace, c int64) {
+	if tr == nil {
+		return
+	}
+	if n := len(tr.Kids); n > 0 && !tr.Kids[n-1].Par && len(tr.Kids[n-1].Kids) == 0 {
+		tr.Kids[n-1].Cost += c
+		return
+	}
+	tr.Kids = append(tr.Kids, &Trace{Cost: c})
+}
+
+// parStmt executes a parallel statement. Deterministic mode runs branches
+// in order, collecting access sets for race detection; concurrent mode
+// spawns one goroutine per branch with statement-level atomicity.
+func (ex *exec) parStmt(fr *frame, s *ast.Par, tr *Trace) (int64, int64, error) {
+	if ex.cfg.Concurrent {
+		return ex.parConcurrent(fr, s)
+	}
+	var parNode *Trace
+	if tr != nil {
+		parNode = &Trace{Par: true}
+		tr.Kids = append(tr.Kids, parNode)
+	}
+	var work, maxSpan int64
+	sets := make([]*accessSet, 0, len(s.Branches))
+	for _, br := range s.Branches {
+		var branchTr *Trace
+		if parNode != nil {
+			branchTr = &Trace{}
+			parNode.Kids = append(parNode.Kids, branchTr)
+		}
+		if ex.cfg.DetectRaces {
+			ex.access = append(ex.access, newAccessSet())
+		}
+		w, sp, err := ex.stmt(fr, br, branchTr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ex.cfg.DetectRaces {
+			set := ex.access[len(ex.access)-1]
+			ex.access = ex.access[:len(ex.access)-1]
+			sets = append(sets, set)
+			// Propagate to the enclosing collector, if any.
+			if len(ex.access) > 0 {
+				outer := ex.access[len(ex.access)-1]
+				for l := range set.reads {
+					outer.reads[l] = true
+				}
+				for l := range set.writes {
+					outer.writes[l] = true
+				}
+			}
+		}
+		work += w
+		if sp > maxSpan {
+			maxSpan = sp
+		}
+	}
+	if ex.cfg.DetectRaces {
+		ex.reportConflicts(s.Pos(), sets)
+	}
+	return work, maxSpan, nil
+}
+
+func (ex *exec) reportConflicts(pos token.Pos, sets []*accessSet) {
+	seen := map[string]bool{}
+	add := func(kind, loc string) {
+		key := kind + loc
+		if !seen[key] {
+			seen[key] = true
+			ex.races = append(ex.races, Race{Pos: pos, Location: loc, Kind: kind})
+		}
+	}
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			for loc := range sets[i].writes {
+				if sets[j].writes[loc] {
+					add("write/write", loc)
+				}
+				if sets[j].reads[loc] {
+					add("read/write", loc)
+				}
+			}
+			for loc := range sets[j].writes {
+				if sets[i].reads[loc] {
+					add("read/write", loc)
+				}
+			}
+		}
+	}
+}
+
+func (ex *exec) parConcurrent(fr *frame, s *ast.Par) (int64, int64, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.Branches))
+	works := make([]int64, len(s.Branches))
+	spans := make([]int64, len(s.Branches))
+	for i, br := range s.Branches {
+		wg.Add(1)
+		go func(i int, br ast.Stmt) {
+			defer wg.Done()
+			w, sp, err := ex.stmt(fr, br, nil)
+			works[i], spans[i], errs[i] = w, sp, err
+		}(i, br)
+	}
+	wg.Wait()
+	var work, maxSpan int64
+	for i := range s.Branches {
+		if errs[i] != nil {
+			return 0, 0, errs[i]
+		}
+		work += works[i]
+		if spans[i] > maxSpan {
+			maxSpan = spans[i]
+		}
+	}
+	return work, maxSpan, nil
+}
+
+// lock acquires statement-level atomicity in concurrent mode.
+func (ex *exec) lock(fr *frame) func() {
+	if !ex.cfg.Concurrent {
+		return func() {}
+	}
+	_ = fr
+	ex.concMu.Lock()
+	done := false
+	return func() {
+		if !done {
+			done = true
+			ex.concMu.Unlock()
+		}
+	}
+}
+
+func (ex *exec) assign(fr *frame, s *ast.Assign, tr *Trace) (int64, int64, error) {
+	unlock := ex.lock(fr)
+	defer unlock()
+	cost := ex.cfg.Costs.Stmt
+	// Function-call right sides release the lock around the call.
+	if call, ok := s.Rhs.(*ast.CallExpr); ok {
+		unlock()
+		v, w, sp, err := ex.call(fr, call.Name, call.Args, call.Pos(), tr)
+		if err != nil {
+			return 0, 0, err
+		}
+		unlock2 := ex.lock(fr)
+		defer unlock2()
+		lhs, ok := s.Lhs.(*ast.VarLV)
+		if !ok {
+			return 0, 0, fmt.Errorf("%s: function result must be assigned to a variable", s.Pos())
+		}
+		if err := ex.writeVar(fr, lhs.Name, v, lhs.Pos()); err != nil {
+			return 0, 0, err
+		}
+		addCost(tr, cost)
+		return w + cost, sp + cost, nil
+	}
+	if _, ok := s.Rhs.(*ast.NewExpr); ok {
+		cost = ex.cfg.Costs.New
+	}
+	addCost(tr, cost)
+	v, err := ex.expr(fr, s.Rhs)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch lhs := s.Lhs.(type) {
+	case *ast.VarLV:
+		if err := ex.writeVar(fr, lhs.Name, v, lhs.Pos()); err != nil {
+			return 0, 0, err
+		}
+	case *ast.FieldLV:
+		base, err := ex.readVar(fr, lhs.Base, lhs.Pos())
+		if err != nil {
+			return 0, 0, err
+		}
+		if !base.IsHandle {
+			return 0, 0, fmt.Errorf("%s: %s is not a handle", lhs.Pos(), lhs.Base)
+		}
+		switch lhs.Field {
+		case ast.Value:
+			if v.IsHandle {
+				return 0, 0, fmt.Errorf("%s: value field needs an int", lhs.Pos())
+			}
+			ex.record(true, nodeLoc(base.Node, "value"))
+			if err := errAt(lhs.Pos(), ex.heap.SetValue(base.Node, v.Int)); err != nil {
+				return 0, 0, err
+			}
+		case ast.Left, ast.Right:
+			if !v.IsHandle {
+				return 0, 0, fmt.Errorf("%s: link field needs a handle", lhs.Pos())
+			}
+			f := heap.Left
+			if lhs.Field == ast.Right {
+				f = heap.Right
+			}
+			ex.record(true, nodeLoc(base.Node, f.String()))
+			if err := errAt(lhs.Pos(), ex.heap.SetLink(base.Node, f, v.Node)); err != nil {
+				return 0, 0, err
+			}
+			if ex.cfg.CheckStructure {
+				// Sharing is tracked exactly via heap indegrees; any new
+				// cycle must be reachable from the updated node.
+				if ex.heap.AnyShared() && ex.worst < heap.DAG {
+					ex.worst = heap.DAG
+				}
+				if ex.worst < heap.Cyclic && ex.heap.HasCycleFrom(base.Node) {
+					ex.worst = heap.Cyclic
+				}
+			}
+		}
+	}
+	return cost, cost, nil
+}
+
+func (ex *exec) call(fr *frame, name string, args []ast.Expr, pos token.Pos, tr *Trace) (Value, int64, int64, error) {
+	if err := ex.fuel(pos); err != nil {
+		return Value{}, 0, 0, err
+	}
+	callee := ex.prog.Proc(name)
+	if callee == nil {
+		return Value{}, 0, 0, fmt.Errorf("%s: call to undeclared %s", pos, name)
+	}
+	if len(args) != len(callee.Params) {
+		return Value{}, 0, 0, fmt.Errorf("%s: %s wants %d args, got %d", pos, name, len(callee.Params), len(args))
+	}
+	vals := make([]Value, len(args))
+	unlock := ex.lock(fr)
+	for i, a := range args {
+		v, err := ex.expr(fr, a)
+		if err != nil {
+			unlock()
+			return Value{}, 0, 0, err
+		}
+		vals[i] = v
+	}
+	unlock()
+	nf := ex.newFrame(callee)
+	for i, p := range callee.Params {
+		if p.Type == ast.HandleT && !vals[i].IsHandle || p.Type == ast.IntT && vals[i].IsHandle {
+			return Value{}, 0, 0, fmt.Errorf("%s: argument %d of %s has wrong type", pos, i+1, name)
+		}
+		nf.vars[p.Name] = vals[i]
+	}
+	c := ex.cfg.Costs.Call
+	addCost(tr, c)
+	w, sp, err := ex.stmt(nf, callee.Body, tr)
+	if err != nil {
+		return Value{}, 0, 0, err
+	}
+	var ret Value
+	if callee.IsFunction() {
+		ret = nf.vars[callee.ReturnVar]
+	}
+	return ret, w + c, sp + c, nil
+}
+
+// cond evaluates a boolean condition.
+func (ex *exec) cond(fr *frame, e ast.Expr) (bool, error) {
+	unlock := ex.lock(fr)
+	defer unlock()
+	return ex.condLocked(fr, e)
+}
+
+func (ex *exec) condLocked(fr *frame, e ast.Expr) (bool, error) {
+	switch e := e.(type) {
+	case *ast.Unary:
+		if e.Op == ast.Not {
+			v, err := ex.condLocked(fr, e.X)
+			return !v, err
+		}
+	case *ast.Binary:
+		switch e.Op {
+		case ast.And:
+			l, err := ex.condLocked(fr, e.X)
+			if err != nil || !l {
+				return false, err
+			}
+			return ex.condLocked(fr, e.Y)
+		case ast.Or:
+			l, err := ex.condLocked(fr, e.X)
+			if err != nil || l {
+				return l, err
+			}
+			return ex.condLocked(fr, e.Y)
+		case ast.Eq, ast.Neq, ast.Lt, ast.Gt, ast.Leq, ast.Geq:
+			x, err := ex.expr(fr, e.X)
+			if err != nil {
+				return false, err
+			}
+			y, err := ex.expr(fr, e.Y)
+			if err != nil {
+				return false, err
+			}
+			return compare(e.Op, x, y, e.Pos())
+		}
+	}
+	return false, fmt.Errorf("%s: expression is not a condition", e.Pos())
+}
+
+func compare(op ast.Op, x, y Value, pos token.Pos) (bool, error) {
+	if x.IsHandle != y.IsHandle {
+		return false, fmt.Errorf("%s: comparing handle with int", pos)
+	}
+	if x.IsHandle {
+		switch op {
+		case ast.Eq:
+			return x.Node == y.Node, nil
+		case ast.Neq:
+			return x.Node != y.Node, nil
+		default:
+			return false, fmt.Errorf("%s: handles support only = and <>", pos)
+		}
+	}
+	switch op {
+	case ast.Eq:
+		return x.Int == y.Int, nil
+	case ast.Neq:
+		return x.Int != y.Int, nil
+	case ast.Lt:
+		return x.Int < y.Int, nil
+	case ast.Gt:
+		return x.Int > y.Int, nil
+	case ast.Leq:
+		return x.Int <= y.Int, nil
+	case ast.Geq:
+		return x.Int >= y.Int, nil
+	}
+	return false, fmt.Errorf("%s: bad comparison", pos)
+}
+
+// expr evaluates a value expression (no calls — normalization hoists them;
+// the assign path handles the x := f(…) basic form directly).
+func (ex *exec) expr(fr *frame, e ast.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return IntV(e.Val), nil
+	case *ast.NilLit:
+		return HandleV(heap.Nil), nil
+	case *ast.NewExpr:
+		return HandleV(ex.heap.Alloc()), nil
+	case *ast.VarRef:
+		return ex.readVar(fr, e.Name, e.Pos())
+	case *ast.FieldRef:
+		base, err := ex.readVar(fr, e.Base, e.Pos())
+		if err != nil {
+			return Value{}, err
+		}
+		if !base.IsHandle {
+			return Value{}, fmt.Errorf("%s: %s is not a handle", e.Pos(), e.Base)
+		}
+		cur := base.Node
+		for _, f := range e.Chain {
+			hf := heap.Left
+			if f == ast.Right {
+				hf = heap.Right
+			}
+			ex.record(false, nodeLoc(cur, hf.String()))
+			next, err := ex.heap.Link(cur, hf)
+			if err != nil {
+				return Value{}, errAt(e.Pos(), err)
+			}
+			cur = next
+		}
+		switch e.Field {
+		case ast.Value:
+			ex.record(false, nodeLoc(cur, "value"))
+			v, err := ex.heap.Value(cur)
+			if err != nil {
+				return Value{}, errAt(e.Pos(), err)
+			}
+			return IntV(v), nil
+		default:
+			hf := heap.Left
+			if e.Field == ast.Right {
+				hf = heap.Right
+			}
+			ex.record(false, nodeLoc(cur, hf.String()))
+			id, err := ex.heap.Link(cur, hf)
+			if err != nil {
+				return Value{}, errAt(e.Pos(), err)
+			}
+			return HandleV(id), nil
+		}
+	case *ast.Unary:
+		x, err := ex.expr(fr, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Op == ast.Neg {
+			if x.IsHandle {
+				return Value{}, fmt.Errorf("%s: cannot negate a handle", e.Pos())
+			}
+			return IntV(-x.Int), nil
+		}
+		return Value{}, fmt.Errorf("%s: boolean in value position", e.Pos())
+	case *ast.Binary:
+		x, err := ex.expr(fr, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := ex.expr(fr, e.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.IsHandle || y.IsHandle {
+			return Value{}, fmt.Errorf("%s: arithmetic on handles", e.Pos())
+		}
+		switch e.Op {
+		case ast.Add:
+			return IntV(x.Int + y.Int), nil
+		case ast.Sub:
+			return IntV(x.Int - y.Int), nil
+		case ast.Mul:
+			return IntV(x.Int * y.Int), nil
+		case ast.Div:
+			if y.Int == 0 {
+				return Value{}, fmt.Errorf("%s: division by zero", e.Pos())
+			}
+			return IntV(x.Int / y.Int), nil
+		default:
+			return Value{}, fmt.Errorf("%s: boolean in value position", e.Pos())
+		}
+	case *ast.CallExpr:
+		return Value{}, fmt.Errorf("%s: call in expression position (normalize first)", e.Pos())
+	}
+	return Value{}, fmt.Errorf("%s: unknown expression %T", e.Pos(), e)
+}
+
+// RacesString renders the race report deterministically.
+func RacesString(races []Race) string {
+	lines := make([]string, len(races))
+	for i, r := range races {
+		lines[i] = r.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

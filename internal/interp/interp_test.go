@@ -1,0 +1,459 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/sil/ast"
+	"repro/internal/sil/parser"
+	"repro/internal/sil/types"
+)
+
+func compile(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := types.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	types.Normalize(prog)
+	return prog
+}
+
+func run(t *testing.T, src string, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(compile(t, src), cfg, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  x, y: int
+begin
+  x := 2 + 3 * 4;
+  y := (x - 4) / 2 - -1
+end;`, Config{})
+	if got := res.Env["x"].Int; got != 14 {
+		t.Errorf("x = %d", got)
+	}
+	if got := res.Env["y"].Int; got != 6 {
+		t.Errorf("y = %d", got)
+	}
+}
+
+func TestBuildAndReadTree(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  a, b: handle; x: int
+begin
+  a := new();
+  b := new();
+  a.value := 1;
+  b.value := 2;
+  a.left := b;
+  x := a.left.value
+end;`, Config{})
+	if got := res.Env["x"].Int; got != 2 {
+		t.Errorf("x = %d", got)
+	}
+	if res.Heap.Len() != 2 {
+		t.Errorf("heap = %d nodes", res.Heap.Len())
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  x, acc: int
+begin
+  x := 5;
+  acc := 0;
+  while x > 0 do
+  begin
+    acc := acc + x;
+    x := x - 1
+  end
+end;`, Config{})
+	if got := res.Env["acc"].Int; got != 15 {
+		t.Errorf("acc = %d", got)
+	}
+}
+
+func TestIfElseAndBooleans(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  x, y: int; a: handle
+begin
+  if a = nil and not (1 > 2) then x := 10 else x := 20;
+  if x = 10 or x = 30 then y := 1 else y := 2
+end;`, Config{})
+	if res.Env["x"].Int != 10 || res.Env["y"].Int != 1 {
+		t.Errorf("x=%v y=%v", res.Env["x"], res.Env["y"])
+	}
+}
+
+func TestProcedureCallByValue(t *testing.T) {
+	// Reassigning the formal does not affect the caller, but updates
+	// through the handle do (§3.2: only the handle value is copied).
+	res := run(t, `
+program p
+procedure main()
+  a: handle; x: int
+begin
+  a := new();
+  a.value := 1;
+  touch(a);
+  x := a.value
+end;
+procedure touch(h: handle)
+begin
+  h.value := 42;
+  h := nil
+end;`, Config{})
+	if got := res.Env["x"].Int; got != 42 {
+		t.Errorf("x = %d", got)
+	}
+	if res.Env["a"].Node.IsNil() {
+		t.Error("caller's handle must survive callee reassignment")
+	}
+}
+
+func TestFunctionReturn(t *testing.T) {
+	res := run(t, `
+program p
+function double(n: int): int
+  r: int
+begin
+  r := n + n
+end
+return (r);
+procedure main()
+  x: int
+begin
+  x := double(21)
+end;`, Config{})
+	if got := res.Env["x"].Int; got != 42 {
+		t.Errorf("x = %d", got)
+	}
+}
+
+func TestRecursionTreeSum(t *testing.T) {
+	// Build a depth-3 tree via setup, sum values recursively.
+	src := `
+program p
+function sum(h: handle): int
+  s, sl, sr: int
+begin
+  if h = nil then s := 0
+  else
+  begin
+    sl := sum(h.left);
+    sr := sum(h.right);
+    s := h.value + sl + sr
+  end
+end
+return (s);
+procedure main()
+  root: handle; total: int
+begin
+  total := sum(root)
+end;`
+	prog := compile(t, src)
+	var want int64
+	res, err := Run(prog, Config{}, func(h *heap.Heap, env map[string]Value) {
+		root := h.BuildBalanced(3, 1)
+		env["root"] = HandleV(root)
+		for id := range h.Reachable(root) {
+			v, _ := h.Value(id)
+			want += v
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Env["total"].Int; got != want {
+		t.Errorf("total = %d, want %d", got, want)
+	}
+}
+
+func TestNilDereferenceError(t *testing.T) {
+	prog := compile(t, `
+program p
+procedure main()
+  a: handle; x: int
+begin
+  x := a.value
+end;`)
+	if _, err := Run(prog, Config{}, nil); err == nil || !strings.Contains(err.Error(), "nil handle") {
+		t.Errorf("want nil deref error, got %v", err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	prog := compile(t, `
+program p
+procedure main()
+  x: int
+begin
+  x := 1 / (x - x)
+end;`)
+	if _, err := Run(prog, Config{}, nil); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("want division error, got %v", err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog := compile(t, `
+program p
+procedure main()
+  x: int
+begin
+  while 1 = 1 do x := x + 1
+end;`)
+	if _, err := Run(prog, Config{MaxSteps: 1000}, nil); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("want step limit error, got %v", err)
+	}
+}
+
+func TestWorkAndSpanSequential(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  x, y: int
+begin
+  x := 1;
+  y := 2
+end;`, Config{})
+	if res.Work != res.Span {
+		t.Errorf("sequential program: work %d != span %d", res.Work, res.Span)
+	}
+	if res.Work != 2 {
+		t.Errorf("work = %d, want 2", res.Work)
+	}
+}
+
+func TestWorkAndSpanParallel(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  x, y, z: int
+begin
+  x := 1 || y := 2 || z := 3
+end;`, Config{})
+	if res.Work != 3 {
+		t.Errorf("work = %d, want 3", res.Work)
+	}
+	if res.Span != 1 {
+		t.Errorf("span = %d, want 1", res.Span)
+	}
+}
+
+func TestParallelDeterministicSemantics(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  a, b: handle; x, y: int
+begin
+  a := new() || b := new();
+  a.value := 1 || b.value := 2;
+  x := a.value || y := b.value
+end;`, Config{})
+	if res.Env["x"].Int != 1 || res.Env["y"].Int != 2 {
+		t.Errorf("x=%v y=%v", res.Env["x"], res.Env["y"])
+	}
+}
+
+func TestRaceDetectorVarConflict(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  x, y: int
+begin
+  x := 1 || y := x
+end;`, Config{DetectRaces: true})
+	if len(res.Races) != 1 {
+		t.Fatalf("races = %v", res.Races)
+	}
+	if res.Races[0].Kind != "read/write" {
+		t.Errorf("kind = %s", res.Races[0].Kind)
+	}
+}
+
+func TestRaceDetectorFieldConflict(t *testing.T) {
+	// Example 2 of Figure 6: x := a.left reads the same left field that
+	// b.left := nil writes, when a and b alias.
+	res := run(t, `
+program p
+procedure main()
+  a, b, x, n: handle
+begin
+  a := new();
+  b := a;
+  x := a.left || b.left := n
+end;`, Config{DetectRaces: true})
+	found := false
+	for _, r := range res.Races {
+		if strings.Contains(r.Location, "left") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want left-field race, got %v", res.Races)
+	}
+}
+
+func TestRaceDetectorNoFalsePositiveOnDisjointSubtrees(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  root, l, r: handle; x, y: int
+begin
+  root := new();
+  l := new();
+  r := new();
+  root.left := l;
+  root.right := r;
+  l.value := 1 || r.value := 2
+end;`, Config{DetectRaces: true})
+	if len(res.Races) != 0 {
+		t.Errorf("disjoint subtrees raced: %v", res.Races)
+	}
+}
+
+func TestRaceDetectorNestedPar(t *testing.T) {
+	// The inner parallel statement's accesses must propagate outward: the
+	// outer conflict is between y and the inner branch writing y.
+	res := run(t, `
+program p
+procedure main()
+  x, y, z: int
+begin
+  begin x := 1 || y := 2 end || z := y
+end;`, Config{DetectRaces: true})
+	if len(res.Races) != 1 {
+		t.Fatalf("races = %v", res.Races)
+	}
+}
+
+func TestCheckStructureObservesDAG(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  a, b, c: handle
+begin
+  a := new();
+  b := new();
+  c := new();
+  a.left := c;
+  b.left := c
+end;`, Config{CheckStructure: true})
+	if res.Shape != heap.DAG {
+		t.Errorf("worst shape = %v, want DAG", res.Shape)
+	}
+}
+
+func TestCheckStructureObservesCycle(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  a, b: handle
+begin
+  a := new();
+  b := new();
+  a.left := b;
+  b.left := a
+end;`, Config{CheckStructure: true})
+	if res.Shape != heap.Cyclic {
+		t.Errorf("worst shape = %v, want CYCLE", res.Shape)
+	}
+}
+
+func TestTraceWorkSpanConsistency(t *testing.T) {
+	res := run(t, `
+program p
+procedure main()
+  x, y, z: int
+begin
+  x := 1;
+  y := 2 || z := 3;
+  x := x + 1
+end;`, Config{RecordTrace: true})
+	if res.Trace == nil {
+		t.Fatal("no trace")
+	}
+	if w := res.Trace.Work(); w != res.Work {
+		t.Errorf("trace work %d != result work %d", w, res.Work)
+	}
+	if s := res.Trace.Span(); s != res.Span {
+		t.Errorf("trace span %d != result span %d", s, res.Span)
+	}
+}
+
+func TestConcurrentExecutionMatchesSequential(t *testing.T) {
+	src := `
+program p
+procedure main()
+  root: handle; total: int
+begin
+  build(root, 6);
+  walk(root)
+end;
+procedure build(h: handle; d: int)
+begin
+  if d > 0 and h <> nil then
+  begin
+    h.left := new();
+    h.right := new();
+    build(h.left, d - 1);
+    build(h.right, d - 1)
+  end
+end;
+procedure walk(h: handle)
+begin
+  if h <> nil then
+  begin
+    h.value := h.value + 1;
+    walk(h.left) || walk(h.right)
+  end
+end;
+`
+	setup := func(h *heap.Heap, env map[string]Value) {
+		env["root"] = HandleV(h.Alloc())
+	}
+	seq, err := Run(compile(t, src), Config{}, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		con, err := Run(compile(t, src), Config{Concurrent: true}, setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf := seq.Heap.Fingerprint(seq.Env["root"].Node)
+		cf := con.Heap.Fingerprint(con.Env["root"].Node)
+		if sf != cf {
+			t.Fatalf("concurrent run diverged:\nseq %s\ncon %s", sf, cf)
+		}
+	}
+}
+
+func TestRacesString(t *testing.T) {
+	s := RacesString([]Race{
+		{Location: "v:1:x", Kind: "write/write"},
+		{Location: "n:2:left", Kind: "read/write"},
+	})
+	if !strings.Contains(s, "v:1:x") || !strings.Contains(s, "n:2:left") {
+		t.Errorf("RacesString = %q", s)
+	}
+}

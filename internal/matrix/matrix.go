@@ -1,0 +1,536 @@
+// Package matrix implements the path matrices of Hendren & Nicolau (§4):
+// for every pair of live handles (a, b), the matrix entry p[a,b] is a set of
+// path expressions estimating every possible way b sits at or below a in the
+// linked structure. Alongside the relation, each handle carries a nil-ness
+// and an indegree attribute, and the matrix carries an overall structure
+// estimate (TREE / DAG / cyclic), which together implement the paper's
+// structural verification (§3.1).
+package matrix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/path"
+)
+
+// Handle names a live handle variable. The interprocedural analysis also
+// uses the symbolic handles of Figure 7: "h*1" (the caller's first actual
+// argument) and "h**1" (all stacked recursive first arguments).
+type Handle string
+
+// Symbolic constructs the caller-argument symbolic handle h*i.
+func Symbolic(i int) Handle { return Handle(fmt.Sprintf("h*%d", i)) }
+
+// Stacked constructs the stacked-recursion symbolic handle h**i.
+func Stacked(i int) Handle { return Handle(fmt.Sprintf("h**%d", i)) }
+
+// IsSymbolic reports whether h is an h* or h** handle.
+func (h Handle) IsSymbolic() bool { return strings.Contains(string(h), "*") }
+
+// Nilness is the nil attribute lattice for a handle.
+type Nilness uint8
+
+// Nilness values: definitely nil, definitely non-nil, or unknown.
+const (
+	DefNil Nilness = iota
+	NonNil
+	MaybeNil
+)
+
+func (n Nilness) String() string {
+	switch n {
+	case DefNil:
+		return "nil"
+	case NonNil:
+		return "nonnil"
+	case MaybeNil:
+		return "maybe"
+	}
+	return fmt.Sprintf("Nilness(%d)", uint8(n))
+}
+
+// mergeNilness joins two nil estimates from alternative control paths.
+func mergeNilness(a, b Nilness) Nilness {
+	if a == b {
+		return a
+	}
+	return MaybeNil
+}
+
+// Indegree estimates how many parents the node referred to by a handle has.
+// It drives the possible-DAG verdict on a.f := b: attaching a node that may
+// already have a parent creates sharing.
+type Indegree uint8
+
+// Indegree values.
+const (
+	Root       Indegree = iota // no parent (fresh from new(), or a known root)
+	Attached                   // exactly one parent known
+	Shared                     // more than one parent possible (DAG territory)
+	UnknownDeg                 // no information (e.g. procedure arguments)
+)
+
+func (d Indegree) String() string {
+	switch d {
+	case Root:
+		return "root"
+	case Attached:
+		return "attached"
+	case Shared:
+		return "shared"
+	case UnknownDeg:
+		return "unknown"
+	}
+	return fmt.Sprintf("Indegree(%d)", uint8(d))
+}
+
+func mergeIndegree(a, b Indegree) Indegree {
+	if a == b {
+		return a
+	}
+	if a == Shared || b == Shared {
+		return Shared
+	}
+	return UnknownDeg
+}
+
+// Attr is the per-handle attribute record.
+type Attr struct {
+	Nil   Nilness
+	Indeg Indegree
+}
+
+// Shape is the overall structure estimate, ordered by severity; merging
+// takes the maximum. It realizes the paper's TREE/DAG classification with
+// definite and possible levels.
+type Shape uint8
+
+// Shape values, from best to worst.
+const (
+	ShapeTree Shape = iota
+	ShapeMaybeDAG
+	ShapeDAG
+	ShapeMaybeCyclic
+	ShapeCyclic
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeTree:
+		return "TREE"
+	case ShapeMaybeDAG:
+		return "DAG?"
+	case ShapeDAG:
+		return "DAG"
+	case ShapeMaybeCyclic:
+		return "CYCLE?"
+	case ShapeCyclic:
+		return "CYCLE"
+	}
+	return fmt.Sprintf("Shape(%d)", uint8(s))
+}
+
+// IsTree reports whether the structure is certainly a TREE.
+func (s Shape) IsTree() bool { return s == ShapeTree }
+
+// DefinitelyAcyclic reports whether no cycle can exist.
+func (s Shape) DefinitelyAcyclic() bool { return s <= ShapeDAG }
+
+type pair struct{ row, col Handle }
+
+// Matrix is a path matrix at one program point. Matrices are mutable; use
+// Copy before a destructive update when the original must survive (the
+// analysis engine copies at every control-flow split).
+//
+// The structure estimate has two components. The sticky part records
+// unrecoverable damage: cycles, sharing through handles of unknown
+// indegree, and shared nodes whose handles died. The recoverable part is
+// derived from the live indegree attributes: a handle marked Shared means
+// its node currently has two parents. This split is what lets the paper's
+// reverse (§1: "a tree may be changed temporarily into a DAG, as an
+// intermediate step in swapping some nodes") verify as TREE again once the
+// swap completes.
+type Matrix struct {
+	order   []Handle // insertion order, for paper-layout printing
+	entries map[pair]path.Set
+	attrs   map[Handle]Attr
+	sticky  Shape
+}
+
+// New returns an empty matrix describing a TREE store with no live handles.
+func New() *Matrix {
+	return &Matrix{
+		entries: make(map[pair]path.Set),
+		attrs:   make(map[Handle]Attr),
+	}
+}
+
+// Copy returns a deep copy.
+func (m *Matrix) Copy() *Matrix {
+	c := &Matrix{
+		order:   append([]Handle(nil), m.order...),
+		entries: make(map[pair]path.Set, len(m.entries)),
+		attrs:   make(map[Handle]Attr, len(m.attrs)),
+		sticky:  m.sticky,
+	}
+	for k, v := range m.entries {
+		c.entries[k] = v
+	}
+	for k, v := range m.attrs {
+		c.attrs[k] = v
+	}
+	return c
+}
+
+// Shape returns the current structure estimate: the sticky damage joined
+// with sharing visible in the live indegree attributes.
+func (m *Matrix) Shape() Shape {
+	s := m.sticky
+	for _, a := range m.attrs {
+		if a.Indeg != Shared || a.Nil == DefNil {
+			continue
+		}
+		derived := ShapeDAG
+		if a.Nil == MaybeNil {
+			derived = ShapeMaybeDAG
+		}
+		if derived > s {
+			s = derived
+		}
+	}
+	return s
+}
+
+// StickyShape returns only the unrecoverable component of the estimate
+// (used when mapping a callee's exit into the caller: recoverable sharing
+// travels through the h* attributes instead).
+func (m *Matrix) StickyShape() Shape { return m.sticky }
+
+// SetShape records a sticky structure verdict; the estimate only degrades.
+func (m *Matrix) SetShape(s Shape) {
+	if s > m.sticky {
+		m.sticky = s
+	}
+}
+
+// ResetShape forcibly sets the sticky estimate (used when entering a fresh
+// store or seeding a callee entry).
+func (m *Matrix) ResetShape(s Shape) { m.sticky = s }
+
+// foldDyingAttr preserves structure evidence carried by a handle that is
+// about to disappear: a shared node without a name can never be proven
+// un-shared again.
+func (m *Matrix) foldDyingAttr(a Attr) {
+	if a.Indeg == Shared && a.Nil != DefNil {
+		if a.Nil == MaybeNil {
+			m.SetShape(ShapeMaybeDAG)
+		} else {
+			m.SetShape(ShapeDAG)
+		}
+	}
+}
+
+// Has reports whether h is live in the matrix.
+func (m *Matrix) Has(h Handle) bool {
+	_, ok := m.attrs[h]
+	return ok
+}
+
+// Handles returns the live handles in insertion order. Callers must not
+// modify the returned slice.
+func (m *Matrix) Handles() []Handle { return m.order }
+
+// Attr returns the attribute record for h (zero Attr if not live).
+func (m *Matrix) Attr(h Handle) Attr { return m.attrs[h] }
+
+// SetAttr updates the attribute record for a live handle.
+func (m *Matrix) SetAttr(h Handle, a Attr) {
+	if !m.Has(h) {
+		return
+	}
+	m.attrs[h] = a
+}
+
+// Add introduces a handle with the given attributes. A non-nil handle
+// relates to itself by definite S; re-adding an existing handle only
+// updates its attributes.
+func (m *Matrix) Add(h Handle, a Attr) {
+	if !m.Has(h) {
+		m.order = append(m.order, h)
+	}
+	m.attrs[h] = a
+	if a.Nil != DefNil {
+		m.entries[pair{h, h}] = path.NewSet(path.Same())
+	} else {
+		delete(m.entries, pair{h, h})
+	}
+}
+
+// Remove kills a handle: its row and column disappear (the paper's
+// treatment of dead or reassigned handles). Structure evidence the handle
+// carried folds into the sticky estimate.
+func (m *Matrix) Remove(h Handle) {
+	if !m.Has(h) {
+		return
+	}
+	m.foldDyingAttr(m.attrs[h])
+	for i, o := range m.order {
+		if o == h {
+			m.order = append(m.order[:i:i], m.order[i+1:]...)
+			break
+		}
+	}
+	delete(m.attrs, h)
+	for k := range m.entries {
+		if k.row == h || k.col == h {
+			delete(m.entries, k)
+		}
+	}
+}
+
+// Get returns the entry p[a,b] (empty set when absent or handles unknown).
+func (m *Matrix) Get(a, b Handle) path.Set {
+	return m.entries[pair{a, b}]
+}
+
+// Put sets the entry p[a,b]; an empty set deletes it.
+func (m *Matrix) Put(a, b Handle, s path.Set) {
+	if !m.Has(a) || !m.Has(b) {
+		return
+	}
+	if s.IsEmpty() {
+		delete(m.entries, pair{a, b})
+		return
+	}
+	m.entries[pair{a, b}] = s
+}
+
+// AddPaths unions extra paths into p[a,b].
+func (m *Matrix) AddPaths(a, b Handle, s path.Set) {
+	if s.IsEmpty() {
+		return
+	}
+	m.Put(a, b, m.Get(a, b).Union(s))
+}
+
+// Related reports whether a and b are related in either direction
+// (including aliasing). Per §5.2, unrelated handles guarantee disjoint
+// reachable node sets in a TREE store.
+func (m *Matrix) Related(a, b Handle) bool {
+	if a == b {
+		return true
+	}
+	return !m.Get(a, b).IsEmpty() || !m.Get(b, a).IsEmpty()
+}
+
+// MayAlias reports whether a and b may refer to the same node.
+func (m *Matrix) MayAlias(a, b Handle) bool {
+	if a == b {
+		return true
+	}
+	return m.Get(a, b).HasSame() || m.Get(b, a).HasSame()
+}
+
+// Equal compares matrices: same handles (any order), equal entries, equal
+// attributes and shape. This is the convergence test of the Figure 3
+// iteration.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.sticky != o.sticky || len(m.attrs) != len(o.attrs) {
+		return false
+	}
+	for h, a := range m.attrs {
+		oa, ok := o.attrs[h]
+		if !ok || a != oa {
+			return false
+		}
+	}
+	if len(m.entries) != len(o.entries) {
+		return false
+	}
+	for k, v := range m.entries {
+		if !o.entries[k].Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeShape joins the sticky estimates of two alternative control paths:
+// damage definite on only one side is merely possible afterwards.
+func mergeShape(a, b Shape) Shape {
+	if a == b {
+		return a
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	weakened := hi
+	switch hi {
+	case ShapeDAG:
+		weakened = ShapeMaybeDAG
+	case ShapeCyclic:
+		weakened = ShapeMaybeCyclic
+	}
+	if weakened > lo {
+		return weakened
+	}
+	return lo
+}
+
+// Merge joins two estimates from alternative control-flow paths into a new
+// matrix: handles live on only one side stay live (their relations demoted
+// to possible), entries merge pointwise with definite-iff-definite-in-both,
+// attributes join in their lattices, sticky shape joins with one-sided
+// weakening.
+func (m *Matrix) Merge(o *Matrix) *Matrix {
+	out := New()
+	out.sticky = mergeShape(m.sticky, o.sticky)
+	// Preserve m's ordering first, then o's extras. A node shared on only
+	// one side is possibly shared: the Indegree lattice has no value for
+	// that, so the evidence moves to the sticky estimate.
+	mergeAttrs := func(a, b Attr) Attr {
+		if (a.Indeg == Shared) != (b.Indeg == Shared) {
+			out.SetShape(ShapeMaybeDAG)
+		}
+		return Attr{Nil: mergeNilness(a.Nil, b.Nil), Indeg: mergeIndegree(a.Indeg, b.Indeg)}
+	}
+	for _, h := range m.order {
+		if oa, ok := o.attrs[h]; ok {
+			out.Add(h, mergeAttrs(m.attrs[h], oa))
+		} else {
+			a := m.attrs[h]
+			out.Add(h, Attr{Nil: mergeNilness(a.Nil, MaybeNil), Indeg: a.Indeg})
+		}
+	}
+	for _, h := range o.order {
+		if !m.Has(h) {
+			a := o.attrs[h]
+			out.Add(h, Attr{Nil: mergeNilness(a.Nil, MaybeNil), Indeg: a.Indeg})
+		}
+	}
+	seen := make(map[pair]bool, len(m.entries)+len(o.entries))
+	for k, v := range m.entries {
+		seen[k] = true
+		merged := v.MergeJoin(o.entries[k])
+		if k.row == k.col && out.attrs[k.row].Nil != DefNil {
+			// Keep the definite S diagonal for handles live on both sides.
+			merged = merged.Add(path.Same())
+		}
+		out.Put(k.row, k.col, merged)
+	}
+	for k, v := range o.entries {
+		if seen[k] {
+			continue
+		}
+		merged := path.EmptySet().MergeJoin(v)
+		if k.row == k.col && out.attrs[k.row].Nil != DefNil {
+			merged = merged.Add(path.Same())
+		}
+		out.Put(k.row, k.col, merged)
+	}
+	return out
+}
+
+// Widen applies the domain bounds to every entry.
+func (m *Matrix) Widen(lim path.Limits) {
+	for k, v := range m.entries {
+		m.entries[k] = v.Widen(lim)
+	}
+}
+
+// Rename rewrites handle names (used to map actuals to formals at calls).
+// Unmapped handles keep their names. Multiple handles mapping to one name
+// must not occur; the analysis guarantees injectivity.
+func (m *Matrix) Rename(sub map[Handle]Handle) *Matrix {
+	name := func(h Handle) Handle {
+		if n, ok := sub[h]; ok {
+			return n
+		}
+		return h
+	}
+	out := New()
+	out.sticky = m.sticky
+	for _, h := range m.order {
+		out.Add(name(h), m.attrs[h])
+	}
+	for k, v := range m.entries {
+		out.Put(name(k.row), name(k.col), v)
+	}
+	return out
+}
+
+// Project restricts the matrix to the given handles (dropping all others).
+func (m *Matrix) Project(keep []Handle) *Matrix {
+	want := make(map[Handle]bool, len(keep))
+	for _, h := range keep {
+		want[h] = true
+	}
+	out := New()
+	out.sticky = m.sticky
+	for _, h := range m.order {
+		if want[h] {
+			out.Add(h, m.attrs[h])
+		} else {
+			out.foldDyingAttr(m.attrs[h])
+		}
+	}
+	for k, v := range m.entries {
+		if want[k.row] && want[k.col] {
+			out.Put(k.row, k.col, v)
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string identity of the matrix, used to memoize
+// procedure summaries by entry-matrix shape (§5.2).
+func (m *Matrix) Key() string {
+	hs := append([]Handle(nil), m.order...)
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "shape=%s;", m.Shape())
+	for _, h := range hs {
+		a := m.attrs[h]
+		fmt.Fprintf(&b, "%s[%s,%s];", h, a.Nil, a.Indeg)
+	}
+	for _, r := range hs {
+		for _, c := range hs {
+			if e := m.Get(r, c); !e.IsEmpty() {
+				fmt.Fprintf(&b, "%s->%s:%s;", r, c, e)
+			}
+		}
+	}
+	return b.String()
+}
+
+// String renders the matrix as the paper's figures lay it out: one row and
+// column per handle in insertion order, entries in path notation, plus the
+// shape and attribute summary.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, ".\t")
+	for _, c := range m.order {
+		fmt.Fprintf(tw, "%s\t", c)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range m.order {
+		fmt.Fprintf(tw, "%s\t", r)
+		for _, c := range m.order {
+			e := m.Get(r, c)
+			if e.IsEmpty() {
+				fmt.Fprintf(tw, ".\t")
+			} else {
+				fmt.Fprintf(tw, "%s\t", strings.ReplaceAll(e.String(), ", ", ","))
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintf(&sb, "shape: %s", m.Shape())
+	return sb.String()
+}

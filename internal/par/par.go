@@ -1,0 +1,217 @@
+// Package par implements the parallelizer of §5: it rewrites a SIL
+// program, fusing adjacent independent statements into the parallel
+// statement s1 ‖ s2 ‖ … using the three interference analyses:
+//
+//   - basic statements via the read/write sets of §5.1 (Figure 4's
+//     incremental grouping);
+//   - procedure calls via the argument-relatedness test of §5.2 with the
+//     read-only/update refinement;
+//   - arbitrary adjacent statements (blocks, conditionals, calls mixed
+//     with assignments) via the relative-location sequence analysis of
+//     §5.3, applicable when the store is a TREE at that point.
+//
+// Applied to Figure 7's add_and_reverse, the output is exactly Figure 8.
+package par
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/interfere"
+	"repro/internal/matrix"
+	"repro/internal/sil/ast"
+)
+
+// Options selects the enabled transformations (all on by default via
+// DefaultOptions); the ablation benchmarks switch them individually.
+type Options struct {
+	// FuseBasic enables §5.1 fusion of basic statements.
+	FuseBasic bool
+	// FuseCalls enables §5.2 fusion of procedure calls (and call/statement
+	// mixtures).
+	FuseCalls bool
+	// FuseSequences enables §5.3 fusion of compound adjacent statements.
+	FuseSequences bool
+	// UseReadOnly enables the read-only argument refinement of §5.2;
+	// without it every handle argument counts as updated (the paper's
+	// first approximation).
+	UseReadOnly bool
+	// MaxGroup bounds the width of one parallel statement (0 = unbounded).
+	MaxGroup int
+}
+
+// DefaultOptions enables everything.
+var DefaultOptions = Options{FuseBasic: true, FuseCalls: true, FuseSequences: true, UseReadOnly: true}
+
+// Stats counts what the parallelizer did.
+type Stats struct {
+	ParStatements int // parallel statements created
+	Branches      int // total branches across them
+	LeafGroups    int // groups formed by §5.1/§5.2 leaf checks
+	SeqGroups     int // groups formed by the §5.3 sequence analysis
+}
+
+// Result carries the transformed program. Leaf statements are shared with
+// the input AST (so analysis matrices keyed by statement remain valid);
+// blocks and control statements are rebuilt.
+type Result struct {
+	Prog  *ast.Program
+	Stats Stats
+}
+
+// Parallelize rewrites the analyzed program. The original program is not
+// modified.
+func Parallelize(info *analysis.Info, opts Options) *Result {
+	p := &parallelizer{info: info, opts: opts}
+	out := &ast.Program{Name: info.Prog.Name, NamePos: info.Prog.NamePos}
+	for _, d := range info.Prog.Decls {
+		nd := *d
+		nd.Body = p.block(d.Body)
+		out.Decls = append(out.Decls, &nd)
+	}
+	return &Result{Prog: out, Stats: p.stats}
+}
+
+type parallelizer struct {
+	info  *analysis.Info
+	opts  Options
+	stats Stats
+	proc  string
+}
+
+// rebuild recursively transforms nested statements.
+func (p *parallelizer) rebuild(s ast.Stmt) ast.Stmt {
+	switch s := s.(type) {
+	case *ast.Block:
+		return p.block(s)
+	case *ast.If:
+		ns := *s
+		ns.Then = p.rebuild(s.Then)
+		if s.Else != nil {
+			ns.Else = p.rebuild(s.Else)
+		}
+		return &ns
+	case *ast.While:
+		ns := *s
+		ns.Body = p.rebuild(s.Body)
+		return &ns
+	case *ast.Par:
+		ns := &ast.Par{}
+		for _, b := range s.Branches {
+			ns.Branches = append(ns.Branches, p.rebuild(b))
+		}
+		return ns
+	default:
+		return s
+	}
+}
+
+// isLeaf reports whether the statement is handled by the §5.1/§5.2 checks.
+func isLeaf(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.CallStmt:
+		return true
+	case *ast.Assign:
+		_, isCall := s.Rhs.(*ast.CallExpr)
+		return !isCall // x := f(…) needs the sequence machinery
+	default:
+		return false
+	}
+}
+
+// leafCompatible checks one pair of leaves at matrix p0.
+func (p *parallelizer) leafCompatible(a, b ast.Stmt, p0 *matrix.Matrix) bool {
+	ca, aIsCall := a.(*ast.CallStmt)
+	cb, bIsCall := b.(*ast.CallStmt)
+	switch {
+	case aIsCall && bIsCall:
+		if !p.opts.FuseCalls {
+			return false
+		}
+		return !interfere.CallsInterfere(p.info.Prog, p.info, p0, ca, cb, p.opts.UseReadOnly)
+	case aIsCall:
+		if !p.opts.FuseCalls || !p.opts.FuseBasic {
+			return false
+		}
+		return !interfere.StmtCallInterfere(p.info.Prog, p.info, p0, b, ca, p.opts.UseReadOnly)
+	case bIsCall:
+		if !p.opts.FuseCalls || !p.opts.FuseBasic {
+			return false
+		}
+		return !interfere.StmtCallInterfere(p.info.Prog, p.info, p0, a, cb, p.opts.UseReadOnly)
+	default:
+		if !p.opts.FuseBasic {
+			return false
+		}
+		set, ok := interfere.Interference(a, b, p0)
+		return ok && len(set) == 0
+	}
+}
+
+// canAdd decides whether s can join the group executing in parallel from
+// matrix p0.
+func (p *parallelizer) canAdd(group []ast.Stmt, s ast.Stmt, p0 *matrix.Matrix) bool {
+	if p.opts.MaxGroup > 0 && len(group) >= p.opts.MaxGroup {
+		return false
+	}
+	allLeaves := isLeaf(s)
+	for _, g := range group {
+		if !isLeaf(g) {
+			allLeaves = false
+			break
+		}
+	}
+	if allLeaves {
+		for _, g := range group {
+			if !p.leafCompatible(g, s, p0) {
+				return false
+			}
+		}
+		return true
+	}
+	if !p.opts.FuseSequences {
+		return false
+	}
+	interferes, err := interfere.SequencesInterfere(p.info, p.proc, p0, group, []ast.Stmt{s}, p.opts.UseReadOnly)
+	return err == nil && !interferes
+}
+
+func (p *parallelizer) block(b *ast.Block) *ast.Block {
+	// Find the enclosing procedure once per body walk.
+	if name, ok := p.info.ProcOf(b); ok {
+		p.proc = name
+	}
+	out := &ast.Block{BeginPos: b.BeginPos}
+	i := 0
+	for i < len(b.Stmts) {
+		first := b.Stmts[i]
+		p0 := p.info.Before[first]
+		group := []ast.Stmt{first}
+		j := i + 1
+		for p0 != nil && j < len(b.Stmts) && p.canAdd(group, b.Stmts[j], p0) {
+			group = append(group, b.Stmts[j])
+			j++
+		}
+		if len(group) == 1 {
+			out.Stmts = append(out.Stmts, p.rebuild(first))
+			i = j
+			continue
+		}
+		par := &ast.Par{}
+		leaves := true
+		for _, g := range group {
+			if !isLeaf(g) {
+				leaves = false
+			}
+			par.Branches = append(par.Branches, p.rebuild(g))
+		}
+		p.stats.ParStatements++
+		p.stats.Branches += len(group)
+		if leaves {
+			p.stats.LeafGroups++
+		} else {
+			p.stats.SeqGroups++
+		}
+		out.Stmts = append(out.Stmts, par)
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package par
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/sil/ast"
+	"repro/internal/sil/parser"
+	"repro/internal/sil/printer"
+	"repro/internal/sil/types"
+)
+
+const fig7Source = `
+program add_and_reverse
+procedure main()
+  root, lside, rside: handle; i: int
+begin
+  root := new();
+  build(root, 5);
+  lside := root.left;
+  rside := root.right;
+  add_n(lside, 1);
+  add_n(rside, -1);
+  reverse(root)
+end;
+procedure build(h: handle; d: int)
+  l, r: handle
+begin
+  if d > 0 then
+  begin
+    l := new();
+    r := new();
+    h.left := l;
+    h.right := r;
+    build(l, d - 1);
+    build(r, d - 1)
+  end
+end;
+procedure add_n(h: handle; n: int)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    h.value := h.value + n;
+    l := h.left;
+    r := h.right;
+    add_n(l, n);
+    add_n(r, n)
+  end
+end;
+procedure reverse(h: handle)
+  l, r: handle
+begin
+  if h <> nil then
+  begin
+    l := h.left;
+    r := h.right;
+    reverse(l);
+    reverse(r);
+    h.left := r;
+    h.right := l
+  end
+end;
+`
+
+func analyze(t *testing.T, src string) *analysis.Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := types.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	types.Normalize(prog)
+	info, err := analysis.Analyze(prog, analysis.Options{})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info
+}
+
+// TestFig8Parallelization: parallelizing Figure 7 produces exactly the
+// parallel statements of Figure 8.
+func TestFig8Parallelization(t *testing.T) {
+	info := analyze(t, fig7Source)
+	res := Parallelize(info, DefaultOptions)
+	text := printer.Print(res.Prog)
+
+	// Figure 8's parallel statements, one per line of the paper.
+	for _, want := range []string{
+		"lside := root.left || rside := root.right",
+		"add_n(lside, 1) || add_n(rside, -1)",
+		"h.value := h.value + n || l := h.left || r := h.right",
+		"add_n(l, n) || add_n(r, n)",
+		"l := h.left || r := h.right",
+		"reverse(l) || reverse(r)",
+		"h.left := r || h.right := l",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing Figure 8 line %q in output:\n%s", want, text)
+		}
+	}
+	// reverse(root) must remain sequential after the add_n pair.
+	if strings.Contains(text, "add_n(rside, -1) || reverse(root)") {
+		t.Error("reverse(root) must not fuse with add_n calls")
+	}
+	// The builder's two recursive calls are also independent.
+	if !strings.Contains(text, "build(l, d - 1) || build(r, d - 1)") {
+		t.Errorf("build recursion should parallelize:\n%s", text)
+	}
+	// The transformed program still parses and checks.
+	prog2, err := parser.Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if err := types.Check(prog2); err != nil {
+		t.Fatalf("recheck: %v", err)
+	}
+}
+
+func TestFig8Stats(t *testing.T) {
+	info := analyze(t, fig7Source)
+	res := Parallelize(info, DefaultOptions)
+	// main: 2 groups; add_n: 2; reverse: 3; build: >= 2 (l/r news may fuse
+	// with updates depending on interference; the recursion pair must).
+	if res.Stats.ParStatements < 8 {
+		t.Errorf("stats = %+v, want at least 8 parallel statements", res.Stats)
+	}
+	if res.Stats.Branches < 2*res.Stats.ParStatements {
+		t.Errorf("every parallel statement needs >= 2 branches: %+v", res.Stats)
+	}
+}
+
+// TestNoFusionWhenDisabled: with everything off the program is unchanged.
+func TestNoFusionWhenDisabled(t *testing.T) {
+	info := analyze(t, fig7Source)
+	res := Parallelize(info, Options{})
+	if res.Stats.ParStatements != 0 {
+		t.Errorf("no fusion expected: %+v", res.Stats)
+	}
+	var hasPar func(s ast.Stmt) bool
+	hasPar = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.Par:
+			return true
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				if hasPar(st) {
+					return true
+				}
+			}
+		case *ast.If:
+			if hasPar(s.Then) {
+				return true
+			}
+			if s.Else != nil {
+				return hasPar(s.Else)
+			}
+		case *ast.While:
+			return hasPar(s.Body)
+		}
+		return false
+	}
+	for _, d := range res.Prog.Decls {
+		if hasPar(d.Body) {
+			t.Errorf("%s contains a parallel statement", d.Name)
+		}
+	}
+}
+
+// TestReadOnlyAblation: two calls reading the same subtree fuse only with
+// the §5.2 refinement enabled (E-AB1).
+func TestReadOnlyAblation(t *testing.T) {
+	src := `
+program readers
+procedure main()
+  root: handle; x, y: int
+begin
+  root := new();
+  x := sum(root);
+  y := sum(root)
+end;
+function sum(h: handle): int
+  s, a, b: int; l, r: handle
+begin
+  if h = nil then s := 0
+  else
+  begin
+    l := h.left;
+    r := h.right;
+    a := sum(l);
+    b := sum(r);
+    s := h.value + a + b
+  end
+end
+return (s);
+`
+	info := analyze(t, src)
+	with := Parallelize(info, DefaultOptions)
+	if got := printer.Print(with.Prog); !strings.Contains(got, "x := sum(root) || y := sum(root)") {
+		t.Errorf("read-only calls on the same tree should fuse:\n%s", got)
+	}
+	without := Parallelize(info, Options{FuseBasic: true, FuseCalls: true, FuseSequences: true, UseReadOnly: false})
+	if got := printer.Print(without.Prog); strings.Contains(got, "sum(root) || ") {
+		t.Errorf("without the refinement the calls must stay sequential:\n%s", got)
+	}
+}
+
+// TestInterferingStatementsStaySequential: a chain of dependent updates
+// must not fuse.
+func TestInterferingStatementsStaySequential(t *testing.T) {
+	src := `
+program chain
+procedure main()
+  a, b: handle; x: int
+begin
+  a := new();
+  b := a;
+  x := a.value;
+  a.value := x + 1;
+  b.value := x + 2
+end;
+`
+	info := analyze(t, src)
+	res := Parallelize(info, DefaultOptions)
+	text := printer.Print(res.Prog)
+	if strings.Contains(text, "a.value := x + 1 || b.value := x + 2") {
+		t.Errorf("aliased value writes must not fuse:\n%s", text)
+	}
+}
+
+// TestSequenceFusionOfGuardedBlocks: two if-guarded updates of disjoint
+// subtrees fuse via the §5.3 sequence analysis (they are not leaves).
+func TestSequenceFusionOfGuardedBlocks(t *testing.T) {
+	src := `
+program guarded
+procedure main()
+  root, l, r: handle
+begin
+  root := new();
+  l := new();
+  r := new();
+  root.left := l;
+  root.right := r;
+  if l <> nil then l.value := 1;
+  if r <> nil then r.value := 2
+end;
+`
+	info := analyze(t, src)
+	res := Parallelize(info, DefaultOptions)
+	if res.Stats.SeqGroups == 0 {
+		t.Errorf("expected a sequence-fused group, stats = %+v\n%s",
+			res.Stats, printer.Print(res.Prog))
+	}
+	// Without sequence fusion those statements stay sequential.
+	res2 := Parallelize(info, Options{FuseBasic: true, FuseCalls: true, UseReadOnly: true})
+	if res2.Stats.SeqGroups != 0 {
+		t.Errorf("sequence fusion disabled but used: %+v", res2.Stats)
+	}
+}
+
+// TestParallelizeIsRepeatable: running the transformation twice on a fresh
+// analysis gives the same text.
+func TestParallelizeIsRepeatable(t *testing.T) {
+	a := printer.Print(Parallelize(analyze(t, fig7Source), DefaultOptions).Prog)
+	b := printer.Print(Parallelize(analyze(t, fig7Source), DefaultOptions).Prog)
+	if a != b {
+		t.Error("parallelization not deterministic")
+	}
+}

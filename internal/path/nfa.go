@@ -1,0 +1,224 @@
+package path
+
+// This file decides language questions about path expressions by viewing
+// each path as a tiny regular expression over the two-letter edge alphabet
+// {l, r}: L^i = l^i, L+ = l l*, D^i = (l|r)^i, D+ = (l|r)(l|r)*, and so on.
+// The interference analyses of §5 need exactly two such questions:
+//
+//	MayOverlap(p, q)  — can p and q denote the same concrete path?
+//	                    (used to decide whether two access paths rooted at
+//	                    the same handle can reach the same node)
+//	MayStrictPrefix(p, q) — can some word of p be a proper prefix of some
+//	                    word of q? (used to decide whether an update through
+//	                    an edge at the end of p can invalidate a path q)
+//
+// Both reduce to emptiness of the product of two small NFAs, which for the
+// segment-run shape of path expressions is linear-time in practice.
+
+// nfa is a position automaton for one path expression. State k means "k
+// edges of the expression have been consumed", where edge positions are the
+// unrolled Min-runs of each segment; a segment with Inf contributes a
+// self-loop on its last position.
+type nfa struct {
+	// labels[k] is the direction constraint of the edge leaving state k
+	// (entering state k+1). len(labels) = number of states - 1.
+	labels []Dir
+	// loop[k] reports that state k+1 has a self-loop consuming labels[k]
+	// (the Inf tail of a segment).
+	loop []bool
+}
+
+// buildNFA unrolls the path's segments into the position automaton.
+// The accepting state is len(labels).
+func buildNFA(segs []Seg) nfa {
+	var labels []Dir
+	var loop []bool
+	for _, s := range segs {
+		for i := 0; i < s.Min; i++ {
+			labels = append(labels, s.Dir)
+			loop = append(loop, s.Inf && i == s.Min-1)
+		}
+	}
+	return nfa{labels: labels, loop: loop}
+}
+
+// steps enumerates the successor states of state k on a concrete letter
+// (LeftD or RightD). There are at most two: advance, and self-loop.
+func (m nfa) steps(k int, letter Dir, visit func(int)) {
+	if k < len(m.labels) && subsumesDir(m.labels[k], letter) {
+		visit(k + 1)
+	}
+	if k > 0 && k <= len(m.loop) && m.loop[k-1] && subsumesDir(m.labels[k-1], letter) {
+		visit(k) // stay on the Inf tail
+	}
+}
+
+func (m nfa) accept(k int) bool { return k == len(m.labels) }
+
+// productReach explores the reachable product states of automata a and b and
+// reports whether any state satisfying ok is reachable.
+func productReach(a, b nfa, ok func(ka, kb int) bool) bool {
+	type st struct{ ka, kb int }
+	seen := map[st]bool{{0, 0}: true}
+	work := []st{{0, 0}}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		if ok(s.ka, s.kb) {
+			return true
+		}
+		for _, letter := range []Dir{LeftD, RightD} {
+			a.steps(s.ka, letter, func(na int) {
+				b.steps(s.kb, letter, func(nb int) {
+					n := st{na, nb}
+					if !seen[n] {
+						seen[n] = true
+						work = append(work, n)
+					}
+				})
+			})
+		}
+	}
+	return false
+}
+
+// MayOverlap reports whether the two path expressions can denote the same
+// concrete edge sequence — i.e. whether, starting from a common node, the
+// two paths can land on the same node. Definiteness flags are ignored; this
+// is a may-question. S overlaps only with paths that can be empty (only S).
+func MayOverlap(p, q Path) bool {
+	a, b := buildNFA(p.segs), buildNFA(q.segs)
+	return productReach(a, b, func(ka, kb int) bool { return a.accept(ka) && b.accept(kb) })
+}
+
+// MayStrictPrefix reports whether some word denoted by p is a strict prefix
+// of some word denoted by q: equivalently L(p)·Σ+ ∩ L(q) ≠ ∅. When true, a
+// node reached by p can lie strictly on the way to a node reached by q.
+func MayStrictPrefix(p, q Path) bool {
+	a, b := buildNFA(p.segs), buildNFA(q.segs)
+	// Reach a state where p has accepted; then require q to consume at
+	// least one more letter and still be able to accept.
+	type st struct {
+		kb       int
+		consumed bool // one extra letter consumed after p accepted
+	}
+	// First compute all q-states reachable at the moment p accepts.
+	var starts []int
+	seenStart := map[int]bool{}
+	productReach(a, b, func(ka, kb int) bool {
+		if a.accept(ka) && !seenStart[kb] {
+			seenStart[kb] = true
+			starts = append(starts, kb)
+		}
+		return false
+	})
+	// Then ask whether from any such q-state, >= 1 more letters lead to
+	// acceptance of q.
+	seen := map[st]bool{}
+	var work []st
+	for _, kb := range starts {
+		s := st{kb, false}
+		if !seen[s] {
+			seen[s] = true
+			work = append(work, s)
+		}
+	}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		if s.consumed && b.accept(s.kb) {
+			return true
+		}
+		for _, letter := range []Dir{LeftD, RightD} {
+			b.steps(s.kb, letter, func(nb int) {
+				n := st{nb, true}
+				if !seen[n] {
+					seen[n] = true
+					work = append(work, n)
+				}
+			})
+		}
+	}
+	return false
+}
+
+// MayRouteThrough reports whether a path pxy (x→y) may pass through the
+// f-edge out of a node reached from x by pa (x→a). It decides
+// L(pa · f · Σ*) ∩ L(pxy) ≠ ∅ and is the kill-test used by the transfer
+// function for the update a.f := b: any x→y path that may route through
+// a's old f edge can no longer be considered definite.
+func MayRouteThrough(pxy, pa Path, f Dir) bool {
+	prefix := pa.Extend(f)
+	if MayOverlap(prefix, pxy) {
+		return true
+	}
+	return MayStrictPrefix(prefix, pxy)
+}
+
+// MayDescend reports whether q can reach nodes strictly below where p ends,
+// or the same node (p may be a non-strict prefix of q).
+func MayDescend(p, q Path) bool {
+	return MayOverlap(p, q) || MayStrictPrefix(p, q)
+}
+
+// Subsumes reports language inclusion L(q) ⊆ L(p): every concrete path q
+// can denote is also denoted by p. The widening uses it to drop possible
+// paths already covered by a wider member (e.g. L1? and L2+? inside L+?),
+// which is what makes the Figure 3 iteration converge to the paper's L+.
+//
+// Decision: walk the product of q's NFA with the on-the-fly determinized
+// p-NFA; a counterexample is a reachable state where q accepts but no
+// p-state does.
+func Subsumes(p, q Path) bool {
+	pn, qn := buildNFA(p.segs), buildNFA(q.segs)
+	type st struct {
+		kq   int
+		pset string // sorted p-state set encoding
+	}
+	encode := func(set map[int]bool) string {
+		buf := make([]byte, len(pn.labels)+1)
+		for i := range buf {
+			if set[i] {
+				buf[i] = '1'
+			} else {
+				buf[i] = '0'
+			}
+		}
+		return string(buf)
+	}
+	decode := func(s string) map[int]bool {
+		set := map[int]bool{}
+		for i := 0; i < len(s); i++ {
+			if s[i] == '1' {
+				set[i] = true
+			}
+		}
+		return set
+	}
+	pAccepts := func(set map[int]bool) bool { return set[len(pn.labels)] }
+	start := st{0, encode(map[int]bool{0: true})}
+	seen := map[st]bool{start: true}
+	work := []st{start}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		pset := decode(s.pset)
+		if qn.accept(s.kq) && !pAccepts(pset) {
+			return false
+		}
+		for _, letter := range []Dir{LeftD, RightD} {
+			next := map[int]bool{}
+			for kp := range pset {
+				pn.steps(kp, letter, func(n int) { next[n] = true })
+			}
+			qn.steps(s.kq, letter, func(nq int) {
+				n := st{nq, encode(next)}
+				if !seen[n] {
+					seen[n] = true
+					work = append(work, n)
+				}
+			})
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package path
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a single path in the notation produced by Path.String:
+// "S", "S?", "L1", "L+", "L2+", "R1D+?", and so on. A "^" between the
+// direction letter and the count is accepted, so the paper's spelling
+// "L^1L+L^2" parses too.
+func Parse(src string) (Path, error) {
+	orig := src
+	src = strings.ReplaceAll(strings.TrimSpace(src), "^", "")
+	possible := false
+	if strings.HasSuffix(src, "?") {
+		possible = true
+		src = strings.TrimSuffix(src, "?")
+	}
+	if src == "S" {
+		if possible {
+			return SamePossible(), nil
+		}
+		return Same(), nil
+	}
+	var segs []Seg
+	i := 0
+	for i < len(src) {
+		var d Dir
+		switch src[i] {
+		case 'L':
+			d = LeftD
+		case 'R':
+			d = RightD
+		case 'D':
+			d = DownD
+		default:
+			return Path{}, fmt.Errorf("path: parse %q: unexpected %q at %d", orig, src[i], i)
+		}
+		i++
+		n := 0
+		hasDigits := false
+		for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+			n = n*10 + int(src[i]-'0')
+			hasDigits = true
+			i++
+		}
+		inf := false
+		if i < len(src) && src[i] == '+' {
+			inf = true
+			i++
+		}
+		switch {
+		case inf && !hasDigits:
+			segs = append(segs, Plus(d))
+		case inf:
+			segs = append(segs, AtLeast(d, n))
+		case hasDigits:
+			if n < 1 {
+				return Path{}, fmt.Errorf("path: parse %q: zero-length segment", orig)
+			}
+			segs = append(segs, Exact(d, n))
+		default:
+			return Path{}, fmt.Errorf("path: parse %q: direction %s needs a count or +", orig, d)
+		}
+	}
+	if len(segs) == 0 {
+		return Path{}, fmt.Errorf("path: parse %q: empty path (use S)", orig)
+	}
+	p := Path{segs: canon(segs), possible: possible}
+	return p, nil
+}
+
+// MustParse is Parse for test fixtures and package examples; it panics on
+// malformed input.
+func MustParse(src string) Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustParseSet is ParseSet for test fixtures; it panics on malformed input.
+func MustParseSet(src string) Set {
+	s, err := ParseSet(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

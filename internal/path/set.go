@@ -1,0 +1,436 @@
+package path
+
+import (
+	"sort"
+	"strings"
+)
+
+// Limits bounds the abstract domain so that the iterative approximation of
+// §4 (Figure 3) and the recursive procedure summaries of §5.2 terminate.
+// They are the knobs of the E-AB2 widening ablation.
+type Limits struct {
+	// MaxExact is the largest exact edge count kept in a segment; larger
+	// counts are widened to the >= form (the paper's +).
+	MaxExact int
+	// MaxSegs is the largest number of direction runs kept in one path;
+	// longer paths have their suffix collapsed into a single D segment.
+	MaxSegs int
+	// MaxPaths is the widest path set kept per matrix entry; wider sets are
+	// collapsed (non-S members fold into D+? / D^{>=m}?).
+	MaxPaths int
+}
+
+// DefaultLimits are generous enough to keep every figure of the paper exact
+// while still guaranteeing termination.
+var DefaultLimits = Limits{MaxExact: 8, MaxSegs: 6, MaxPaths: 8}
+
+// widenPath applies the per-path structural bounds.
+func widenPath(p Path, lim Limits) Path {
+	segs := p.segs
+	changed := false
+	for i, s := range segs {
+		if !s.Inf && s.Min > lim.MaxExact {
+			if !changed {
+				segs = append([]Seg(nil), segs...)
+				changed = true
+			}
+			segs[i] = Seg{Dir: s.Dir, Min: lim.MaxExact, Inf: true}
+		}
+	}
+	if len(segs) > lim.MaxSegs {
+		if !changed {
+			segs = append([]Seg(nil), segs...)
+		}
+		// Collapse the suffix beyond MaxSegs-1 into one D segment that
+		// covers at least the collapsed minimum length.
+		keep := lim.MaxSegs - 1
+		min, inf := 0, false
+		for _, s := range segs[keep:] {
+			min += s.Min
+			inf = inf || s.Inf
+		}
+		collapsed := Seg{Dir: DownD, Min: min, Inf: true}
+		_ = inf // the collapse is already a >= form
+		segs = append(segs[:keep:keep], collapsed)
+		// Direction was approximated, so the path is merely possible now
+		// unless it already subsumed: collapsing to D^{>=min} still covers
+		// the original language, so definiteness is preserved for
+		// existence; but the expression is weaker. Existence is what the
+		// flag asserts, so keep it.
+	}
+	if p2 := (Path{segs: canon(segs), possible: p.possible}); true {
+		return p2
+	}
+	return p
+}
+
+// Set is a canonical set of paths: the estimate of the relationship between
+// two handles (one path-matrix entry). The zero value is the empty set,
+// meaning "no downward path from the row handle to the column handle".
+//
+// Sets are value-like: operations return new sets and never mutate inputs.
+type Set struct {
+	ps []Path // sorted by Compare, unique by expression
+}
+
+// EmptySet is the entry for unrelated handles.
+func EmptySet() Set { return Set{} }
+
+// NewSet builds a canonical set from the given paths. When the same
+// expression occurs both definite and possible, definite wins (it is the
+// stronger statement along the may/must axis used by the analysis: the set
+// records all possible relationships, and the flag upgrades one to a
+// guarantee).
+func NewSet(paths ...Path) Set {
+	var s Set
+	for _, p := range paths {
+		s = s.Add(p)
+	}
+	return s
+}
+
+// IsEmpty reports whether the handles are unrelated.
+func (s Set) IsEmpty() bool { return len(s.ps) == 0 }
+
+// Len returns the number of distinct path expressions.
+func (s Set) Len() int { return len(s.ps) }
+
+// Paths returns the canonical contents. Callers must not modify the slice.
+func (s Set) Paths() []Path { return s.ps }
+
+// Add returns s with p included, keeping canonical form.
+func (s Set) Add(p Path) Set {
+	for i, q := range s.ps {
+		if q.EqualExpr(p) {
+			if q.possible && !p.possible {
+				out := append([]Path(nil), s.ps...)
+				out[i] = p
+				return Set{ps: out}
+			}
+			return s
+		}
+	}
+	out := append([]Path(nil), s.ps...)
+	out = append(out, p)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return Set{ps: out}
+}
+
+// Union returns the union of two sets collected along a single control-flow
+// path (definite-wins on duplicate expressions).
+func (s Set) Union(t Set) Set {
+	out := s
+	for _, p := range t.ps {
+		out = out.Add(p)
+	}
+	return out
+}
+
+// MergeJoin combines estimates from two alternative control-flow paths
+// (if/else arms, loop iterations). A path expression is definite in the
+// result only if it is definite in both inputs; expressions present on only
+// one side survive as possible.
+func (s Set) MergeJoin(t Set) Set {
+	var out Set
+	for _, p := range s.ps {
+		q, ok := t.find(p)
+		switch {
+		case ok && p.Definite() && q.Definite():
+			out = out.Add(p)
+		default:
+			out = out.Add(p.AsPossible())
+		}
+	}
+	for _, q := range t.ps {
+		if _, ok := s.find(q); !ok {
+			out = out.Add(q.AsPossible())
+		}
+	}
+	return out
+}
+
+func (s Set) find(p Path) (Path, bool) {
+	for _, q := range s.ps {
+		if q.EqualExpr(p) {
+			return q, true
+		}
+	}
+	return Path{}, false
+}
+
+// Demote returns s with every path for which cond holds downgraded to
+// possible (used by the a.f := b kill rule).
+func (s Set) Demote(cond func(Path) bool) Set {
+	var out Set
+	for _, p := range s.ps {
+		if cond(p) {
+			p = p.AsPossible()
+		}
+		out = out.Add(p)
+	}
+	return out
+}
+
+// Filter returns the subset satisfying keep.
+func (s Set) Filter(keep func(Path) bool) Set {
+	var out Set
+	for _, p := range s.ps {
+		if keep(p) {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// ExtendAll appends one edge in direction d to every member.
+func (s Set) ExtendAll(d Dir) Set {
+	var out Set
+	for _, p := range s.ps {
+		out = out.Add(p.Extend(d))
+	}
+	return out
+}
+
+// ConcatAll returns {p·q : p ∈ s, q ∈ t}.
+func (s Set) ConcatAll(t Set) Set {
+	var out Set
+	for _, p := range s.ps {
+		for _, q := range t.ps {
+			out = out.Add(p.Concat(q))
+		}
+	}
+	return out
+}
+
+// ResidueAll computes the entry for (b.f → x) from the entry for (b → x).
+func (s Set) ResidueAll(f Dir) Set {
+	var out Set
+	for _, p := range s.ps {
+		for _, r := range p.Residue(f) {
+			out = out.Add(r)
+		}
+	}
+	return out
+}
+
+// Widen applies the domain bounds: per-path structural bounds, then
+// subsumption-dropping of covered possible members, then — only if the set
+// is still too wide — direction-preserving signature collapse, and as a
+// last resort a fold into a single D^{>=m}? member.
+func (s Set) Widen(lim Limits) Set {
+	var out Set
+	for _, p := range s.ps {
+		out = out.Add(widenPath(p, lim))
+	}
+	out = out.dropSubsumed()
+	if out.Len() <= lim.MaxPaths {
+		return out
+	}
+	out = out.collapseBySignature().dropSubsumed()
+	if out.Len() <= lim.MaxPaths {
+		return out
+	}
+	// Too wide: keep an S member if present, fold the rest into one
+	// possible D^{>=m} covering every collapsed path.
+	var collapsed Set
+	min := -1
+	hadSame := false
+	samePossible := true
+	for _, p := range out.ps {
+		if p.IsSame() {
+			hadSame = true
+			samePossible = samePossible && p.Possible()
+			continue
+		}
+		if m := p.MinLen(); min < 0 || m < min {
+			min = m
+		}
+	}
+	if hadSame {
+		if samePossible {
+			collapsed = collapsed.Add(SamePossible())
+		} else {
+			collapsed = collapsed.Add(Same())
+		}
+	}
+	if min >= 0 {
+		if min < 1 {
+			min = 1
+		}
+		collapsed = collapsed.Add(NewPossible(AtLeast(DownD, min)))
+	}
+	return collapsed
+}
+
+// dropSubsumed removes possible members whose language is covered by some
+// other member; definite members are never dropped (they carry a stronger
+// existence guarantee).
+func (s Set) dropSubsumed() Set {
+	if len(s.ps) < 2 {
+		return s
+	}
+	keep := make([]Path, 0, len(s.ps))
+	for i, q := range s.ps {
+		if q.Definite() {
+			keep = append(keep, q)
+			continue
+		}
+		covered := false
+		for j, p := range s.ps {
+			if i == j || q.EqualExpr(p) {
+				continue
+			}
+			if Subsumes(p, q) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			keep = append(keep, q)
+		}
+	}
+	if len(keep) == len(s.ps) {
+		return s
+	}
+	return Set{ps: keep}
+}
+
+// collapseBySignature merges members sharing the same direction signature
+// into one generalized path (L1, L2 → L+; L1R2, L2R1 → L+R+), preserving
+// direction information that the final D-collapse would lose. The merged
+// path is definite only when every merged member was.
+func (s Set) collapseBySignature() Set {
+	groups := map[string][]Path{}
+	var order []string
+	for _, p := range s.ps {
+		sig := ""
+		for _, seg := range p.segs {
+			sig += seg.Dir.String()
+		}
+		if _, ok := groups[sig]; !ok {
+			order = append(order, sig)
+		}
+		groups[sig] = append(groups[sig], p)
+	}
+	var out Set
+	for _, sig := range order {
+		g := groups[sig]
+		if len(g) == 1 {
+			out = out.Add(g[0])
+			continue
+		}
+		first := g[0]
+		segs := append([]Seg(nil), first.segs...)
+		definite := first.Definite()
+		for _, p := range g[1:] {
+			definite = definite && p.Definite()
+			for i := range segs {
+				o := p.segs[i]
+				if o.Min < segs[i].Min {
+					segs[i] = Seg{Dir: segs[i].Dir, Min: o.Min, Inf: true}
+				} else if o.Min > segs[i].Min || o.Inf {
+					segs[i] = Seg{Dir: segs[i].Dir, Min: segs[i].Min, Inf: true}
+				}
+			}
+		}
+		merged := Path{segs: canon(segs), possible: !definite}
+		out = out.Add(merged)
+	}
+	return out
+}
+
+// Equal reports set equality including definiteness flags.
+func (s Set) Equal(t Set) bool {
+	if len(s.ps) != len(t.ps) {
+		return false
+	}
+	for i := range s.ps {
+		if !s.ps[i].Equal(t.ps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasSame reports whether the set contains S or S? — i.e. the two handles
+// may refer to the same node (the alias condition of §5.1's A function).
+func (s Set) HasSame() bool {
+	for _, p := range s.ps {
+		if p.IsSame() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDefiniteSame reports whether the set contains definite S — the two
+// handles certainly refer to the same node.
+func (s Set) HasDefiniteSame() bool {
+	for _, p := range s.ps {
+		if p.IsSame() && p.Definite() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasDefinite reports whether any member is definite.
+func (s Set) HasDefinite() bool {
+	for _, p := range s.ps {
+		if p.Definite() {
+			return true
+		}
+	}
+	return false
+}
+
+// AllPossible returns the set with every member demoted to possible.
+func (s Set) AllPossible() Set {
+	return s.Demote(func(Path) bool { return true })
+}
+
+// MayOverlapSet reports whether some path of s and some path of t can
+// denote the same node (both sets rooted at the same handle).
+func MayOverlapSet(s, t Set) bool {
+	for _, p := range s.ps {
+		for _, q := range t.ps {
+			if MayOverlap(p, q) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the set in paper notation: members separated by ", ",
+// or "{}" for the empty set.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.ps))
+	for i, p := range s.ps {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseSet parses the String form back into a set; it accepts the notation
+// used throughout the paper's figures ("S", "L1L+", "R1D+?", comma
+// separated). It is the test helper that lets figure-replay tests state
+// expected matrices in the paper's own syntax.
+func ParseSet(src string) (Set, error) {
+	src = strings.TrimSpace(src)
+	if src == "" || src == "{}" {
+		return EmptySet(), nil
+	}
+	var out Set
+	for _, part := range strings.Split(src, ",") {
+		p, err := Parse(strings.TrimSpace(part))
+		if err != nil {
+			return Set{}, err
+		}
+		out = out.Add(p)
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package path
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAddDefiniteWins(t *testing.T) {
+	s := NewSet(MustParse("L1?"), MustParse("L1"))
+	if got := s.String(); got != "L1" {
+		t.Errorf("definite should absorb possible duplicate: %q", got)
+	}
+	s2 := NewSet(MustParse("L1"), MustParse("L1?"))
+	if !s.Equal(s2) {
+		t.Error("Add order should not matter")
+	}
+}
+
+func TestSetStringAndParse(t *testing.T) {
+	s := NewSet(MustParse("R1D+?"), MustParse("S"), MustParse("L+"))
+	// Canonical order: S first (empty segs), then L before R.
+	if got := s.String(); got != "S, L+, R1D+?" {
+		t.Errorf("String = %q", got)
+	}
+	back := MustParseSet(s.String())
+	if !back.Equal(s) {
+		t.Errorf("ParseSet round trip: %q -> %q", s, back)
+	}
+	if !MustParseSet("{}").IsEmpty() {
+		t.Error("{} should parse empty")
+	}
+	if !MustParseSet("").IsEmpty() {
+		t.Error("empty string should parse empty")
+	}
+	if _, err := ParseSet("L1, X"); err == nil {
+		t.Error("bad member should fail")
+	}
+}
+
+func TestMergeJoinSemantics(t *testing.T) {
+	// Definite on both sides stays definite.
+	a := MustParseSet("L1")
+	b := MustParseSet("L1")
+	if got := a.MergeJoin(b).String(); got != "L1" {
+		t.Errorf("def/def = %q", got)
+	}
+	// Definite on one side only becomes possible.
+	c := MustParseSet("L1, R1")
+	d := MustParseSet("L1")
+	if got := c.MergeJoin(d).String(); got != "L1, R1?" {
+		t.Errorf("one-sided = %q", got)
+	}
+	// Possible on either side stays possible.
+	e := MustParseSet("L1?").MergeJoin(MustParseSet("L1"))
+	if got := e.String(); got != "L1?" {
+		t.Errorf("poss/def = %q", got)
+	}
+	// Empty vs nonempty: everything possible.
+	f := MustParseSet("S, D+").MergeJoin(EmptySet())
+	if got := f.String(); got != "S?, D+?" {
+		t.Errorf("vs empty = %q", got)
+	}
+}
+
+func TestMergeJoinLattice(t *testing.T) {
+	// MergeJoin must be commutative, idempotent and associative — the
+	// properties the Figure 3 iteration relies on for convergence.
+	gen := func(g concretePathGen) Set {
+		p := g.path()
+		q := concretePathGen{Seed: g.Seed * 7}.path()
+		return NewSet(p, q)
+	}
+	comm := func(a, b concretePathGen) bool {
+		x, y := gen(a), gen(b)
+		return x.MergeJoin(y).Equal(y.MergeJoin(x))
+	}
+	if err := quick.Check(comm, quickCfg()); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	idem := func(a concretePathGen) bool {
+		x := gen(a)
+		return x.MergeJoin(x).Equal(x)
+	}
+	if err := quick.Check(idem, quickCfg()); err != nil {
+		t.Errorf("idempotence: %v", err)
+	}
+	assoc := func(a, b, c concretePathGen) bool {
+		x, y, z := gen(a), gen(b), gen(c)
+		return x.MergeJoin(y).MergeJoin(z).Equal(x.MergeJoin(y.MergeJoin(z)))
+	}
+	if err := quick.Check(assoc, quickCfg()); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+}
+
+func TestUnionKeepsStrongest(t *testing.T) {
+	a := MustParseSet("L1?, R1")
+	b := MustParseSet("L1, D+?")
+	got := a.Union(b).String()
+	if got != "L1, R1, D+?" {
+		t.Errorf("Union = %q", got)
+	}
+}
+
+func TestExtendAllResidueAll(t *testing.T) {
+	s := MustParseSet("S, L1")
+	if got := s.ExtendAll(RightD).String(); got != "L1R1, R1" {
+		t.Errorf("ExtendAll = %q", got)
+	}
+	r := MustParseSet("L+, R1").ResidueAll(LeftD)
+	if got := r.String(); got != "S?, L+?" {
+		t.Errorf("ResidueAll = %q", got)
+	}
+}
+
+func TestConcatAll(t *testing.T) {
+	s := MustParseSet("L1").ConcatAll(MustParseSet("S, R1?"))
+	if got := s.String(); got != "L1, L1R1?" {
+		t.Errorf("ConcatAll = %q", got)
+	}
+	if !EmptySet().ConcatAll(MustParseSet("L1")).IsEmpty() {
+		t.Error("empty·x should be empty")
+	}
+}
+
+func TestWidenExactToPlus(t *testing.T) {
+	lim := Limits{MaxExact: 3, MaxSegs: 6, MaxPaths: 8}
+	s := NewSet(MustParse("L5"))
+	if got := s.Widen(lim).String(); got != "L3+" {
+		t.Errorf("Widen exact = %q, want L3+", got)
+	}
+}
+
+func TestWidenSegCollapse(t *testing.T) {
+	lim := Limits{MaxExact: 8, MaxSegs: 3, MaxPaths: 8}
+	s := NewSet(MustParse("L1R1L1R1L1"))
+	got := s.Widen(lim).String()
+	if got != "L1R1D3+" {
+		t.Errorf("Widen segs = %q, want L1R1D3+", got)
+	}
+}
+
+func TestWidenSetCollapse(t *testing.T) {
+	lim := Limits{MaxExact: 8, MaxSegs: 6, MaxPaths: 2}
+	s := MustParseSet("S, L1, L2, R1")
+	got := s.Widen(lim).String()
+	if got != "S, D+?" {
+		t.Errorf("Widen set = %q, want S, D+?", got)
+	}
+	// Minimum length of collapsed members is preserved when > 1.
+	s2 := MustParseSet("L2, R3, L1R2")
+	got2 := s2.Widen(lim).String()
+	if got2 != "D2+?" {
+		t.Errorf("Widen set min = %q, want D2+?", got2)
+	}
+}
+
+// TestWidenSound: widening only grows the language (checked by word
+// enumeration), so it is always a safe over-approximation.
+func TestWidenSound(t *testing.T) {
+	lim := Limits{MaxExact: 2, MaxSegs: 2, MaxPaths: 2}
+	const maxLen = 6
+	f := func(a, b concretePathGen) bool {
+		s := NewSet(a.path(), b.path())
+		w := s.Widen(lim)
+		have := map[string]bool{}
+		for _, p := range w.Paths() {
+			for word := range words(p, maxLen) {
+				have[word] = true
+			}
+		}
+		for _, p := range s.Paths() {
+			for word := range words(p, maxLen) {
+				if !have[word] {
+					t.Logf("widen(%s) lost word %q of %s", s, word, p)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasSameHelpers(t *testing.T) {
+	s := MustParseSet("S?, L1")
+	if !s.HasSame() || s.HasDefiniteSame() {
+		t.Error("S? is same but not definite-same")
+	}
+	d := MustParseSet("S")
+	if !d.HasDefiniteSame() {
+		t.Error("S is definite-same")
+	}
+	if MustParseSet("L1").HasSame() {
+		t.Error("L1 is not same")
+	}
+	if !MustParseSet("L1, R1?").HasDefinite() {
+		t.Error("L1 is definite")
+	}
+	if MustParseSet("L1?").HasDefinite() {
+		t.Error("L1? is not definite")
+	}
+}
+
+func TestDemoteFilterAllPossible(t *testing.T) {
+	s := MustParseSet("S, L1, R1")
+	d := s.Demote(func(p Path) bool { return !p.IsSame() })
+	if got := d.String(); got != "S, L1?, R1?" {
+		t.Errorf("Demote = %q", got)
+	}
+	f := s.Filter(func(p Path) bool { return p.IsSame() })
+	if got := f.String(); got != "S" {
+		t.Errorf("Filter = %q", got)
+	}
+	if got := s.AllPossible().String(); got != "S?, L1?, R1?" {
+		t.Errorf("AllPossible = %q", got)
+	}
+}
+
+func TestMayOverlapSet(t *testing.T) {
+	a := MustParseSet("L1, L2")
+	b := MustParseSet("R1, L+")
+	if !MayOverlapSet(a, b) {
+		t.Error("L1 overlaps L+")
+	}
+	c := MustParseSet("R1")
+	if MayOverlapSet(a, c) {
+		t.Error("L paths cannot overlap R1")
+	}
+	if MayOverlapSet(EmptySet(), a) {
+		t.Error("empty set overlaps nothing")
+	}
+}

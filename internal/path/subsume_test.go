@@ -1,0 +1,147 @@
+package path
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubsumesBasics(t *testing.T) {
+	cases := []struct {
+		p, q string // does p subsume q (L(q) ⊆ L(p))?
+		want bool
+	}{
+		{"L+", "L1", true},
+		{"L+", "L3", true},
+		{"L+", "L2+", true},
+		{"L1", "L+", false},
+		{"L+", "R1", false},
+		{"D+", "L+", true},
+		{"D+", "L1R1", true},
+		{"L+", "D+", false},
+		{"S", "S", true},
+		{"D+", "S", false},
+		{"L1R1", "L1R1", true},
+		{"L1D+", "L1R2", true},
+		{"L1D+", "L2", false}, // the second edge of L2 is left; wait: D covers left too
+		{"D2+", "L1", false},  // too short
+		{"D1", "L1", true},
+		{"D1", "R1", true},
+	}
+	for _, c := range cases {
+		got := Subsumes(MustParse(c.p), MustParse(c.q))
+		if c.p == "L1D+" && c.q == "L2" {
+			// L2 = ll; L1D+ = l(l|r)+ includes ll: subsumption holds.
+			c.want = true
+		}
+		if got != c.want {
+			t.Errorf("Subsumes(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// TestSubsumesMatchesEnumeration cross-checks against brute-force word
+// enumeration (bounded; a missing long word cannot be caught, so only the
+// "claims inclusion but enumeration refutes" direction is decisive).
+func TestSubsumesMatchesEnumeration(t *testing.T) {
+	const maxLen = 7
+	f := func(a, b concretePathGen) bool {
+		p, q := a.path(), b.path()
+		got := Subsumes(p, q)
+		wp := words(p, maxLen)
+		for w := range words(q, maxLen) {
+			if !wp[w] {
+				// Found a q-word outside p within the bound.
+				if got {
+					t.Logf("Subsumes(%s, %s) true but %q not in p", p, q, w)
+					return false
+				}
+				return true
+			}
+		}
+		// All bounded q-words inside p: got=false is still possible
+		// (counterexample longer than the bound), so nothing to check.
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDropSubsumed(t *testing.T) {
+	s := MustParseSet("S?, L1?, L+?, L2+?")
+	out := s.dropSubsumed()
+	if got := out.String(); got != "S?, L+?" {
+		t.Errorf("dropSubsumed = %q, want S?, L+?", got)
+	}
+	// Definite members are never dropped.
+	d := MustParseSet("L1, L+?")
+	if got := d.dropSubsumed().String(); got != "L1, L+?" {
+		t.Errorf("definite dropped: %q", got)
+	}
+	// A definite wide member absorbs possible narrow ones.
+	e := MustParseSet("L1?, L+")
+	if got := e.dropSubsumed().String(); got != "L+" {
+		t.Errorf("possible member should fold into definite cover: %q", got)
+	}
+}
+
+func TestCollapseBySignature(t *testing.T) {
+	s := MustParseSet("L1, L2, L3")
+	out := s.collapseBySignature()
+	if got := out.String(); got != "L+" {
+		t.Errorf("collapse = %q, want L+ (all definite ⇒ definite)", got)
+	}
+	mixed := MustParseSet("L1R2, L2R1?")
+	if got := mixed.collapseBySignature().String(); got != "L+R+?" {
+		t.Errorf("collapse = %q, want L+R+?", got)
+	}
+	// Different signatures stay apart.
+	apart := MustParseSet("L1, R1")
+	if got := apart.collapseBySignature().String(); got != "L1, R1" {
+		t.Errorf("collapse merged different signatures: %q", got)
+	}
+	// S keeps its own group.
+	withS := MustParseSet("S, L1, L2")
+	if got := withS.collapseBySignature().String(); got != "S, L+" {
+		t.Errorf("collapse = %q", got)
+	}
+}
+
+func TestIsExactEdge(t *testing.T) {
+	if !MustParse("L1").IsExactEdge(LeftD) {
+		t.Error("L1 is an exact left edge")
+	}
+	for _, bad := range []string{"L2", "L+", "R1", "L1R1", "S", "L1?"} {
+		p := MustParse(bad)
+		if bad == "L1?" {
+			// The flag does not change the expression test.
+			if !p.IsExactEdge(LeftD) {
+				t.Error("L1? expression is still one left edge")
+			}
+			continue
+		}
+		if p.IsExactEdge(LeftD) {
+			t.Errorf("%s should not be an exact left edge", bad)
+		}
+	}
+}
+
+// TestWidenConvergesUnderIteration simulates the Figure 3 engine loop:
+// repeatedly extend-and-merge must reach a fixed point quickly.
+func TestWidenConvergesUnderIteration(t *testing.T) {
+	lim := DefaultLimits
+	acc := NewSet(Same())
+	for i := 0; i < 50; i++ {
+		extended := acc.ExtendAll(LeftD).AllPossible()
+		next := acc.MergeJoin(extended).Widen(lim)
+		if next.Equal(acc) {
+			if !strings.Contains(acc.String(), "L") {
+				t.Errorf("fixpoint lost direction: %s", acc)
+			}
+			return
+		}
+		acc = next
+	}
+	t.Fatalf("no convergence within 50 iterations: %s", acc)
+}

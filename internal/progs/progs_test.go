@@ -1,0 +1,128 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/interp"
+)
+
+func TestCatalogCompiles(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Catalog {
+		if seen[e.Name] {
+			t.Errorf("duplicate catalog name %s", e.Name)
+		}
+		seen[e.Name] = true
+		if _, err := Compile(e.Source); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+		if e.About == "" {
+			t.Errorf("%s: missing description", e.Name)
+		}
+		if e.NeedsTree && len(e.Roots) == 0 {
+			t.Errorf("%s: NeedsTree but no Roots", e.Name)
+		}
+	}
+}
+
+func TestCompileRejectsBadSource(t *testing.T) {
+	if _, err := Compile("program broken procedure main() begin x := end;"); err == nil {
+		t.Error("parse error expected")
+	}
+	if _, err := Compile("program broken procedure main() begin x := 1 end;"); err == nil {
+		t.Error("check error expected (undeclared x)")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile should panic on bad source")
+		}
+	}()
+	MustCompile("not a program")
+}
+
+func TestBalancedTreeSetup(t *testing.T) {
+	h := heap.New()
+	env := map[string]interp.Value{}
+	BalancedTreeSetup(3)(h, env)
+	root := env["root"]
+	if !root.IsHandle || root.Node.IsNil() {
+		t.Fatal("root not bound")
+	}
+	if got := len(h.Reachable(root.Node)); got != 15 {
+		t.Errorf("depth-3 tree has %d nodes, want 15", got)
+	}
+	if h.Classify(root.Node) != heap.Tree {
+		t.Error("setup must build a tree")
+	}
+}
+
+func TestListSetup(t *testing.T) {
+	h := heap.New()
+	env := map[string]interp.Value{}
+	ListSetup(7)(h, env)
+	n := 0
+	for id := env["cur"].Node; !id.IsNil(); {
+		n++
+		id, _ = h.Link(id, heap.Left)
+	}
+	if n != 7 {
+		t.Errorf("list length %d, want 7", n)
+	}
+}
+
+func TestBitonicTreeSetup(t *testing.T) {
+	h := heap.New()
+	env := map[string]interp.Value{}
+	BitonicTreeSetup(4)(h, env)
+	root := env["root"].Node
+	if h.Classify(root) != heap.Tree {
+		t.Error("bitonic setup must build a tree")
+	}
+	if got := len(h.Reachable(root)); got != 31 {
+		t.Errorf("depth-4 tree has %d nodes, want 31", got)
+	}
+	// Left child ascends, right child descends (the bitonic shape).
+	l, _ := h.Link(root, heap.Left)
+	r, _ := h.Link(root, heap.Right)
+	lv, _ := h.Value(l)
+	rv, _ := h.Value(r)
+	if lv > rv {
+		t.Errorf("bitonic shape: left head %d should not exceed right head %d", lv, rv)
+	}
+}
+
+func TestRandomProgramDeterministic(t *testing.T) {
+	a, b := RandomProgram(42), RandomProgram(42)
+	if a != b {
+		t.Error("same seed must give same program")
+	}
+	c := RandomProgram(43)
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+	if !strings.Contains(a, "procedure walk") {
+		t.Error("generator must include the recursive walker")
+	}
+}
+
+func TestRandomProgramsCompileAndRun(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		src := RandomProgram(seed)
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		// Runtime errors other than the step limit are generator bugs:
+		// every dereference is guarded.
+		if _, err := interp.Run(prog, interp.Config{MaxSteps: 200_000}, nil); err != nil {
+			if !strings.Contains(err.Error(), "step limit") {
+				t.Errorf("seed %d: unexpected runtime error: %v\n%s", seed, err, src)
+			}
+		}
+	}
+}

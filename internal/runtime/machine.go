@@ -1,0 +1,207 @@
+// Package runtime provides the execution substrate on which parallelized
+// SIL programs are measured: a deterministic simulated multiprocessor
+// (greedy list scheduling of the fork-join trace on P workers), speedup
+// measurement across processor counts, and the sequential/parallel
+// equivalence checker that serves as the soundness oracle for the static
+// analyses. The paper reports no machine numbers; this simulator supplies
+// the quantitative counterpart of its parallelization claims (E-SP1).
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/interp"
+)
+
+// MachineConfig describes the simulated multiprocessor.
+type MachineConfig struct {
+	// Procs is the number of workers; 0 means unbounded (T∞).
+	Procs int
+	// ForkOverhead is charged once per parallel statement (spawn cost).
+	ForkOverhead int64
+}
+
+// task is one node of the fork-join DAG.
+type task struct {
+	cost  int64
+	succs []int32
+	preds int32
+}
+
+// dagBuilder flattens a Trace into tasks with dependencies.
+type dagBuilder struct {
+	tasks        []task
+	forkOverhead int64
+}
+
+func (b *dagBuilder) add(cost int64) int32 {
+	b.tasks = append(b.tasks, task{cost: cost})
+	return int32(len(b.tasks) - 1)
+}
+
+func (b *dagBuilder) edge(from, to int32) {
+	b.tasks[from].succs = append(b.tasks[from].succs, to)
+	b.tasks[to].preds++
+}
+
+// build converts tr into a sub-DAG and returns its (source, sink).
+func (b *dagBuilder) build(tr *interp.Trace) (int32, int32) {
+	if tr.Par {
+		fork := b.add(tr.Cost + b.forkOverhead)
+		join := b.add(0)
+		if len(tr.Kids) == 0 {
+			b.edge(fork, join)
+			return fork, join
+		}
+		for _, k := range tr.Kids {
+			s, t := b.build(k)
+			b.edge(fork, s)
+			b.edge(t, join)
+		}
+		return fork, join
+	}
+	// Sequential node: chain the cost (if any) and the kids.
+	var first, last int32 = -1, -1
+	link := func(s, t int32) {
+		if first < 0 {
+			first = s
+		} else {
+			b.edge(last, s)
+		}
+		last = t
+	}
+	if tr.Cost > 0 || len(tr.Kids) == 0 {
+		n := b.add(tr.Cost)
+		link(n, n)
+	}
+	for _, k := range tr.Kids {
+		s, t := b.build(k)
+		link(s, t)
+	}
+	return first, last
+}
+
+// finishHeap orders running tasks by completion time.
+type finishHeap []struct {
+	at int64
+	id int32
+}
+
+func (h finishHeap) Len() int           { return len(h) }
+func (h finishHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h finishHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x any) {
+	*h = append(*h, x.(struct {
+		at int64
+		id int32
+	}))
+}
+func (h *finishHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Makespan simulates greedy list scheduling (FIFO ready queue) of the
+// trace's fork-join DAG on the configured machine and returns the
+// completion time. Greedy scheduling realizes Brent's bound
+// T_P <= T1/P + T∞, so the simulated numbers always land between the
+// ideal and the critical path.
+func Makespan(tr *interp.Trace, cfg MachineConfig) int64 {
+	if tr == nil {
+		return 0
+	}
+	b := &dagBuilder{forkOverhead: cfg.ForkOverhead}
+	src, _ := b.build(tr)
+	if src < 0 {
+		return 0
+	}
+	procs := cfg.Procs
+	if procs <= 0 {
+		procs = len(b.tasks) // effectively unbounded
+	}
+	ready := make([]int32, 0, 64)
+	ready = append(ready, src)
+	running := &finishHeap{}
+	var now, makespan int64
+	idle := procs
+	for len(ready) > 0 || running.Len() > 0 {
+		// Start as many ready tasks as workers allow.
+		for idle > 0 && len(ready) > 0 {
+			id := ready[0]
+			ready = ready[1:]
+			idle--
+			heap.Push(running, struct {
+				at int64
+				id int32
+			}{now + b.tasks[id].cost, id})
+		}
+		// Advance to the next completion.
+		done := heap.Pop(running).(struct {
+			at int64
+			id int32
+		})
+		now = done.at
+		if now > makespan {
+			makespan = now
+		}
+		idle++
+		for _, s := range b.tasks[done.id].succs {
+			b.tasks[s].preds--
+			if b.tasks[s].preds == 0 {
+				ready = append(ready, s)
+			}
+		}
+		// Drain every other task finishing at the same instant.
+		for running.Len() > 0 && (*running)[0].at == now {
+			d2 := heap.Pop(running).(struct {
+				at int64
+				id int32
+			})
+			idle++
+			for _, s := range b.tasks[d2.id].succs {
+				b.tasks[s].preds--
+				if b.tasks[s].preds == 0 {
+					ready = append(ready, s)
+				}
+			}
+		}
+	}
+	return makespan
+}
+
+// Speedup is one program's scaling measurement on the simulated machine.
+type Speedup struct {
+	Work      int64 // T1
+	Span      int64 // T∞
+	Procs     []int
+	Makespans []int64
+}
+
+// SpeedupAt returns T1 / T_P for the i-th processor count.
+func (s *Speedup) SpeedupAt(i int) float64 {
+	if s.Makespans[i] == 0 {
+		return 0
+	}
+	return float64(s.Work) / float64(s.Makespans[i])
+}
+
+// String renders one table row per processor count.
+func (s *Speedup) String() string {
+	out := fmt.Sprintf("T1=%d T∞=%d parallelism=%.2f\n", s.Work, s.Span,
+		float64(s.Work)/float64(max64(s.Span, 1)))
+	for i, p := range s.Procs {
+		out += fmt.Sprintf("  P=%-4d T_P=%-10d speedup=%.2f\n", p, s.Makespans[i], s.SpeedupAt(i))
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,242 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/interp"
+	"repro/internal/par"
+	"repro/internal/progs"
+)
+
+func makespanOf(t *testing.T, tr *interp.Trace, procs int) int64 {
+	t.Helper()
+	return Makespan(tr, MachineConfig{Procs: procs})
+}
+
+func leaf(c int64) *interp.Trace { return &interp.Trace{Cost: c} }
+
+func seq(kids ...*interp.Trace) *interp.Trace { return &interp.Trace{Kids: kids} }
+
+func parT(kids ...*interp.Trace) *interp.Trace { return &interp.Trace{Par: true, Kids: kids} }
+
+func TestMakespanSequentialChain(t *testing.T) {
+	tr := seq(leaf(3), leaf(4), leaf(5))
+	for _, p := range []int{1, 2, 8} {
+		if got := makespanOf(t, tr, p); got != 12 {
+			t.Errorf("P=%d makespan = %d, want 12", p, got)
+		}
+	}
+}
+
+func TestMakespanPerfectFork(t *testing.T) {
+	tr := parT(leaf(10), leaf(10), leaf(10), leaf(10))
+	if got := makespanOf(t, tr, 1); got != 40 {
+		t.Errorf("P=1: %d, want 40", got)
+	}
+	if got := makespanOf(t, tr, 2); got != 20 {
+		t.Errorf("P=2: %d, want 20", got)
+	}
+	if got := makespanOf(t, tr, 4); got != 10 {
+		t.Errorf("P=4: %d, want 10", got)
+	}
+	if got := makespanOf(t, tr, 0); got != 10 {
+		t.Errorf("P=inf: %d, want 10", got)
+	}
+}
+
+func TestMakespanUnbalancedFork(t *testing.T) {
+	tr := parT(leaf(30), leaf(10), leaf(10))
+	if got := makespanOf(t, tr, 2); got != 30 {
+		t.Errorf("P=2: %d, want 30 (30 ‖ 10+10)", got)
+	}
+}
+
+func TestMakespanNestedForkJoin(t *testing.T) {
+	// seq( par(5,5), 3 ): P=2 → 5 + 3 = 8; P=1 → 13.
+	tr := seq(parT(leaf(5), leaf(5)), leaf(3))
+	if got := makespanOf(t, tr, 2); got != 8 {
+		t.Errorf("P=2: %d, want 8", got)
+	}
+	if got := makespanOf(t, tr, 1); got != 13 {
+		t.Errorf("P=1: %d, want 13", got)
+	}
+}
+
+func TestMakespanBrentBound(t *testing.T) {
+	// Random-ish recursive trace: T_P must satisfy T∞ <= T_P <= T1/P + T∞.
+	var gen func(d int) *interp.Trace
+	gen = func(d int) *interp.Trace {
+		if d == 0 {
+			return leaf(int64(1 + d%3))
+		}
+		return seq(leaf(2), parT(gen(d-1), gen(d-1)), leaf(1))
+	}
+	tr := gen(7)
+	work, span := tr.Work(), tr.Span()
+	for _, p := range []int{1, 2, 3, 4, 8, 16} {
+		got := makespanOf(t, tr, p)
+		if got < span {
+			t.Errorf("P=%d: makespan %d below span %d", p, got, span)
+		}
+		bound := work/int64(p) + span
+		if got > bound {
+			t.Errorf("P=%d: makespan %d above Brent bound %d", p, got, bound)
+		}
+	}
+	if got := makespanOf(t, tr, 1); got != work {
+		t.Errorf("P=1 must equal work: %d vs %d", got, work)
+	}
+}
+
+func TestForkOverhead(t *testing.T) {
+	tr := parT(leaf(5), leaf(5))
+	plain := Makespan(tr, MachineConfig{Procs: 2})
+	costly := Makespan(tr, MachineConfig{Procs: 2, ForkOverhead: 7})
+	if costly != plain+7 {
+		t.Errorf("overhead: %d vs %d+7", costly, plain)
+	}
+}
+
+func TestMakespanNilAndEmpty(t *testing.T) {
+	if Makespan(nil, MachineConfig{Procs: 2}) != 0 {
+		t.Error("nil trace")
+	}
+	if got := Makespan(parT(), MachineConfig{Procs: 2}); got != 0 {
+		t.Errorf("empty par: %d", got)
+	}
+}
+
+// compileAndParallelize is the full pipeline helper.
+func compileAndParallelize(t *testing.T, src string, roots ...string) (*analysis.Info, *par.Result) {
+	t.Helper()
+	prog, err := progs.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := analysis.Analyze(prog, analysis.Options{ExternalRoots: roots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, par.Parallelize(info, par.DefaultOptions)
+}
+
+func TestEquivalenceAddAndReverse(t *testing.T) {
+	info, res := compileAndParallelize(t, progs.AddAndReverse)
+	rep, err := CheckEquivalence(info.Prog, res.Prog, interp.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ParSpan >= rep.ParWork {
+		t.Errorf("parallelized add_and_reverse should have span < work: %d vs %d",
+			rep.ParSpan, rep.ParWork)
+	}
+}
+
+func TestEquivalenceCorpus(t *testing.T) {
+	for _, e := range progs.Catalog {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			info, res := compileAndParallelize(t, e.Source, e.Roots...)
+			var setup Setup
+			if e.NeedsTree {
+				if e.Name == "listinc" {
+					setup = progs.ListSetup(64)
+				} else {
+					setup = progs.BalancedTreeSetup(6)
+				}
+			}
+			rep, err := CheckEquivalence(info.Prog, res.Prog, interp.Config{}, setup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSpeedupTreeAddScales(t *testing.T) {
+	info, res := compileAndParallelize(t, progs.TreeAdd, "root")
+	_ = info
+	sp, err := MeasureSpeedup(res.Prog, interp.Config{}, progs.BalancedTreeSetup(10), []int{1, 2, 4, 8, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Makespans[0] != sp.Work {
+		t.Errorf("P=1 = %d, want work %d", sp.Makespans[0], sp.Work)
+	}
+	if s2 := sp.SpeedupAt(1); s2 < 1.6 {
+		t.Errorf("P=2 speedup = %.2f, want >= 1.6", s2)
+	}
+	if s8 := sp.SpeedupAt(3); s8 < 4 {
+		t.Errorf("P=8 speedup = %.2f, want >= 4", s8)
+	}
+	// Monotone non-increasing makespans.
+	for i := 1; i < len(sp.Makespans); i++ {
+		if sp.Makespans[i] > sp.Makespans[i-1] {
+			t.Errorf("makespan increased from P=%d to P=%d", sp.Procs[i-1], sp.Procs[i])
+		}
+	}
+}
+
+func TestSpeedupListIsFlat(t *testing.T) {
+	_, res := compileAndParallelize(t, progs.ListIncrement, "cur")
+	sp, err := MeasureSpeedup(res.Prog, interp.Config{}, progs.ListSetup(128), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sp.SpeedupAt(1); s > 1.05 {
+		t.Errorf("list walk speedup = %.2f, want ~1 (no parallelism in a chain)", s)
+	}
+}
+
+// TestSoundnessRandomPrograms is the central property test: for thousands
+// of random programs, the parallelized version must compute the same state
+// as the sequential original with zero dynamic races.
+func TestSoundnessRandomPrograms(t *testing.T) {
+	const trials = 300
+	checked := 0
+	for seed := int64(0); seed < trials; seed++ {
+		src := progs.RandomProgram(seed)
+		prog, err := progs.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		info, err := analysis.Analyze(prog, analysis.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: analyze: %v\n%s", seed, err, src)
+		}
+		res := par.Parallelize(info, par.DefaultOptions)
+		rep, err := CheckEquivalence(info.Prog, res.Prog, interp.Config{MaxSteps: 500_000}, nil)
+		if err != nil {
+			// Both runs share semantics; an error (e.g. a random cyclic
+			// structure making walk exceed the step limit) aborts the
+			// sequential run first and the seed is skipped.
+			continue
+		}
+		checked++
+		if err := rep.Err(); err != nil {
+			t.Errorf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+	}
+	if checked < trials/2 {
+		t.Errorf("only %d/%d random programs were checkable", checked, trials)
+	}
+}
+
+func TestSpeedupString(t *testing.T) {
+	sp := &Speedup{Work: 100, Span: 10, Procs: []int{1, 2}, Makespans: []int64{100, 50}}
+	s := sp.String()
+	if s == "" || sp.SpeedupAt(1) != 2 {
+		t.Errorf("Speedup rendering broken: %q", s)
+	}
+	zero := &Speedup{Work: 10, Procs: []int{1}, Makespans: []int64{0}}
+	if zero.SpeedupAt(0) != 0 {
+		t.Error("zero makespan guards division")
+	}
+}

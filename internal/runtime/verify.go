@@ -1,0 +1,106 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/sil/ast"
+)
+
+// Setup prepares the heap and main's environment before execution (the
+// paper's "... build a tree at root ..." hook).
+type Setup func(h *heap.Heap, env map[string]interp.Value)
+
+// MeasureSpeedup executes the program once with trace recording and
+// schedules the trace on every requested processor count.
+func MeasureSpeedup(prog *ast.Program, cfg interp.Config, setup Setup, procs []int) (*Speedup, error) {
+	cfg.RecordTrace = true
+	cfg.Concurrent = false
+	res, err := interp.Run(prog, cfg, setup)
+	if err != nil {
+		return nil, err
+	}
+	out := &Speedup{Work: res.Work, Span: res.Span, Procs: procs}
+	for _, p := range procs {
+		out.Makespans = append(out.Makespans, Makespan(res.Trace, MachineConfig{Procs: p}))
+	}
+	return out, nil
+}
+
+// stateFingerprint summarizes an execution's observable result: the final
+// values of main's int variables and the shapes/values of the structures
+// reachable from main's handles.
+func stateFingerprint(res *interp.Result) string {
+	names := make([]string, 0, len(res.Env))
+	for n := range res.Env {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		v := res.Env[n]
+		if v.IsHandle {
+			out += fmt.Sprintf("%s=%s;", n, res.Heap.Fingerprint(v.Node))
+		} else {
+			out += fmt.Sprintf("%s=%d;", n, v.Int)
+		}
+	}
+	return out
+}
+
+// EquivalenceReport is the outcome of CheckEquivalence.
+type EquivalenceReport struct {
+	SeqFingerprint string
+	ParFingerprint string
+	Races          []interp.Race
+	SeqWork        int64
+	ParWork        int64
+	ParSpan        int64
+}
+
+// Equivalent reports whether the parallel program computed the same state
+// with no dynamic races.
+func (r *EquivalenceReport) Equivalent() bool {
+	return r.SeqFingerprint == r.ParFingerprint && len(r.Races) == 0
+}
+
+// Err returns a descriptive error when the check failed.
+func (r *EquivalenceReport) Err() error {
+	if r.Equivalent() {
+		return nil
+	}
+	if len(r.Races) > 0 {
+		return fmt.Errorf("runtime: %d dynamic races: %s", len(r.Races), interp.RacesString(r.Races))
+	}
+	return fmt.Errorf("runtime: state diverged:\nseq: %s\npar: %s", r.SeqFingerprint, r.ParFingerprint)
+}
+
+// CheckEquivalence is the soundness oracle: it runs the sequential program
+// and the parallelized program from identical initial states, compares the
+// final observable states, and runs the dynamic race detector over every
+// parallel statement. A correct parallelizer (per §5's analyses) always
+// yields an Equivalent report.
+func CheckEquivalence(seqProg, parProg *ast.Program, cfg interp.Config, setup Setup) (*EquivalenceReport, error) {
+	seqCfg := cfg
+	seqCfg.DetectRaces = false
+	seqRes, err := interp.Run(seqProg, seqCfg, setup)
+	if err != nil {
+		return nil, fmt.Errorf("sequential run: %w", err)
+	}
+	parCfg := cfg
+	parCfg.DetectRaces = true
+	parRes, err := interp.Run(parProg, parCfg, setup)
+	if err != nil {
+		return nil, fmt.Errorf("parallel run: %w", err)
+	}
+	return &EquivalenceReport{
+		SeqFingerprint: stateFingerprint(seqRes),
+		ParFingerprint: stateFingerprint(parRes),
+		Races:          parRes.Races,
+		SeqWork:        seqRes.Work,
+		ParWork:        parRes.Work,
+		ParSpan:        parRes.Span,
+	}, nil
+}

@@ -1,0 +1,246 @@
+// Package printer renders SIL ASTs back to source text in the layout of
+// the paper's figures, including the "||" parallel statements of Figure 8.
+// Parse(Print(prog)) reproduces the AST, which the round-trip property
+// tests rely on.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sil/ast"
+)
+
+// Print renders a whole program.
+func Print(p *ast.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n\n", p.Name)
+	for i, d := range p.Decls {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printDecl(&b, d)
+	}
+	return b.String()
+}
+
+// PrintStmt renders a single statement at the given indent level.
+func PrintStmt(s ast.Stmt, indent int) string {
+	var b strings.Builder
+	printStmt(&b, s, indent)
+	return b.String()
+}
+
+// PrintExpr renders an expression.
+func PrintExpr(e ast.Expr) string { return exprString(e, 0) }
+
+func ind(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func varGroups(vars []*ast.VarDecl) string {
+	if len(vars) == 0 {
+		return ""
+	}
+	var parts []string
+	i := 0
+	for i < len(vars) {
+		j := i
+		for j < len(vars) && vars[j].Type == vars[i].Type {
+			j++
+		}
+		names := make([]string, 0, j-i)
+		for _, v := range vars[i:j] {
+			names = append(names, v.Name)
+		}
+		parts = append(parts, fmt.Sprintf("%s: %s", strings.Join(names, ", "), vars[i].Type))
+		i = j
+	}
+	return strings.Join(parts, "; ")
+}
+
+func printDecl(b *strings.Builder, d *ast.ProcDecl) {
+	kw := "procedure"
+	if d.IsFunction() {
+		kw = "function"
+	}
+	fmt.Fprintf(b, "%s %s(%s)", kw, d.Name, varGroups(d.Params))
+	if d.IsFunction() {
+		fmt.Fprintf(b, ": %s", d.Result)
+	}
+	b.WriteString("\n")
+	if len(d.Locals) > 0 {
+		ind(b, 1)
+		fmt.Fprintf(b, "%s\n", varGroups(d.Locals))
+	}
+	printStmt(b, d.Body, 0)
+	if d.IsFunction() {
+		fmt.Fprintf(b, "\nreturn (%s)", d.ReturnVar)
+	}
+	b.WriteString(";\n")
+}
+
+func printStmt(b *strings.Builder, s ast.Stmt, indent int) {
+	switch s := s.(type) {
+	case *ast.Block:
+		ind(b, indent)
+		b.WriteString("begin\n")
+		for i, st := range s.Stmts {
+			printStmt(b, st, indent+1)
+			if i < len(s.Stmts)-1 {
+				b.WriteString(";")
+			}
+			b.WriteString("\n")
+		}
+		ind(b, indent)
+		b.WriteString("end")
+	case *ast.Assign:
+		ind(b, indent)
+		fmt.Fprintf(b, "%s := %s", lvalueString(s.Lhs), exprString(s.Rhs, 0))
+	case *ast.If:
+		ind(b, indent)
+		fmt.Fprintf(b, "if %s then\n", exprString(s.Cond, 0))
+		printStmt(b, s.Then, indent+1)
+		if s.Else != nil {
+			b.WriteString("\n")
+			ind(b, indent)
+			b.WriteString("else\n")
+			printStmt(b, s.Else, indent+1)
+		}
+	case *ast.While:
+		ind(b, indent)
+		fmt.Fprintf(b, "while %s do\n", exprString(s.Cond, 0))
+		printStmt(b, s.Body, indent+1)
+	case *ast.CallStmt:
+		ind(b, indent)
+		fmt.Fprintf(b, "%s(%s)", s.Name, argsString(s.Args))
+	case *ast.Par:
+		// Parallel branches print inline when simple, one statement per
+		// "||" separator, matching Figure 8's layout.
+		parts := make([]string, len(s.Branches))
+		allSimple := true
+		for i, br := range s.Branches {
+			switch br.(type) {
+			case *ast.Assign, *ast.CallStmt:
+				var sb strings.Builder
+				printStmt(&sb, br, 0)
+				parts[i] = sb.String()
+			default:
+				allSimple = false
+			}
+		}
+		if allSimple {
+			ind(b, indent)
+			b.WriteString(strings.Join(parts, " || "))
+			return
+		}
+		for i, br := range s.Branches {
+			if i > 0 {
+				b.WriteString("\n")
+				ind(b, indent)
+				b.WriteString("||\n")
+			}
+			printStmt(b, br, indent)
+		}
+	default:
+		ind(b, indent)
+		fmt.Fprintf(b, "{ unknown statement %T }", s)
+	}
+}
+
+func lvalueString(l ast.LValue) string {
+	switch l := l.(type) {
+	case *ast.VarLV:
+		return l.Name
+	case *ast.FieldLV:
+		var b strings.Builder
+		b.WriteString(l.Base)
+		for _, f := range l.Chain {
+			fmt.Fprintf(&b, ".%s", f)
+		}
+		fmt.Fprintf(&b, ".%s", l.Field)
+		return b.String()
+	}
+	return "?"
+}
+
+func argsString(args []ast.Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = exprString(a, 0)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Operator precedence levels for minimal parenthesization, matching the
+// parser: or(1) < and(2) < not(3) < comparison(4) < additive(5) <
+// multiplicative(6) < unary(7).
+func opPrec(op ast.Op) int {
+	switch op {
+	case ast.Or:
+		return 1
+	case ast.And:
+		return 2
+	case ast.Not:
+		return 3
+	case ast.Eq, ast.Neq, ast.Lt, ast.Gt, ast.Leq, ast.Geq:
+		return 4
+	case ast.Add, ast.Sub:
+		return 5
+	case ast.Mul, ast.Div:
+		return 6
+	case ast.Neg:
+		return 7
+	}
+	return 8
+}
+
+func exprString(e ast.Expr, outer int) string {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		if e.Val < 0 {
+			return fmt.Sprintf("(%d)", e.Val)
+		}
+		return fmt.Sprintf("%d", e.Val)
+	case *ast.VarRef:
+		return e.Name
+	case *ast.NilLit:
+		return "nil"
+	case *ast.NewExpr:
+		return "new()"
+	case *ast.FieldRef:
+		var b strings.Builder
+		b.WriteString(e.Base)
+		for _, f := range e.Chain {
+			fmt.Fprintf(&b, ".%s", f)
+		}
+		fmt.Fprintf(&b, ".%s", e.Field)
+		return b.String()
+	case *ast.CallExpr:
+		return fmt.Sprintf("%s(%s)", e.Name, argsString(e.Args))
+	case *ast.Unary:
+		p := opPrec(e.Op)
+		inner := exprString(e.X, p)
+		var s string
+		if e.Op == ast.Not {
+			s = "not " + inner
+		} else {
+			s = "-" + inner
+		}
+		if p < outer {
+			return "(" + s + ")"
+		}
+		return s
+	case *ast.Binary:
+		p := opPrec(e.Op)
+		// Left-associative: right operand needs parens at equal precedence.
+		s := fmt.Sprintf("%s %s %s", exprString(e.X, p), e.Op, exprString(e.Y, p+1))
+		if p < outer {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return "?"
+}

@@ -1,0 +1,138 @@
+// Package token defines the lexical tokens of SIL, the Simple Imperative
+// Language of Hendren & Nicolau (§3.2, Figure 1), extended with the "||"
+// parallel-composition operator that the parallelizer emits (Figure 8).
+package token
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind uint8
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT // main, root, lside
+	INT   // 42
+
+	// Punctuation and operators.
+	ASSIGN    // :=
+	DOT       // .
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	LPAREN    // (
+	RPAREN    // )
+	PAR       // ||
+
+	PLUS  // +
+	MINUS // -
+	STAR  // *
+	SLASH // /
+
+	EQ  // =
+	NEQ // <>
+	LT  // <
+	GT  // >
+	LEQ // <=
+	GEQ // >=
+
+	// Keywords.
+	PROGRAM
+	PROCEDURE
+	FUNCTION
+	BEGIN
+	END
+	IF
+	THEN
+	ELSE
+	WHILE
+	DO
+	RETURN
+	NIL
+	NEW
+	INTKW    // "int"
+	HANDLEKW // "handle"
+	AND
+	OR
+	NOT
+	LEFTKW  // "left" — also usable as an identifier-like field selector
+	RIGHTKW // "right"
+	VALUEKW // "value"
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", INT: "INT",
+	ASSIGN: ":=", DOT: ".", COMMA: ",", SEMICOLON: ";", COLON: ":",
+	LPAREN: "(", RPAREN: ")", PAR: "||",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	EQ: "=", NEQ: "<>", LT: "<", GT: ">", LEQ: "<=", GEQ: ">=",
+	PROGRAM: "program", PROCEDURE: "procedure", FUNCTION: "function",
+	BEGIN: "begin", END: "end", IF: "if", THEN: "then", ELSE: "else",
+	WHILE: "while", DO: "do", RETURN: "return", NIL: "nil", NEW: "new",
+	INTKW: "int", HANDLEKW: "handle", AND: "and", OR: "or", NOT: "not",
+	LEFTKW: "left", RIGHTKW: "right", VALUEKW: "value",
+}
+
+// String returns the token kind's spelling.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Keywords maps keyword spellings to kinds. The field selectors left/right/
+// value are contextual: the lexer emits them as their keyword kinds and the
+// parser treats them as identifiers where a name is expected.
+var Keywords = map[string]Kind{
+	"program": PROGRAM, "procedure": PROCEDURE, "function": FUNCTION,
+	"begin": BEGIN, "end": END, "if": IF, "then": THEN, "else": ELSE,
+	"while": WHILE, "do": DO, "return": RETURN, "nil": NIL, "new": NEW,
+	"int": INTKW, "handle": HANDLEKW, "and": AND, "or": OR, "not": NOT,
+	"left": LEFTKW, "right": RIGHTKW, "value": VALUEKW,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme with its position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT/INT and field keywords
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsNameLike reports whether the token can serve as an identifier (plain
+// identifiers plus the contextual field keywords).
+func (t Token) IsNameLike() bool {
+	switch t.Kind {
+	case IDENT, LEFTKW, RIGHTKW, VALUEKW:
+		return true
+	}
+	return false
+}
+
+// Name returns the identifier spelling for name-like tokens.
+func (t Token) Name() string {
+	if t.Kind == IDENT {
+		return t.Lit
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,64 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		ASSIGN: ":=", NEQ: "<>", PAR: "||", PROGRAM: "program",
+		LEFTKW: "left", EOF: "EOF", IDENT: "IDENT", Kind(200): "Kind(200)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKeywordsComplete(t *testing.T) {
+	for spelling, k := range Keywords {
+		if k.String() != spelling {
+			t.Errorf("keyword %q maps to kind spelled %q", spelling, k)
+		}
+	}
+	if len(Keywords) != 21 {
+		t.Errorf("keyword table has %d entries", len(Keywords))
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	id := Token{Kind: IDENT, Lit: "root"}
+	if id.String() != "IDENT(root)" {
+		t.Errorf("ident token: %q", id.String())
+	}
+	n := Token{Kind: INT, Lit: "42"}
+	if n.String() != "INT(42)" {
+		t.Errorf("int token: %q", n.String())
+	}
+	if (Token{Kind: ASSIGN}).String() != ":=" {
+		t.Error("operator token spelling")
+	}
+}
+
+func TestNameLike(t *testing.T) {
+	for _, k := range []Kind{IDENT, LEFTKW, RIGHTKW, VALUEKW} {
+		tok := Token{Kind: k, Lit: "x"}
+		if !tok.IsNameLike() {
+			t.Errorf("%v should be name-like", k)
+		}
+	}
+	if (Token{Kind: PROGRAM}).IsNameLike() {
+		t.Error("program is not name-like")
+	}
+	if (Token{Kind: LEFTKW}).Name() != "left" {
+		t.Error("field keyword name")
+	}
+	if (Token{Kind: IDENT, Lit: "abc"}).Name() != "abc" {
+		t.Error("ident name")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if (Pos{Line: 3, Col: 7}).String() != "3:7" {
+		t.Error("pos format")
+	}
+}

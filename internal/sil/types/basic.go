@@ -1,0 +1,144 @@
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/sil/ast"
+)
+
+// VerifyBasic checks that a program satisfies the normalized (basic
+// statement) invariants the analysis engine relies on:
+//
+//   - handle assignments have the shapes a := nil | new() | b | b.f | f(…);
+//   - structure updates have the shapes a.f := b | a.f := nil;
+//   - scalar assignments write a variable or a.value and their right side
+//     contains no calls and no chained selectors;
+//   - call arguments are int expressions without calls, or plain handle
+//     variable names;
+//   - conditions contain no calls and no chained selectors.
+//
+// It returns nil when the program is basic. Run Normalize first for
+// arbitrary checked programs.
+func VerifyBasic(prog *ast.Program) error {
+	for _, d := range prog.Decls {
+		if err := basicStmt(prog, d, d.Body); err != nil {
+			return fmt.Errorf("%s: %w", d.Name, err)
+		}
+	}
+	return nil
+}
+
+func basicStmt(prog *ast.Program, d *ast.ProcDecl, s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			if err := basicStmt(prog, d, st); err != nil {
+				return err
+			}
+		}
+	case *ast.Par:
+		for _, st := range s.Branches {
+			if err := basicStmt(prog, d, st); err != nil {
+				return err
+			}
+		}
+	case *ast.If:
+		if err := basicPlainExpr(s.Cond); err != nil {
+			return err
+		}
+		if err := basicStmt(prog, d, s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return basicStmt(prog, d, s.Else)
+		}
+	case *ast.While:
+		if err := basicPlainExpr(s.Cond); err != nil {
+			return err
+		}
+		return basicStmt(prog, d, s.Body)
+	case *ast.CallStmt:
+		return basicArgs(prog, s.Name, s.Args)
+	case *ast.Assign:
+		return basicAssign(prog, d, s)
+	}
+	return nil
+}
+
+func basicArgs(prog *ast.Program, name string, args []ast.Expr) error {
+	callee := prog.Proc(name)
+	for i, a := range args {
+		if callee != nil && i < len(callee.Params) && callee.Params[i].Type == ast.HandleT {
+			if _, ok := a.(*ast.VarRef); !ok {
+				return fmt.Errorf("%s: handle argument %d of %s is not a plain name", a.Pos(), i+1, name)
+			}
+			continue
+		}
+		if err := basicPlainExpr(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func basicAssign(prog *ast.Program, d *ast.ProcDecl, s *ast.Assign) error {
+	switch lhs := s.Lhs.(type) {
+	case *ast.VarLV:
+		v := d.Lookup(lhs.Name)
+		if v != nil && v.Type == ast.HandleT {
+			switch rhs := s.Rhs.(type) {
+			case *ast.NilLit, *ast.NewExpr, *ast.VarRef:
+				return nil
+			case *ast.FieldRef:
+				if len(rhs.Chain) > 0 {
+					return fmt.Errorf("%s: chained selector not basic", rhs.Pos())
+				}
+				return nil
+			case *ast.CallExpr:
+				return basicArgs(prog, rhs.Name, rhs.Args)
+			default:
+				return fmt.Errorf("%s: handle assignment with non-basic right side %T", s.Pos(), s.Rhs)
+			}
+		}
+		if call, ok := s.Rhs.(*ast.CallExpr); ok {
+			return basicArgs(prog, call.Name, call.Args)
+		}
+		return basicPlainExpr(s.Rhs)
+	case *ast.FieldLV:
+		if len(lhs.Chain) > 0 {
+			return fmt.Errorf("%s: chained selector on left side not basic", lhs.Pos())
+		}
+		if lhs.Field == ast.Value {
+			return basicPlainExpr(s.Rhs)
+		}
+		switch s.Rhs.(type) {
+		case *ast.VarRef, *ast.NilLit:
+			return nil
+		default:
+			return fmt.Errorf("%s: %s.%s := … needs a plain name or nil", s.Pos(), lhs.Base, lhs.Field)
+		}
+	}
+	return nil
+}
+
+// basicPlainExpr rejects calls and chained selectors anywhere inside e.
+func basicPlainExpr(e ast.Expr) error {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return fmt.Errorf("%s: call inside expression is not basic", e.Pos())
+	case *ast.NewExpr:
+		return fmt.Errorf("%s: new() inside expression is not basic", e.Pos())
+	case *ast.FieldRef:
+		if len(e.Chain) > 0 {
+			return fmt.Errorf("%s: chained selector is not basic", e.Pos())
+		}
+	case *ast.Unary:
+		return basicPlainExpr(e.X)
+	case *ast.Binary:
+		if err := basicPlainExpr(e.X); err != nil {
+			return err
+		}
+		return basicPlainExpr(e.Y)
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+// Package types implements SIL static semantics: name resolution and type
+// checking (§3.2: two types, int and handle; call-by-value; statically
+// scoped), plus the normalization of §3.2's remark that complex statements
+// such as a.left.right := b.right are translated into sequences of basic
+// handle statements.
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/sil/ast"
+	"repro/internal/sil/token"
+)
+
+// exprType is the checker-internal type universe: SIL's two value types
+// plus the boolean type of conditions (which has no variables).
+type exprType uint8
+
+const (
+	intTy exprType = iota
+	handleTy
+	boolTy
+)
+
+func (t exprType) String() string {
+	switch t {
+	case intTy:
+		return "int"
+	case handleTy:
+		return "handle"
+	case boolTy:
+		return "bool"
+	}
+	return "?"
+}
+
+func fromAST(t ast.Type) exprType {
+	if t == ast.HandleT {
+		return handleTy
+	}
+	return intTy
+}
+
+// Errors collects semantic diagnostics.
+type Errors []error
+
+func (e Errors) Error() string {
+	if len(e) == 0 {
+		return "no errors"
+	}
+	return fmt.Sprintf("%v (and %d more)", e[0], len(e)-1)
+}
+
+type checker struct {
+	prog *ast.Program
+	errs Errors
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// Check verifies a whole program. It returns nil when the program is
+// well-formed.
+func Check(prog *ast.Program) error {
+	c := &checker{prog: prog}
+	seen := map[string]bool{}
+	for _, d := range prog.Decls {
+		if seen[d.Name] {
+			c.errorf(d.Pos(), "duplicate declaration of %s", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	main := prog.Proc("main")
+	switch {
+	case main == nil:
+		c.errorf(prog.Pos(), "program has no procedure main")
+	case main.IsFunction():
+		c.errorf(main.Pos(), "main must be a procedure, not a function")
+	case len(main.Params) > 0:
+		c.errorf(main.Pos(), "main must be parameterless")
+	}
+	for _, d := range prog.Decls {
+		c.checkDecl(d)
+	}
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c.errs
+}
+
+func (c *checker) checkDecl(d *ast.ProcDecl) {
+	seen := map[string]token.Pos{}
+	for _, v := range append(append([]*ast.VarDecl{}, d.Params...), d.Locals...) {
+		if prev, dup := seen[v.Name]; dup {
+			c.errorf(v.Pos(), "duplicate variable %s (previous at %s)", v.Name, prev)
+		}
+		seen[v.Name] = v.Pos()
+		if v.Type == ast.VoidT {
+			c.errorf(v.Pos(), "variable %s has no type", v.Name)
+		}
+	}
+	if d.IsFunction() {
+		rv := d.Lookup(d.ReturnVar)
+		switch {
+		case rv == nil:
+			c.errorf(d.Pos(), "function %s returns undeclared variable %s", d.Name, d.ReturnVar)
+		case fromAST(rv.Type) != fromAST(d.Result):
+			c.errorf(d.Pos(), "function %s returns %s variable %s, result type is %s",
+				d.Name, rv.Type, d.ReturnVar, d.Result)
+		}
+	}
+	c.checkStmt(d, d.Body)
+}
+
+func (c *checker) varType(d *ast.ProcDecl, name string, pos token.Pos) (exprType, bool) {
+	v := d.Lookup(name)
+	if v == nil {
+		c.errorf(pos, "undeclared variable %s", name)
+		return intTy, false
+	}
+	return fromAST(v.Type), true
+}
+
+func (c *checker) checkStmt(d *ast.ProcDecl, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			c.checkStmt(d, st)
+		}
+	case *ast.Par:
+		for _, st := range s.Branches {
+			c.checkStmt(d, st)
+		}
+	case *ast.If:
+		if t := c.checkExpr(d, s.Cond); t != boolTy {
+			c.errorf(s.Cond.Pos(), "if condition has type %s, want bool", t)
+		}
+		c.checkStmt(d, s.Then)
+		if s.Else != nil {
+			c.checkStmt(d, s.Else)
+		}
+	case *ast.While:
+		if t := c.checkExpr(d, s.Cond); t != boolTy {
+			c.errorf(s.Cond.Pos(), "while condition has type %s, want bool", t)
+		}
+		c.checkStmt(d, s.Body)
+	case *ast.CallStmt:
+		callee := c.prog.Proc(s.Name)
+		if callee == nil {
+			c.errorf(s.Pos(), "call to undeclared procedure %s", s.Name)
+			return
+		}
+		if callee.IsFunction() {
+			c.errorf(s.Pos(), "%s is a function; its result must be assigned", s.Name)
+		}
+		c.checkArgs(d, callee, s.Args, s.Pos())
+	case *ast.Assign:
+		c.checkAssign(d, s)
+	default:
+		c.errorf(s.Pos(), "unknown statement %T", s)
+	}
+}
+
+func (c *checker) checkArgs(d *ast.ProcDecl, callee *ast.ProcDecl, args []ast.Expr, pos token.Pos) {
+	if len(args) != len(callee.Params) {
+		c.errorf(pos, "call to %s has %d arguments, want %d", callee.Name, len(args), len(callee.Params))
+		return
+	}
+	for i, a := range args {
+		want := fromAST(callee.Params[i].Type)
+		got := c.checkExpr(d, a)
+		if got != want {
+			c.errorf(a.Pos(), "argument %d of %s has type %s, want %s", i+1, callee.Name, got, want)
+		}
+	}
+}
+
+func (c *checker) checkAssign(d *ast.ProcDecl, s *ast.Assign) {
+	rhsT := c.checkExpr(d, s.Rhs)
+	switch lhs := s.Lhs.(type) {
+	case *ast.VarLV:
+		t, ok := c.varType(d, lhs.Name, lhs.Pos())
+		if ok && t != rhsT {
+			c.errorf(lhs.Pos(), "cannot assign %s to %s variable %s", rhsT, t, lhs.Name)
+		}
+	case *ast.FieldLV:
+		t, ok := c.varType(d, lhs.Base, lhs.Pos())
+		if ok && t != handleTy {
+			c.errorf(lhs.Pos(), "%s is not a handle", lhs.Base)
+		}
+		for _, f := range lhs.Chain {
+			if f == ast.Value {
+				c.errorf(lhs.Pos(), "cannot select through value field")
+			}
+		}
+		want := handleTy
+		if lhs.Field == ast.Value {
+			want = intTy
+		}
+		if rhsT != want {
+			c.errorf(lhs.Pos(), "cannot assign %s to %s field", rhsT, lhs.Field)
+		}
+	default:
+		c.errorf(s.Pos(), "unknown lvalue %T", lhs)
+	}
+}
+
+func (c *checker) checkExpr(d *ast.ProcDecl, e ast.Expr) exprType {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return intTy
+	case *ast.NilLit:
+		return handleTy
+	case *ast.NewExpr:
+		return handleTy
+	case *ast.VarRef:
+		t, _ := c.varType(d, e.Name, e.Pos())
+		return t
+	case *ast.FieldRef:
+		if t, ok := c.varType(d, e.Base, e.Pos()); ok && t != handleTy {
+			c.errorf(e.Pos(), "%s is not a handle", e.Base)
+		}
+		for _, f := range e.Chain {
+			if f == ast.Value {
+				c.errorf(e.Pos(), "cannot select through value field")
+			}
+		}
+		if e.Field == ast.Value {
+			return intTy
+		}
+		return handleTy
+	case *ast.CallExpr:
+		callee := c.prog.Proc(e.Name)
+		if callee == nil {
+			c.errorf(e.Pos(), "call to undeclared function %s", e.Name)
+			return intTy
+		}
+		if !callee.IsFunction() {
+			c.errorf(e.Pos(), "%s is a procedure and has no result", e.Name)
+			return intTy
+		}
+		c.checkArgs(d, callee, e.Args, e.Pos())
+		return fromAST(callee.Result)
+	case *ast.Unary:
+		xt := c.checkExpr(d, e.X)
+		switch e.Op {
+		case ast.Not:
+			if xt != boolTy {
+				c.errorf(e.Pos(), "not needs a bool operand, got %s", xt)
+			}
+			return boolTy
+		case ast.Neg:
+			if xt != intTy {
+				c.errorf(e.Pos(), "unary - needs an int operand, got %s", xt)
+			}
+			return intTy
+		}
+		c.errorf(e.Pos(), "bad unary operator %s", e.Op)
+		return intTy
+	case *ast.Binary:
+		xt, yt := c.checkExpr(d, e.X), c.checkExpr(d, e.Y)
+		switch e.Op {
+		case ast.Add, ast.Sub, ast.Mul, ast.Div:
+			if xt != intTy || yt != intTy {
+				c.errorf(e.Pos(), "%s needs int operands, got %s and %s", e.Op, xt, yt)
+			}
+			return intTy
+		case ast.Lt, ast.Gt, ast.Leq, ast.Geq:
+			if xt != intTy || yt != intTy {
+				c.errorf(e.Pos(), "%s needs int operands, got %s and %s", e.Op, xt, yt)
+			}
+			return boolTy
+		case ast.Eq, ast.Neq:
+			if xt != yt {
+				c.errorf(e.Pos(), "%s compares %s with %s", e.Op, xt, yt)
+			}
+			if xt == boolTy {
+				c.errorf(e.Pos(), "%s cannot compare booleans", e.Op)
+			}
+			return boolTy
+		case ast.And, ast.Or:
+			if xt != boolTy || yt != boolTy {
+				c.errorf(e.Pos(), "%s needs bool operands, got %s and %s", e.Op, xt, yt)
+			}
+			return boolTy
+		}
+		c.errorf(e.Pos(), "bad binary operator %s", e.Op)
+		return intTy
+	}
+	c.errorf(e.Pos(), "unknown expression %T", e)
+	return intTy
+}

@@ -1,0 +1,277 @@
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/sil/ast"
+	"repro/internal/sil/token"
+)
+
+// Normalize rewrites a checked program so that every statement is one of
+// the paper's basic handle statements (§3.2): chained selectors such as
+// a.left.right := b.right become sequences through fresh temporaries
+// (t1 := a.left; t2 := b.right; t1.right := t2), nested function calls are
+// hoisted into their own assignment statements, and handle arguments of
+// calls become plain variable names (Figure 1's <HandleName>). Scalar
+// assignments may keep int expressions with one-level .value reads — the
+// granularity Figure 8 itself uses (h.value := h.value + n).
+//
+// Normalize mutates the program in place and returns it for chaining.
+func Normalize(prog *ast.Program) *ast.Program {
+	for _, d := range prog.Decls {
+		n := &normalizer{prog: prog, decl: d, names: map[string]bool{}}
+		for _, v := range d.Params {
+			n.names[v.Name] = true
+		}
+		for _, v := range d.Locals {
+			n.names[v.Name] = true
+		}
+		d.Body = n.normBlockStmt(d.Body)
+		d.Locals = append(d.Locals, n.temps...)
+	}
+	return prog
+}
+
+type normalizer struct {
+	prog  *ast.Program
+	decl  *ast.ProcDecl
+	names map[string]bool
+	temps []*ast.VarDecl
+	next  int
+}
+
+func (n *normalizer) fresh(t ast.Type, pos token.Pos) string {
+	for {
+		n.next++
+		name := fmt.Sprintf("t%d", n.next)
+		if !n.names[name] {
+			n.names[name] = true
+			n.temps = append(n.temps, &ast.VarDecl{Name: name, Type: t, NamePos: pos})
+			return name
+		}
+	}
+}
+
+func (n *normalizer) emit(out *[]ast.Stmt, lhsName string, rhs ast.Expr, pos token.Pos) {
+	*out = append(*out, &ast.Assign{Lhs: &ast.VarLV{Name: lhsName, NamePos: pos}, Rhs: rhs})
+}
+
+func (n *normalizer) normBlockStmt(b *ast.Block) *ast.Block {
+	out := &ast.Block{BeginPos: b.BeginPos}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, n.normStmt(s)...)
+	}
+	return out
+}
+
+// asBlock wraps a statement list as a single statement.
+func asBlock(stmts []ast.Stmt, pos token.Pos) ast.Stmt {
+	if len(stmts) == 1 {
+		return stmts[0]
+	}
+	return &ast.Block{Stmts: stmts, BeginPos: pos}
+}
+
+func (n *normalizer) normStmt(s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.Block:
+		return []ast.Stmt{n.normBlockStmt(s)}
+	case *ast.Par:
+		// Normalizing inside parallel branches could change the set of
+		// temporaries shared across branches; each branch gets its own.
+		np := &ast.Par{}
+		for _, br := range s.Branches {
+			np.Branches = append(np.Branches, asBlock(n.normStmt(br), br.Pos()))
+		}
+		return []ast.Stmt{np}
+	case *ast.If:
+		var pre []ast.Stmt
+		cond := n.normCond(s.Cond, &pre)
+		ni := &ast.If{Cond: cond, IfPos: s.IfPos, Then: asBlock(n.normStmt(s.Then), s.Then.Pos())}
+		if s.Else != nil {
+			ni.Else = asBlock(n.normStmt(s.Else), s.Else.Pos())
+		}
+		return append(pre, ni)
+	case *ast.While:
+		var pre []ast.Stmt
+		cond := n.normCond(s.Cond, &pre)
+		body := n.normStmt(s.Body)
+		if len(pre) > 0 {
+			// The hoisted prelude must re-execute before every test.
+			body = append(body, pre...)
+		}
+		nw := &ast.While{Cond: cond, Body: asBlock(body, s.Body.Pos()), WhilePos: s.WhilePos}
+		return append(append([]ast.Stmt{}, pre...), nw)
+	case *ast.CallStmt:
+		var pre []ast.Stmt
+		callee := n.prog.Proc(s.Name)
+		args := n.normArgs(callee, s.Args, &pre)
+		return append(pre, &ast.CallStmt{Name: s.Name, Args: args, NamePos: s.NamePos})
+	case *ast.Assign:
+		return n.normAssign(s)
+	}
+	return []ast.Stmt{s}
+}
+
+func (n *normalizer) normArgs(callee *ast.ProcDecl, args []ast.Expr, pre *[]ast.Stmt) []ast.Expr {
+	out := make([]ast.Expr, len(args))
+	for i, a := range args {
+		wantHandle := callee != nil && i < len(callee.Params) && callee.Params[i].Type == ast.HandleT
+		if wantHandle {
+			out[i] = n.handleName(a, pre)
+		} else {
+			out[i] = n.normIntExpr(a, pre)
+		}
+	}
+	return out
+}
+
+// handleName reduces a handle expression to a plain variable reference,
+// hoisting through temporaries as needed.
+func (n *normalizer) handleName(e ast.Expr, pre *[]ast.Stmt) ast.Expr {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		return e
+	case *ast.NilLit, *ast.NewExpr:
+		t := n.fresh(ast.HandleT, e.Pos())
+		n.emit(pre, t, e, e.Pos())
+		return &ast.VarRef{Name: t, NamePos: e.Pos()}
+	case *ast.FieldRef:
+		fr := n.flattenFieldRef(e, pre)
+		t := n.fresh(ast.HandleT, e.Pos())
+		n.emit(pre, t, fr, e.Pos())
+		return &ast.VarRef{Name: t, NamePos: e.Pos()}
+	case *ast.CallExpr:
+		var inner []ast.Stmt
+		callee := n.prog.Proc(e.Name)
+		args := n.normArgs(callee, e.Args, &inner)
+		*pre = append(*pre, inner...)
+		t := n.fresh(ast.HandleT, e.Pos())
+		n.emit(pre, t, &ast.CallExpr{Name: e.Name, Args: args, NamePos: e.NamePos}, e.Pos())
+		return &ast.VarRef{Name: t, NamePos: e.Pos()}
+	}
+	return e
+}
+
+// flattenFieldRef reduces a chained field reference to a one-level one,
+// emitting temporaries for the chain prefix.
+func (n *normalizer) flattenFieldRef(e *ast.FieldRef, pre *[]ast.Stmt) *ast.FieldRef {
+	base := e.Base
+	for _, f := range e.Chain {
+		t := n.fresh(ast.HandleT, e.Pos())
+		n.emit(pre, t, &ast.FieldRef{Base: base, Field: f, NamePos: e.NamePos}, e.Pos())
+		base = t
+	}
+	return &ast.FieldRef{Base: base, Field: e.Field, NamePos: e.NamePos}
+}
+
+// normIntExpr normalizes an int expression: calls are hoisted, chained
+// field references flattened; one-level .value reads remain inline.
+func (n *normalizer) normIntExpr(e ast.Expr, pre *[]ast.Stmt) ast.Expr {
+	switch e := e.(type) {
+	case *ast.IntLit, *ast.VarRef, *ast.NilLit:
+		return e
+	case *ast.FieldRef:
+		return n.flattenFieldRef(e, pre)
+	case *ast.CallExpr:
+		var inner []ast.Stmt
+		callee := n.prog.Proc(e.Name)
+		args := n.normArgs(callee, e.Args, &inner)
+		*pre = append(*pre, inner...)
+		resT := ast.IntT
+		if callee != nil && callee.Result == ast.HandleT {
+			resT = ast.HandleT
+		}
+		t := n.fresh(resT, e.Pos())
+		n.emit(pre, t, &ast.CallExpr{Name: e.Name, Args: args, NamePos: e.NamePos}, e.Pos())
+		return &ast.VarRef{Name: t, NamePos: e.Pos()}
+	case *ast.Unary:
+		return &ast.Unary{Op: e.Op, X: n.normIntExpr(e.X, pre), OpPos: e.OpPos}
+	case *ast.Binary:
+		return &ast.Binary{Op: e.Op, X: n.normIntExpr(e.X, pre), Y: n.normIntExpr(e.Y, pre)}
+	}
+	return e
+}
+
+// normCond normalizes a condition: boolean structure stays, comparison
+// operands normalize like int expressions (handle comparands may stay
+// one-level field references or names).
+func (n *normalizer) normCond(e ast.Expr, pre *[]ast.Stmt) ast.Expr {
+	switch e := e.(type) {
+	case *ast.Binary:
+		switch e.Op {
+		case ast.And, ast.Or:
+			return &ast.Binary{Op: e.Op, X: n.normCond(e.X, pre), Y: n.normCond(e.Y, pre)}
+		default:
+			return &ast.Binary{Op: e.Op, X: n.normIntExpr(e.X, pre), Y: n.normIntExpr(e.Y, pre)}
+		}
+	case *ast.Unary:
+		if e.Op == ast.Not {
+			return &ast.Unary{Op: ast.Not, X: n.normCond(e.X, pre), OpPos: e.OpPos}
+		}
+	}
+	return n.normIntExpr(e, pre)
+}
+
+// normAssign rewrites one assignment into basic statements.
+func (n *normalizer) normAssign(s *ast.Assign) []ast.Stmt {
+	var pre []ast.Stmt
+	switch lhs := s.Lhs.(type) {
+	case *ast.VarLV:
+		v := n.decl.Lookup(lhs.Name)
+		isHandle := v != nil && v.Type == ast.HandleT
+		if isHandle {
+			rhs := n.normHandleRHS(s.Rhs, &pre)
+			return append(pre, &ast.Assign{Lhs: lhs, Rhs: rhs})
+		}
+		rhs := n.normIntExpr(s.Rhs, &pre)
+		if call, ok := s.Rhs.(*ast.CallExpr); ok {
+			// Keep x := f(args) as one basic statement instead of routing
+			// the result through a temp.
+			var inner []ast.Stmt
+			callee := n.prog.Proc(call.Name)
+			args := n.normArgs(callee, call.Args, &inner)
+			return append(inner, &ast.Assign{Lhs: lhs, Rhs: &ast.CallExpr{Name: call.Name, Args: args, NamePos: call.NamePos}})
+		}
+		return append(pre, &ast.Assign{Lhs: lhs, Rhs: rhs})
+	case *ast.FieldLV:
+		base := lhs.Base
+		for _, f := range lhs.Chain {
+			t := n.fresh(ast.HandleT, lhs.Pos())
+			n.emit(&pre, t, &ast.FieldRef{Base: base, Field: f, NamePos: lhs.NamePos}, lhs.Pos())
+			base = t
+		}
+		flat := &ast.FieldLV{Base: base, Field: lhs.Field, NamePos: lhs.NamePos}
+		if lhs.Field == ast.Value {
+			rhs := n.normIntExpr(s.Rhs, &pre)
+			return append(pre, &ast.Assign{Lhs: flat, Rhs: rhs})
+		}
+		// a.left := h  — h must be a plain name or nil.
+		switch rhs := s.Rhs.(type) {
+		case *ast.NilLit:
+			return append(pre, &ast.Assign{Lhs: flat, Rhs: rhs})
+		default:
+			name := n.handleName(s.Rhs, &pre)
+			return append(pre, &ast.Assign{Lhs: flat, Rhs: name})
+		}
+	}
+	return []ast.Stmt{s}
+}
+
+// normHandleRHS normalizes the right side of a := <handle expr> into a
+// basic form: nil, new(), b, b.f, or f(args).
+func (n *normalizer) normHandleRHS(e ast.Expr, pre *[]ast.Stmt) ast.Expr {
+	switch e := e.(type) {
+	case *ast.NilLit, *ast.NewExpr, *ast.VarRef:
+		return e
+	case *ast.FieldRef:
+		return n.flattenFieldRef(e, pre)
+	case *ast.CallExpr:
+		var inner []ast.Stmt
+		callee := n.prog.Proc(e.Name)
+		args := n.normArgs(callee, e.Args, &inner)
+		*pre = append(*pre, inner...)
+		return &ast.CallExpr{Name: e.Name, Args: args, NamePos: e.NamePos}
+	}
+	return e
+}

@@ -1,0 +1,248 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sil/ast"
+	"repro/internal/sil/parser"
+	"repro/internal/sil/printer"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+const okProgram = `
+program ok
+procedure main()
+  a, b: handle; x: int
+begin
+  a := new();
+  b := a.left;
+  a.value := x + 1;
+  x := a.value;
+  a.left := b;
+  if a <> nil and x < 3 then
+    helper(a, x)
+end;
+procedure helper(h: handle; n: int)
+begin
+  h.value := n
+end;
+`
+
+func TestCheckAcceptsGoodProgram(t *testing.T) {
+	if err := Check(mustParse(t, okProgram)); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no main", "program p procedure other() begin end;", "no procedure main"},
+		{"main params", "program p procedure main(x: int) begin end;", "parameterless"},
+		{"dup decl", "program p procedure main() begin end; procedure main() begin end;", "duplicate declaration"},
+		{"dup var", "program p procedure main() x: int; x: int begin end;", "duplicate variable"},
+		{"undeclared", "program p procedure main() begin x := 1 end;", "undeclared variable"},
+		{"type mismatch", "program p procedure main() x: int begin x := nil end;", "cannot assign"},
+		{"handle arith", "program p procedure main() a: handle; x: int begin x := a + 1 end;", "int operands"},
+		{"int deref", "program p procedure main() x: int begin x := x.value end;", "not a handle"},
+		{"cond not bool", "program p procedure main() x: int begin if x then x := 1 end;", "want bool"},
+		{"call undeclared", "program p procedure main() begin f(1) end;", "undeclared procedure"},
+		{"call arity", "program p procedure main() begin g(1) end; procedure g(a: int; b: int) begin end;", "2"},
+		{"call arg type", "program p procedure main() a: handle begin g(a) end; procedure g(n: int) begin end;", "want int"},
+		{"func as stmt", "program p procedure main() begin f() end; function f() int x: int begin x := 1 end return (x);", "must be assigned"},
+		{"proc as expr", "program p procedure main() x: int begin x := g() end; procedure g() begin end;", "no result"},
+		{"bad return var", "program p procedure main() begin end; function f() int begin end return (zz);", "undeclared variable zz"},
+		{"return type", "program p procedure main() begin end; function f() int h: handle begin h := nil end return (h);", "result type"},
+		{"value chain", "program p procedure main() a: handle; x: int begin x := a.value.value end;", "through value"},
+		{"cmp mixed", "program p procedure main() a: handle; x: int begin if a = x then x := 1 end;", "compares"},
+		{"main is function", "program p function main() int x: int begin x := 1 end return (x);", "must be a procedure"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Check(mustParse(t, c.src))
+			if err == nil {
+				t.Fatalf("Check should fail")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestNormalizeChains(t *testing.T) {
+	src := `
+program p
+procedure main()
+  a, b: handle
+begin
+  a.left.right := b.right
+end;
+`
+	prog := mustParse(t, src)
+	if err := Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if err := VerifyBasic(prog); err == nil {
+		t.Fatal("chained program should not verify as basic")
+	}
+	Normalize(prog)
+	if err := VerifyBasic(prog); err != nil {
+		t.Fatalf("normalized program not basic: %v\n%s", err, printer.Print(prog))
+	}
+	if err := Check(prog); err != nil {
+		t.Fatalf("normalized program fails checking: %v", err)
+	}
+	// The paper's own desugaring: t1 := a.left; t2 := b.right; t1.right := t2.
+	main := prog.Proc("main")
+	if len(main.Body.Stmts) != 3 {
+		t.Fatalf("want 3 basic statements, got %d:\n%s", len(main.Body.Stmts), printer.Print(prog))
+	}
+	last, ok := main.Body.Stmts[2].(*ast.Assign)
+	if !ok {
+		t.Fatalf("last stmt %T", main.Body.Stmts[2])
+	}
+	lv, ok := last.Lhs.(*ast.FieldLV)
+	if !ok || len(lv.Chain) != 0 || lv.Field != ast.Right {
+		t.Errorf("last lhs: %#v", last.Lhs)
+	}
+	if _, ok := last.Rhs.(*ast.VarRef); !ok {
+		t.Errorf("last rhs: %#v", last.Rhs)
+	}
+}
+
+func TestNormalizeCallArgsAndNestedCalls(t *testing.T) {
+	src := `
+program p
+procedure main()
+  a: handle; x: int
+begin
+  a := new();
+  work(a.left, size(a) + 1)
+end;
+procedure work(h: handle; n: int)
+begin
+  h.value := n
+end;
+function size(h: handle) int
+  n: int
+begin
+  n := 1
+end
+return (n);
+`
+	prog := mustParse(t, src)
+	if err := Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	Normalize(prog)
+	if err := VerifyBasic(prog); err != nil {
+		t.Fatalf("not basic after normalize: %v\n%s", err, printer.Print(prog))
+	}
+	if err := Check(prog); err != nil {
+		t.Fatalf("normalized fails checking: %v\n%s", err, printer.Print(prog))
+	}
+}
+
+func TestNormalizeWhileConditionPrelude(t *testing.T) {
+	src := `
+program p
+procedure main()
+  l: handle; x: int
+begin
+  l := new();
+  while l.left.value < 3 do
+    l := l.left
+end;
+`
+	prog := mustParse(t, src)
+	if err := Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	Normalize(prog)
+	if err := VerifyBasic(prog); err != nil {
+		t.Fatalf("not basic: %v\n%s", err, printer.Print(prog))
+	}
+	// The hoisted prelude must re-execute inside the loop body.
+	main := prog.Proc("main")
+	var w *ast.While
+	for _, s := range main.Body.Stmts {
+		if ws, ok := s.(*ast.While); ok {
+			w = ws
+		}
+	}
+	if w == nil {
+		t.Fatal("while lost")
+	}
+	body, ok := w.Body.(*ast.Block)
+	if !ok || len(body.Stmts) < 2 {
+		t.Fatalf("while body should contain re-evaluated prelude:\n%s", printer.Print(prog))
+	}
+}
+
+func TestNormalizeIdempotentOnBasic(t *testing.T) {
+	prog := mustParse(t, okProgram)
+	if err := Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	Normalize(prog)
+	before := printer.Print(prog)
+	Normalize(prog)
+	if printer.Print(prog) != before {
+		t.Error("Normalize should be idempotent on basic programs")
+	}
+}
+
+func TestNormalizeFieldAssignNil(t *testing.T) {
+	src := `
+program p
+procedure main()
+  a: handle
+begin
+  a := new();
+  a.left := nil
+end;
+`
+	prog := mustParse(t, src)
+	if err := Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	Normalize(prog)
+	if err := VerifyBasic(prog); err != nil {
+		t.Fatalf("a.left := nil should be basic: %v", err)
+	}
+}
+
+func TestNormalizePreservesSemanticsShape(t *testing.T) {
+	// a := b.left.right must become exactly two basic statements.
+	src := `
+program p
+procedure main()
+  a, b: handle
+begin
+  a := b.left.right
+end;
+`
+	prog := mustParse(t, src)
+	if err := Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	Normalize(prog)
+	main := prog.Proc("main")
+	if len(main.Body.Stmts) != 2 {
+		t.Fatalf("want 2 stmts:\n%s", printer.Print(prog))
+	}
+	if len(main.Locals) != 3 { // a, b, plus one temp
+		t.Errorf("want 3 locals (one temp), got %d", len(main.Locals))
+	}
+}
