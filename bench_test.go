@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/analysis"
@@ -392,5 +393,46 @@ func BenchmarkEndToEnd(b *testing.B) {
 		if _, err := core.Build(progs.AddAndReverse, core.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCorpusAnalysis — the analyze+parallelize hot path over every
+// corpus program: the benchmark cmd/silbench snapshots into
+// BENCH_analysis.json, and the primary target of the interning /
+// memoization / concurrent-fixpoint work.
+func BenchmarkCorpusAnalysis(b *testing.B) {
+	for _, e := range progs.Catalog {
+		e := e
+		prog, err := progs.Compile(e.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(e.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				info, err := analysis.Analyze(prog, analysis.Options{ExternalRoots: e.Roots})
+				if err != nil {
+					b.Fatal(err)
+				}
+				par.Parallelize(info, par.DefaultOptions)
+			}
+		})
+	}
+}
+
+// BenchmarkAnalysisWorkers — scaling of the concurrent interprocedural
+// fixpoint across worker-pool sizes on the Figure 7 program.
+func BenchmarkAnalysisWorkers(b *testing.B) {
+	prog, err := progs.Compile(progs.AddAndReverse)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.Analyze(prog, analysis.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,144 @@
+// Command silbench runs the analysis pipeline over the internal/progs
+// corpus and emits a machine-readable benchmark report, so every PR leaves
+// a perf trajectory behind (CI uploads the file as an artifact).
+//
+// Usage:
+//
+//	silbench [-out BENCH_analysis.json] [-iters 25] [-workers 0] [-min-ms 200]
+//
+// For each corpus program it measures the full analyze+parallelize path
+// (the hot path this repository optimizes) and reports ns/op alongside the
+// analysis verdicts, plus process-wide intern/memo table statistics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/par"
+	"repro/internal/path"
+	"repro/internal/progs"
+)
+
+// result is the per-program benchmark record.
+type result struct {
+	Name          string  `json:"name"`
+	Iters         int     `json:"iters"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	Diags         int     `json:"diags"`
+	Shape         string  `json:"shape"`
+	ExitShape     string  `json:"exit_shape"`
+	ParStatements int     `json:"par_statements"`
+}
+
+// report is the whole BENCH_analysis.json document.
+type report struct {
+	Schema        string    `json:"schema"`
+	Timestamp     time.Time `json:"timestamp"`
+	GoVersion     string    `json:"go_version"`
+	NumCPU        int       `json:"num_cpu"`
+	Workers       int       `json:"workers"`
+	Corpus        []result  `json:"corpus"`
+	TotalNsPerOp  float64   `json:"total_ns_per_op"`
+	InternedPaths int       `json:"interned_paths"`
+	MemoVerdicts  int       `json:"memo_verdicts"`
+}
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("out", "BENCH_analysis.json", "output file (- for stdout)")
+	iters := flag.Int("iters", 25, "fixed iterations per program (0 = time-based)")
+	minMS := flag.Int("min-ms", 200, "minimum measurement time per program when iters=0")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = default)")
+	flag.Parse()
+
+	rep := report{
+		Schema:    "sil-bench/v1",
+		Timestamp: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workers:   analysis.Options{Workers: *workers}.EffectiveWorkers(),
+	}
+	for _, e := range progs.Catalog {
+		r, err := benchOne(e, *iters, time.Duration(*minMS)*time.Millisecond, *workers)
+		if err != nil {
+			log.Fatalf("%s: %v", e.Name, err)
+		}
+		rep.Corpus = append(rep.Corpus, r)
+		rep.TotalNsPerOp += r.NsPerOp
+		fmt.Fprintf(os.Stderr, "%-16s %12.0f ns/op  shape=%-6s diags=%d parstmts=%d\n",
+			r.Name, r.NsPerOp, r.Shape, r.Diags, r.ParStatements)
+	}
+	rep.InternedPaths = path.InternedCount()
+	rep.MemoVerdicts = path.MemoizedVerdicts()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (total %.2f ms/op over %d programs)\n",
+		*out, rep.TotalNsPerOp/1e6, len(rep.Corpus))
+}
+
+// benchOne measures one corpus program end to end (compile once, then
+// analyze+parallelize per iteration, which is the optimized hot path).
+func benchOne(e progs.Entry, iters int, minTime time.Duration, workers int) (result, error) {
+	prog, err := progs.Compile(e.Source)
+	if err != nil {
+		return result{}, err
+	}
+	opts := analysis.Options{ExternalRoots: e.Roots, Workers: workers}
+	run := func() (*analysis.Info, *par.Result, error) {
+		info, err := analysis.Analyze(prog, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return info, par.Parallelize(info, par.DefaultOptions), nil
+	}
+	// Warm up once (also populates the process-wide memo tables the way a
+	// long-lived service would see them).
+	info, parRes, err := run()
+	if err != nil {
+		return result{}, err
+	}
+	var elapsed time.Duration
+	n := 0
+	start := time.Now()
+	for {
+		if _, _, err := run(); err != nil {
+			return result{}, err
+		}
+		n++
+		elapsed = time.Since(start)
+		if iters > 0 {
+			if n >= iters {
+				break
+			}
+		} else if elapsed >= minTime {
+			break
+		}
+	}
+	return result{
+		Name:          e.Name,
+		Iters:         n,
+		NsPerOp:       float64(elapsed.Nanoseconds()) / float64(n),
+		Diags:         len(info.Diags),
+		Shape:         info.Shape().String(),
+		ExitShape:     info.ExitShape().String(),
+		ParStatements: parRes.Stats.ParStatements,
+	}, nil
+}

@@ -21,7 +21,9 @@ package analysis
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/matrix"
 	"repro/internal/path"
@@ -38,6 +40,11 @@ type Options struct {
 	MaxLoopIters int
 	// MaxWorklist caps procedure reanalyses.
 	MaxWorklist int
+	// Workers bounds the worker pool that drains the interprocedural
+	// worklist: independent (non-mutually-recursive) procedures are analyzed
+	// concurrently, with per-summary locking. 0 picks a default from the
+	// machine; 1 reproduces the sequential driver exactly.
+	Workers int
 	// ExternalRoots names main locals that the execution environment binds
 	// to externally built structures before main runs (the paper's
 	// "... build a tree at root ..." realized by a Setup function). They
@@ -56,8 +63,21 @@ func (o Options) withDefaults() Options {
 	if o.MaxWorklist == 0 {
 		o.MaxWorklist = 400
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
 	return o
 }
+
+// EffectiveWorkers returns the worker-pool size Analyze will actually use
+// for this Options value (reporting hook for silbench).
+func (o Options) EffectiveWorkers() int { return o.withDefaults().Workers }
 
 // Diagnostic is a structure-verification or safety finding.
 type Diagnostic struct {
@@ -70,8 +90,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Level, d.Msg)
 }
 
-// Summary is the interprocedural abstraction of one procedure.
+// Summary is the interprocedural abstraction of one procedure. During the
+// concurrent fixpoint, mu guards every mutable field; the matrices held in
+// Entry and Exit are immutable once published, so workers snapshot the
+// pointers under the lock and read the matrices lock-free. After Analyze
+// returns, summaries are quiescent and may be read directly.
 type Summary struct {
+	mu sync.Mutex
+
 	Proc *ast.ProcDecl
 	// Entry is the merged entry matrix over formals and symbolic handles
 	// (h*i, h**i), combining every call context seen so far.
@@ -102,6 +128,82 @@ type Summary struct {
 // ReadOnlyParam reports whether parameter i is read-only (§5.2).
 func (s *Summary) ReadOnlyParam(i int) bool {
 	return i < len(s.UpdateParams) && !s.UpdateParams[i]
+}
+
+// snapshotEntry returns the current entry matrix pointer (immutable value).
+func (s *Summary) snapshotEntry() *matrix.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Entry
+}
+
+// snapshotExit returns the current exit matrix pointer (nil while bottom).
+func (s *Summary) snapshotExit() *matrix.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Exit
+}
+
+// mergeEntry folds one more call context into the entry matrix, reporting
+// whether the entry grew.
+func (s *Summary) mergeEntry(ent *matrix.Matrix, lim path.Limits) (changed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	merged := s.Entry.Merge(ent)
+	merged.Widen(lim)
+	if merged.Equal(s.Entry) {
+		return false
+	}
+	s.Entry = merged
+	return true
+}
+
+// updateExit folds a freshly computed exit projection into the summary,
+// reporting whether the exit changed.
+func (s *Summary) updateExit(proj *matrix.Matrix, lim path.Limits) (changed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Exit != nil && s.Exit.Equal(proj) {
+		return false
+	}
+	if s.Exit != nil {
+		merged := s.Exit.Merge(proj)
+		merged.Widen(lim)
+		if s.Exit.Equal(merged) {
+			return false
+		}
+		proj = merged
+	}
+	s.Exit = proj
+	return true
+}
+
+// modref is a consistent snapshot of a summary's mod-ref classification.
+type modref struct {
+	update, links, attaches []bool
+	modifiesLinks           bool
+}
+
+func (s *Summary) modrefSnapshot() modref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return modref{
+		update:        append([]bool(nil), s.UpdateParams...),
+		links:         append([]bool(nil), s.LinkParams...),
+		attaches:      append([]bool(nil), s.AttachesParams...),
+		modifiesLinks: s.ModifiesLinks,
+	}
+}
+
+// setModifiesLinks records a link write, reporting whether this was news.
+func (s *Summary) setModifiesLinks() (changed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ModifiesLinks {
+		return false
+	}
+	s.ModifiesLinks = true
+	return true
 }
 
 // Info is the analysis result.
@@ -167,6 +269,14 @@ func (in *Info) DiagStrings() []string {
 
 // Analyze runs the whole-program analysis. The program must be checked and
 // normalized; Analyze verifies the basic-statement invariants first.
+//
+// The interprocedural fixpoint is a concurrent worklist: opts.Workers
+// goroutines pop procedures and re-analyze them against their current entry
+// summaries, with per-summary locking (a given procedure is never analyzed
+// by two workers at once, but independent procedures proceed in parallel).
+// Diagnostics and the Before/After matrices are collected by a final
+// sequential pass over the converged summaries, so the reported output is
+// deterministic regardless of worker scheduling.
 func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 	if err := types.VerifyBasic(prog); err != nil {
 		return nil, fmt.Errorf("analysis: program is not in basic form: %w", err)
@@ -176,51 +286,204 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 		return nil, fmt.Errorf("analysis: no main procedure")
 	}
 	opts = opts.withDefaults()
-	a := &analyzer{
-		prog: prog,
-		opts: opts,
-		info: &Info{
-			Prog:      prog,
-			Opts:      opts,
-			Before:    map[ast.Stmt]*matrix.Matrix{},
-			After:     map[ast.Stmt]*matrix.Matrix{},
-			Summaries: map[string]*Summary{},
-			stmtProc:  map[ast.Stmt]string{},
-		},
+	eng := newEngine(prog, opts, &Info{
+		Prog:      prog,
+		Opts:      opts,
+		Before:    map[ast.Stmt]*matrix.Matrix{},
+		After:     map[ast.Stmt]*matrix.Matrix{},
+		Summaries: map[string]*Summary{},
+		stmtProc:  map[ast.Stmt]string{},
+	})
+	for _, d := range prog.Decls {
+		walkStmts(d.Body, func(s ast.Stmt) { eng.info.stmtProc[s] = d.Name })
+	}
+	eng.summaryFor(main, entryForMain(main, opts))
+	eng.enqueue("main")
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Workers are muted: diagnostics from intermediate fixpoint
+			// states would depend on scheduling; the recording pass below
+			// re-derives them from the converged summaries.
+			w := &analyzer{eng: eng, mute: true}
+			for {
+				name, ok := eng.next()
+				if !ok {
+					return
+				}
+				w.reanalyze(name)
+				eng.done(name)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := eng.failure(); err != nil {
+		return nil, err
+	}
+	// One final sequential pass per reachable procedure so Before/After and
+	// the diagnostics reflect the fixpoint summaries deterministically.
+	rec := &analyzer{eng: eng, recording: true}
+	for _, name := range eng.analysisOrder() {
+		rec.reanalyze(name)
+	}
+	return eng.info, nil
+}
+
+// engine is the state shared by every worker of one Analyze run: the
+// program, the worklist, the call graph discovered so far, and the result
+// under construction. All mutable fields are guarded by mu.
+type engine struct {
+	prog *ast.Program
+	opts Options
+	info *Info
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []string
+	queued   map[string]bool
+	running  map[string]bool
+	inflight int
+	steps    int
+	err      error
+	callers  map[string]map[string]bool
+	diagSet  map[string]bool
+}
+
+func newEngine(prog *ast.Program, opts Options, info *Info) *engine {
+	e := &engine{
+		prog:    prog,
+		opts:    opts,
+		info:    info,
+		queued:  map[string]bool{},
+		running: map[string]bool{},
 		callers: map[string]map[string]bool{},
 		diagSet: map[string]bool{},
 	}
-	for _, d := range prog.Decls {
-		walkStmts(d.Body, func(s ast.Stmt) { a.info.stmtProc[s] = d.Name })
-	}
-	a.ensureSummary(main, entryForMain(main, opts))
-	a.enqueue("main")
-	for steps := 0; len(a.work) > 0; steps++ {
-		if steps > opts.MaxWorklist {
-			return nil, fmt.Errorf("analysis: worklist did not converge in %d steps", opts.MaxWorklist)
-		}
-		name := a.work[0]
-		a.work = a.work[1:]
-		a.inWork[name] = false
-		a.reanalyze(name)
-	}
-	// One final pass per reachable procedure so Before/After reflect the
-	// fixpoint summaries.
-	a.recording = true
-	for _, name := range a.analysisOrder() {
-		a.reanalyze(name)
-	}
-	return a.info, nil
+	e.cond = sync.NewCond(&e.mu)
+	return e
 }
 
+// enqueue schedules a procedure for (re-)analysis.
+func (e *engine) enqueue(name string) {
+	e.mu.Lock()
+	if !e.queued[name] {
+		e.queued[name] = true
+		e.queue = append(e.queue, name)
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// next blocks until a procedure not currently being analyzed is available,
+// or the fixpoint has drained (queue empty, no worker in flight), or the
+// run failed. The second result is false when the worker should exit.
+func (e *engine) next() (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.err != nil {
+			return "", false
+		}
+		for i, n := range e.queue {
+			if e.running[n] {
+				continue
+			}
+			e.queue = append(e.queue[:i:i], e.queue[i+1:]...)
+			e.queued[n] = false
+			e.running[n] = true
+			e.inflight++
+			e.steps++
+			// Concurrent workers can pop a procedure against an entry a
+			// caller is still growing, spending pops that a sequential
+			// drain would not, so the budget scales with the pool size;
+			// Workers=1 reproduces the sequential cap exactly.
+			if e.steps > e.opts.MaxWorklist*e.opts.Workers {
+				e.err = fmt.Errorf("analysis: worklist did not converge in %d steps", e.opts.MaxWorklist*e.opts.Workers)
+				e.cond.Broadcast()
+				return "", false
+			}
+			return n, true
+		}
+		if e.inflight == 0 {
+			e.cond.Broadcast()
+			return "", false
+		}
+		e.cond.Wait()
+	}
+}
+
+// done marks a popped procedure as finished.
+func (e *engine) done(name string) {
+	e.mu.Lock()
+	e.running[name] = false
+	e.inflight--
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+func (e *engine) failure() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// summary returns the summary for name, or nil.
+func (e *engine) summary(name string) *Summary {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.info.Summaries[name]
+}
+
+// summaryFor returns the summary for the procedure, creating it with the
+// given entry matrix if this is the first sighting. created reports whether
+// this call performed the creation (the entry argument was consumed).
+func (e *engine) summaryFor(d *ast.ProcDecl, entry *matrix.Matrix) (s *Summary, created bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.info.Summaries[d.Name]
+	if !ok {
+		s = &Summary{
+			Proc:           d,
+			Entry:          entry,
+			UpdateParams:   make([]bool, len(d.Params)),
+			LinkParams:     make([]bool, len(d.Params)),
+			AttachesParams: make([]bool, len(d.Params)),
+			HandleParamIdx: handleParams(d),
+		}
+		e.info.Summaries[d.Name] = s
+		return s, true
+	}
+	return s, false
+}
+
+// addCaller records a call edge caller → callee.
+func (e *engine) addCaller(callee, caller string) {
+	e.mu.Lock()
+	if e.callers[callee] == nil {
+		e.callers[callee] = map[string]bool{}
+	}
+	e.callers[callee][caller] = true
+	e.mu.Unlock()
+}
+
+// callersOf snapshots the recorded callers of name, and whether name calls
+// itself through a recorded edge.
+func (e *engine) callersOf(name string) (callers []string, selfEdge bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for c := range e.callers[name] {
+		callers = append(callers, c)
+	}
+	return callers, e.callers[name][name]
+}
+
+// analyzer is the per-worker view of an engine: the procedure currently
+// being analyzed plus the recording/muting flags. Workers never share an
+// analyzer value.
 type analyzer struct {
-	prog    *ast.Program
-	opts    Options
-	info    *Info
-	work    []string
-	inWork  map[string]bool
-	callers map[string]map[string]bool
-	diagSet map[string]bool
+	eng *engine
 	// recording enables Before/After capture (final pass only).
 	recording bool
 	// sink, when non-nil, receives before-matrices instead of info.Before
@@ -228,8 +491,18 @@ type analyzer struct {
 	sink map[ast.Stmt]*matrix.Matrix
 	// mute suppresses diagnostics (replays re-traverse analyzed code).
 	mute bool
-	// cur is the procedure under analysis.
-	cur *ast.ProcDecl
+	// cur is the procedure under analysis; curSum caches its summary so the
+	// per-statement transfer path does not take the engine lock.
+	cur    *ast.ProcDecl
+	curSum *Summary
+}
+
+// currentSummary returns the summary of the procedure under analysis.
+func (a *analyzer) currentSummary() *Summary {
+	if a.curSum != nil && a.curSum.Proc == a.cur {
+		return a.curSum
+	}
+	return a.eng.summary(a.cur.Name)
 }
 
 // Replay re-runs the abstract transformers over a statement sequence from
@@ -240,11 +513,7 @@ type analyzer struct {
 func (in *Info) Replay(procName string, p0 *matrix.Matrix, seq []ast.Stmt) (map[ast.Stmt]*matrix.Matrix, *matrix.Matrix) {
 	d := in.Prog.Proc(procName)
 	a := &analyzer{
-		prog:      in.Prog,
-		opts:      in.Opts,
-		info:      in,
-		callers:   map[string]map[string]bool{},
-		diagSet:   map[string]bool{},
+		eng:       newEngine(in.Prog, in.Opts, in),
 		recording: true,
 		mute:      true, // replays must not duplicate diagnostics
 		sink:      map[ast.Stmt]*matrix.Matrix{},
@@ -257,11 +526,13 @@ func (in *Info) Replay(procName string, p0 *matrix.Matrix, seq []ast.Stmt) (map[
 	return a.sink, m
 }
 
-func (a *analyzer) analysisOrder() []string {
-	names := make([]string, 0, len(a.info.Summaries))
-	for n := range a.info.Summaries {
+func (e *engine) analysisOrder() []string {
+	e.mu.Lock()
+	names := make([]string, 0, len(e.info.Summaries))
+	for n := range e.info.Summaries {
 		names = append(names, n)
 	}
+	e.mu.Unlock()
 	sort.Strings(names)
 	return names
 }
@@ -270,13 +541,7 @@ func (a *analyzer) enqueue(name string) {
 	if a.recording {
 		return // the final recording pass must not perturb the fixpoint
 	}
-	if a.inWork == nil {
-		a.inWork = map[string]bool{}
-	}
-	if !a.inWork[name] {
-		a.inWork[name] = true
-		a.work = append(a.work, name)
-	}
+	a.eng.enqueue(name)
 }
 
 func (a *analyzer) diag(pos token.Pos, level, msg string) {
@@ -285,10 +550,13 @@ func (a *analyzer) diag(pos token.Pos, level, msg string) {
 	}
 	d := Diagnostic{Pos: pos, Level: level, Msg: msg}
 	key := d.String()
-	if !a.diagSet[key] {
-		a.diagSet[key] = true
-		a.info.Diags = append(a.info.Diags, d)
+	e := a.eng
+	e.mu.Lock()
+	if !e.diagSet[key] {
+		e.diagSet[key] = true
+		e.info.Diags = append(e.info.Diags, d)
 	}
+	e.mu.Unlock()
 }
 
 // handleParams returns the positions of handle parameters.
@@ -336,30 +604,15 @@ func entryForMain(main *ast.ProcDecl, opts Options) *matrix.Matrix {
 	return m
 }
 
-func (a *analyzer) ensureSummary(d *ast.ProcDecl, entry *matrix.Matrix) *Summary {
-	s, ok := a.info.Summaries[d.Name]
-	if !ok {
-		s = &Summary{
-			Proc:           d,
-			Entry:          entry,
-			UpdateParams:   make([]bool, len(d.Params)),
-			LinkParams:     make([]bool, len(d.Params)),
-			AttachesParams: make([]bool, len(d.Params)),
-			HandleParamIdx: handleParams(d),
-		}
-		a.info.Summaries[d.Name] = s
-	}
-	return s
-}
-
 // reanalyze runs one pass over a procedure body from its current entry.
 func (a *analyzer) reanalyze(name string) {
-	s := a.info.Summaries[name]
+	s := a.eng.summary(name)
 	if s == nil {
 		return
 	}
 	a.cur = s.Proc
-	m := s.Entry.Copy()
+	a.curSum = s
+	m := s.snapshotEntry().Copy()
 	// Locals start definitely nil — unless the entry matrix already binds
 	// them (main's external roots).
 	for _, v := range s.Proc.Locals {
@@ -368,7 +621,7 @@ func (a *analyzer) reanalyze(name string) {
 		}
 	}
 	if a.recording {
-		clearRecords(a.info, s.Proc)
+		clearRecords(a.eng.info, s.Proc)
 	}
 	exit := a.stmt(m, s.Proc.Body)
 	changed := false
@@ -389,25 +642,16 @@ func (a *analyzer) reanalyze(name string) {
 			keep = append(keep, matrix.Handle(s.Proc.ReturnVar))
 		}
 		proj := exit.Project(keep)
-		proj.Widen(a.opts.Limits)
-		if s.Exit == nil || !s.Exit.Equal(proj) {
-			if s.Exit != nil {
-				merged := s.Exit.Merge(proj)
-				merged.Widen(a.opts.Limits)
-				proj = merged
-			}
-			if s.Exit == nil || !s.Exit.Equal(proj) {
-				s.Exit = proj
-				changed = true
-			}
-		}
+		proj.Widen(a.eng.opts.Limits)
+		changed = s.updateExit(proj, a.eng.opts.Limits)
 	}
 	if changed {
-		for caller := range a.callers[name] {
+		callers, selfEdge := a.eng.callersOf(name)
+		for _, caller := range callers {
 			a.enqueue(caller)
 		}
 		// Self-recursive procedures must also converge.
-		if a.callers[name][name] || a.selfCalls(s.Proc) {
+		if selfEdge || a.selfCalls(s.Proc) {
 			a.enqueue(name)
 		}
 	}
@@ -470,20 +714,20 @@ func (a *analyzer) record(before bool, s ast.Stmt, m *matrix.Matrix) {
 		}
 		if prev, ok := a.sink[s]; ok {
 			merged := prev.Merge(m)
-			merged.Widen(a.opts.Limits)
+			merged.Widen(a.eng.opts.Limits)
 			a.sink[s] = merged
 		} else {
 			a.sink[s] = m.Copy()
 		}
 		return
 	}
-	tab := a.info.Before
+	tab := a.eng.info.Before
 	if !before {
-		tab = a.info.After
+		tab = a.eng.info.After
 	}
 	if prev, ok := tab[s]; ok {
 		merged := prev.Merge(m)
-		merged.Widen(a.opts.Limits)
+		merged.Widen(a.eng.opts.Limits)
 		tab[s] = merged
 	} else {
 		tab[s] = m.Copy()
@@ -523,7 +767,7 @@ func (a *analyzer) stmt(m *matrix.Matrix, s ast.Stmt) *matrix.Matrix {
 		}
 		out = mergeMaybe(thenOut, elseOut)
 		if out != nil {
-			out.Widen(a.opts.Limits)
+			out.Widen(a.eng.opts.Limits)
 		}
 	case *ast.While:
 		out = a.while(m, s)
@@ -555,14 +799,14 @@ func mergeMaybe(x, y *matrix.Matrix) *matrix.Matrix {
 // widening until the matrix stabilizes at p+.
 func (a *analyzer) while(m *matrix.Matrix, s *ast.While) *matrix.Matrix {
 	acc := m.Copy()
-	for i := 0; i < a.opts.MaxLoopIters; i++ {
+	for i := 0; i < a.eng.opts.MaxLoopIters; i++ {
 		bodyIn := refineCond(acc.Copy(), s.Cond, true)
 		bodyOut := a.stmt(bodyIn, s.Body)
 		next := mergeMaybe(acc, bodyOut)
 		if next == nil {
 			return nil
 		}
-		next.Widen(a.opts.Limits)
+		next.Widen(a.eng.opts.Limits)
 		if next.Equal(acc) {
 			break
 		}

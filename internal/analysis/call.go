@@ -57,14 +57,11 @@ func symIndex(h matrix.Handle) (idx int, stacked, ok bool) {
 // receives a handle-typed function result. Returns nil (bottom) while the
 // callee has no computed exit yet (first iterations of recursion).
 func (a *analyzer) call(m *matrix.Matrix, name string, args []ast.Expr, dst *matrix.Handle, pos token.Pos) *matrix.Matrix {
-	callee := a.prog.Proc(name)
+	callee := a.eng.prog.Proc(name)
 	if callee == nil {
 		return m
 	}
-	if a.callers[name] == nil {
-		a.callers[name] = map[string]bool{}
-	}
-	a.callers[name][a.cur.Name] = true
+	a.eng.addCaller(name, a.cur.Name)
 
 	// Handle actuals in handle-parameter order (normalization guarantees
 	// plain names).
@@ -76,45 +73,36 @@ func (a *analyzer) call(m *matrix.Matrix, name string, args []ast.Expr, dst *mat
 		}
 	}
 	ent := a.buildEntry(m, callee, actuals)
-	sum, existed := a.info.Summaries[name], true
-	if sum == nil {
-		existed = false
-		sum = a.ensureSummary(callee, ent)
-	}
-	if existed {
-		merged := sum.Entry.Merge(ent)
-		merged.Widen(a.opts.Limits)
-		if !merged.Equal(sum.Entry) {
-			sum.Entry = merged
-			a.enqueue(name)
-		}
-	} else {
+	sum, created := a.eng.summaryFor(callee, ent)
+	if created || sum.mergeEntry(ent, a.eng.opts.Limits) {
 		a.enqueue(name)
 	}
 
-	// Propagate mod-ref through the call.
-	cur := a.info.Summaries[a.cur.Name]
-	if sum.ModifiesLinks && cur != nil && !cur.ModifiesLinks {
-		cur.ModifiesLinks = true
+	// Propagate mod-ref through the call (snapshot the callee's bits once,
+	// so the view stays consistent while other workers refine them).
+	mr := sum.modrefSnapshot()
+	cur := a.currentSummary()
+	if mr.modifiesLinks && cur != nil && cur.setModifiesLinks() {
 		a.bumpCallersOf(a.cur.Name)
 	}
 	for k, pi := range hIdx {
 		if actuals[k] == "" {
 			continue
 		}
-		if sum.UpdateParams[pi] {
-			a.markWrite(m, actuals[k], sum.LinkParams[pi])
+		if mr.update[pi] {
+			a.markWrite(m, actuals[k], mr.links[pi])
 		}
-		if sum.AttachesParams[pi] {
+		if mr.attaches[pi] {
 			a.markAttach(m, actuals[k])
 		}
 	}
 
-	if sum.Exit == nil {
+	E := sum.snapshotExit()
+	if E == nil {
 		return nil // bottom: callee never returns in the current approximation
 	}
-	a.applyExit(m, sum, actuals, dst, callee)
-	m.Widen(a.opts.Limits)
+	a.applyExit(m, E, sum.HandleParamIdx, mr, actuals, dst, callee)
+	m.Widen(a.eng.opts.Limits)
 	return m
 }
 
@@ -239,18 +227,19 @@ func (a *analyzer) buildEntry(m *matrix.Matrix, callee *ast.ProcDecl, actuals []
 			}
 		}
 	}
-	ent.Widen(a.opts.Limits)
+	ent.Widen(a.eng.opts.Limits)
 	return ent
 }
 
-// applyExit maps the callee's exit matrix back into the caller.
-func (a *analyzer) applyExit(m *matrix.Matrix, sum *Summary, actuals []matrix.Handle, dst *matrix.Handle, callee *ast.ProcDecl) {
-	E := sum.Exit
+// applyExit maps the callee's exit matrix back into the caller. E and mr
+// are the caller's snapshots of the callee summary's exit and mod-ref
+// state; hIdx is the callee's (immutable) handle-parameter index.
+func (a *analyzer) applyExit(m *matrix.Matrix, E *matrix.Matrix, hIdx []int, mr modref,
+	actuals []matrix.Handle, dst *matrix.Handle, callee *ast.ProcDecl) {
 	// Only unrecoverable damage propagates as sticky shape; recoverable
 	// sharing travels through the argument attributes below.
 	m.SetShape(E.StickyShape())
-	hIdx := sum.HandleParamIdx
-	if sum.ModifiesLinks {
+	if mr.modifiesLinks {
 		// Relations among actual-argument nodes: the callee's exit h*
 		// relations are authoritative.
 		for i := range hIdx {
@@ -265,7 +254,7 @@ func (a *analyzer) applyExit(m *matrix.Matrix, sum *Summary, actuals []matrix.Ha
 			if actuals[i] == "" || !m.Has(actuals[i]) {
 				continue
 			}
-			if sum.AttachesParams[hIdx[i]] {
+			if mr.attaches[hIdx[i]] {
 				at := m.Attr(actuals[i])
 				if hs := matrix.Symbolic(i + 1); E.Has(hs) && E.Attr(hs).Indeg == matrix.Shared {
 					at.Indeg = matrix.Shared
@@ -275,20 +264,20 @@ func (a *analyzer) applyExit(m *matrix.Matrix, sum *Summary, actuals []matrix.Ha
 				m.SetAttr(actuals[i], at)
 			}
 		}
-		a.regionHavoc(m, sum, actuals)
+		a.regionHavoc(m, hIdx, mr, actuals)
 	}
 	if dst != nil {
-		a.mapReturn(m, E, sum, actuals, *dst, callee)
+		a.mapReturn(m, E, actuals, *dst, callee)
 	}
 }
 
 // regionHavoc applies the region rule after a structure-modifying call:
 // every caller handle strictly below an update argument may have been
 // rearranged anywhere within the update arguments' regions.
-func (a *analyzer) regionHavoc(m *matrix.Matrix, sum *Summary, actuals []matrix.Handle) {
+func (a *analyzer) regionHavoc(m *matrix.Matrix, hIdx []int, mr modref, actuals []matrix.Handle) {
 	var updates []matrix.Handle
-	for k, pi := range sum.HandleParamIdx {
-		if sum.LinkParams[pi] && actuals[k] != "" && m.Has(actuals[k]) {
+	for k, pi := range hIdx {
+		if mr.links[pi] && actuals[k] != "" && m.Has(actuals[k]) {
 			updates = append(updates, actuals[k])
 		}
 	}
@@ -347,7 +336,7 @@ func (a *analyzer) regionHavoc(m *matrix.Matrix, sum *Summary, actuals []matrix.
 // mapReturn binds a handle-typed function result: the exit matrix relates
 // the callee's return variable to the h* argument nodes, which the caller
 // translates to its actuals.
-func (a *analyzer) mapReturn(m *matrix.Matrix, E *matrix.Matrix, sum *Summary, actuals []matrix.Handle, dst matrix.Handle, callee *ast.ProcDecl) {
+func (a *analyzer) mapReturn(m *matrix.Matrix, E *matrix.Matrix, actuals []matrix.Handle, dst matrix.Handle, callee *ast.ProcDecl) {
 	ret := matrix.Handle(callee.ReturnVar)
 	retAttr := matrix.Attr{Nil: matrix.MaybeNil, Indeg: matrix.UnknownDeg}
 	if E.Has(ret) {

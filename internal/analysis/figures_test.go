@@ -16,16 +16,14 @@ import (
 )
 
 func newTestAnalyzer() *analyzer {
+	info := &Info{
+		Before:    map[ast.Stmt]*matrix.Matrix{},
+		After:     map[ast.Stmt]*matrix.Matrix{},
+		Summaries: map[string]*Summary{},
+	}
 	return &analyzer{
-		opts: Options{}.withDefaults(),
-		info: &Info{
-			Before:    map[ast.Stmt]*matrix.Matrix{},
-			After:     map[ast.Stmt]*matrix.Matrix{},
-			Summaries: map[string]*Summary{},
-		},
-		diagSet: map[string]bool{},
-		cur:     &ast.ProcDecl{Name: "test"},
-		callers: map[string]map[string]bool{},
+		eng: newEngine(nil, Options{}.withDefaults(), info),
+		cur: &ast.ProcDecl{Name: "test"},
 	}
 }
 
@@ -66,7 +64,7 @@ func TestFig2HandleAssignments(t *testing.T) {
 	// is one or more edges below e.
 	wantEntry(t, m, "e", "c", "S?, D+?")
 	wantEntry(t, m, "e", "b", "{}")
-	for _, d := range a.info.Diags {
+	for _, d := range a.eng.info.Diags {
 		if d.Level == "error" {
 			t.Errorf("unexpected error diagnostic: %v", d)
 		}

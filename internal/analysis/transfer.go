@@ -41,13 +41,17 @@ func fieldName(f path.Dir) string {
 // (mod-ref analysis of §5.2): every handle parameter whose original node
 // (h*k) may reach a is an update parameter.
 func (a *analyzer) markWrite(m *matrix.Matrix, target matrix.Handle, link bool) {
-	sum := a.info.Summaries[a.cur.Name]
+	sum := a.currentSummary()
 	if sum == nil {
 		return
 	}
+	// Flag updates happen under the summary lock; the (idempotent) caller
+	// re-enqueue is deferred past the unlock to keep lock order engine-free.
+	bump := false
+	sum.mu.Lock()
 	if link && !sum.ModifiesLinks {
 		sum.ModifiesLinks = true
-		a.bumpCallersOf(a.cur.Name)
+		bump = true
 	}
 	for symIdx, paramPos := range sum.HandleParamIdx {
 		h := matrix.Symbolic(symIdx + 1)
@@ -59,13 +63,17 @@ func (a *analyzer) markWrite(m *matrix.Matrix, target matrix.Handle, link bool) 
 		if h == target || !m.Get(h, target).IsEmpty() || m.MayAlias(h, target) {
 			if !sum.UpdateParams[paramPos] {
 				sum.UpdateParams[paramPos] = true
-				a.bumpCallersOf(a.cur.Name)
+				bump = true
 			}
 			if link && !sum.LinkParams[paramPos] {
 				sum.LinkParams[paramPos] = true
-				a.bumpCallersOf(a.cur.Name)
+				bump = true
 			}
 		}
+	}
+	sum.mu.Unlock()
+	if bump {
+		a.bumpCallersOf(a.cur.Name)
 	}
 }
 
@@ -73,10 +81,12 @@ func (a *analyzer) markWrite(m *matrix.Matrix, target matrix.Handle, link bool) 
 // handle parameter a new parent (the argument appears as the right side of
 // a structure update).
 func (a *analyzer) markAttach(m *matrix.Matrix, src matrix.Handle) {
-	sum := a.info.Summaries[a.cur.Name]
+	sum := a.currentSummary()
 	if sum == nil {
 		return
 	}
+	bump := false
+	sum.mu.Lock()
 	for symIdx, paramPos := range sum.HandleParamIdx {
 		h := matrix.Symbolic(symIdx + 1)
 		if !m.Has(h) {
@@ -85,14 +95,19 @@ func (a *analyzer) markAttach(m *matrix.Matrix, src matrix.Handle) {
 		if h == src || m.MayAlias(h, src) {
 			if !sum.AttachesParams[paramPos] {
 				sum.AttachesParams[paramPos] = true
-				a.bumpCallersOf(a.cur.Name)
+				bump = true
 			}
 		}
+	}
+	sum.mu.Unlock()
+	if bump {
+		a.bumpCallersOf(a.cur.Name)
 	}
 }
 
 func (a *analyzer) bumpCallersOf(name string) {
-	for caller := range a.callers[name] {
+	callers, _ := a.eng.callersOf(name)
+	for _, caller := range callers {
 		a.enqueue(caller)
 	}
 	a.enqueue(name)
@@ -397,7 +412,7 @@ func (a *analyzer) update(m *matrix.Matrix, base matrix.Handle, f path.Dir, rhs 
 			m.AddPaths(x, y, xs.ConcatAll(edgeSet).ConcatAll(ys))
 		}
 	}
-	m.Widen(a.opts.Limits)
+	m.Widen(a.eng.opts.Limits)
 	return m
 }
 

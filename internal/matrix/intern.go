@@ -1,0 +1,71 @@
+package matrix
+
+import "sync"
+
+// Handle interning: every handle name used by any matrix is mapped once to
+// a small process-wide ID, and matrix entries are keyed by packed ID pairs
+// (uint64) instead of string pairs. Map lookups on the analysis hot path
+// then hash one machine word instead of two strings, and IDs are stable
+// across matrices, so keys survive Copy/Merge/Project without re-hashing.
+// The table is mutex-guarded for the concurrent analysis fixpoint; handle
+// universes are tiny (program variables plus symbolic h*/h** names), so a
+// single RWMutex does not contend.
+
+var handleTab = struct {
+	mu    sync.RWMutex
+	ids   map[Handle]uint32
+	names []Handle // index id → name
+}{ids: make(map[Handle]uint32)}
+
+// idOf interns h and returns its stable ID.
+func idOf(h Handle) uint32 {
+	handleTab.mu.RLock()
+	id, ok := handleTab.ids[h]
+	handleTab.mu.RUnlock()
+	if ok {
+		return id
+	}
+	handleTab.mu.Lock()
+	defer handleTab.mu.Unlock()
+	if id, ok := handleTab.ids[h]; ok {
+		return id
+	}
+	id = uint32(len(handleTab.names))
+	handleTab.ids[h] = id
+	handleTab.names = append(handleTab.names, h)
+	return id
+}
+
+// nameOf returns the handle with the given interned ID.
+func nameOf(id uint32) Handle {
+	handleTab.mu.RLock()
+	h := handleTab.names[id]
+	handleTab.mu.RUnlock()
+	return h
+}
+
+// entryKey packs an interned (row, col) handle pair into one map key.
+type entryKey uint64
+
+// ek resolves both IDs under a single read-lock acquisition — it sits on
+// the hottest path of the concurrent fixpoint (every Get/Put), where two
+// separate idOf calls would double the traffic on the shared lock word.
+func ek(row, col Handle) entryKey {
+	handleTab.mu.RLock()
+	r, okR := handleTab.ids[row]
+	c, okC := handleTab.ids[col]
+	handleTab.mu.RUnlock()
+	if !okR {
+		r = idOf(row)
+	}
+	if !okC {
+		c = idOf(col)
+	}
+	return entryKey(uint64(r)<<32 | uint64(c))
+}
+
+func (k entryKey) handles() (row, col Handle) {
+	return nameOf(uint32(k >> 32)), nameOf(uint32(k))
+}
+
+func (k entryKey) diagonal() bool { return uint32(k>>32) == uint32(k) }

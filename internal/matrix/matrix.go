@@ -139,8 +139,6 @@ func (s Shape) IsTree() bool { return s == ShapeTree }
 // DefinitelyAcyclic reports whether no cycle can exist.
 func (s Shape) DefinitelyAcyclic() bool { return s <= ShapeDAG }
 
-type pair struct{ row, col Handle }
-
 // Matrix is a path matrix at one program point. Matrices are mutable; use
 // Copy before a destructive update when the original must survive (the
 // analysis engine copies at every control-flow split).
@@ -155,7 +153,7 @@ type pair struct{ row, col Handle }
 // swap completes.
 type Matrix struct {
 	order   []Handle // insertion order, for paper-layout printing
-	entries map[pair]path.Set
+	entries map[entryKey]path.Set
 	attrs   map[Handle]Attr
 	sticky  Shape
 }
@@ -163,7 +161,7 @@ type Matrix struct {
 // New returns an empty matrix describing a TREE store with no live handles.
 func New() *Matrix {
 	return &Matrix{
-		entries: make(map[pair]path.Set),
+		entries: make(map[entryKey]path.Set),
 		attrs:   make(map[Handle]Attr),
 	}
 }
@@ -172,7 +170,7 @@ func New() *Matrix {
 func (m *Matrix) Copy() *Matrix {
 	c := &Matrix{
 		order:   append([]Handle(nil), m.order...),
-		entries: make(map[pair]path.Set, len(m.entries)),
+		entries: make(map[entryKey]path.Set, len(m.entries)),
 		attrs:   make(map[Handle]Attr, len(m.attrs)),
 		sticky:  m.sticky,
 	}
@@ -263,9 +261,9 @@ func (m *Matrix) Add(h Handle, a Attr) {
 	}
 	m.attrs[h] = a
 	if a.Nil != DefNil {
-		m.entries[pair{h, h}] = path.NewSet(path.Same())
+		m.entries[ek(h, h)] = path.NewSet(path.Same())
 	} else {
-		delete(m.entries, pair{h, h})
+		delete(m.entries, ek(h, h))
 	}
 }
 
@@ -284,8 +282,9 @@ func (m *Matrix) Remove(h Handle) {
 		}
 	}
 	delete(m.attrs, h)
+	hid := idOf(h)
 	for k := range m.entries {
-		if k.row == h || k.col == h {
+		if uint32(k>>32) == hid || uint32(k) == hid {
 			delete(m.entries, k)
 		}
 	}
@@ -293,7 +292,7 @@ func (m *Matrix) Remove(h Handle) {
 
 // Get returns the entry p[a,b] (empty set when absent or handles unknown).
 func (m *Matrix) Get(a, b Handle) path.Set {
-	return m.entries[pair{a, b}]
+	return m.entries[ek(a, b)]
 }
 
 // Put sets the entry p[a,b]; an empty set deletes it.
@@ -302,10 +301,10 @@ func (m *Matrix) Put(a, b Handle, s path.Set) {
 		return
 	}
 	if s.IsEmpty() {
-		delete(m.entries, pair{a, b})
+		delete(m.entries, ek(a, b))
 		return
 	}
-	m.entries[pair{a, b}] = s
+	m.entries[ek(a, b)] = s
 }
 
 // AddPaths unions extra paths into p[a,b].
@@ -412,25 +411,27 @@ func (m *Matrix) Merge(o *Matrix) *Matrix {
 			out.Add(h, Attr{Nil: mergeNilness(a.Nil, MaybeNil), Indeg: a.Indeg})
 		}
 	}
-	seen := make(map[pair]bool, len(m.entries)+len(o.entries))
+	seen := make(map[entryKey]bool, len(m.entries)+len(o.entries))
 	for k, v := range m.entries {
 		seen[k] = true
+		row, col := k.handles()
 		merged := v.MergeJoin(o.entries[k])
-		if k.row == k.col && out.attrs[k.row].Nil != DefNil {
+		if k.diagonal() && out.attrs[row].Nil != DefNil {
 			// Keep the definite S diagonal for handles live on both sides.
 			merged = merged.Add(path.Same())
 		}
-		out.Put(k.row, k.col, merged)
+		out.Put(row, col, merged)
 	}
 	for k, v := range o.entries {
 		if seen[k] {
 			continue
 		}
+		row, col := k.handles()
 		merged := path.EmptySet().MergeJoin(v)
-		if k.row == k.col && out.attrs[k.row].Nil != DefNil {
+		if k.diagonal() && out.attrs[row].Nil != DefNil {
 			merged = merged.Add(path.Same())
 		}
-		out.Put(k.row, k.col, merged)
+		out.Put(row, col, merged)
 	}
 	return out
 }
@@ -458,7 +459,8 @@ func (m *Matrix) Rename(sub map[Handle]Handle) *Matrix {
 		out.Add(name(h), m.attrs[h])
 	}
 	for k, v := range m.entries {
-		out.Put(name(k.row), name(k.col), v)
+		row, col := k.handles()
+		out.Put(name(row), name(col), v)
 	}
 	return out
 }
@@ -479,8 +481,9 @@ func (m *Matrix) Project(keep []Handle) *Matrix {
 		}
 	}
 	for k, v := range m.entries {
-		if want[k.row] && want[k.col] {
-			out.Put(k.row, k.col, v)
+		row, col := k.handles()
+		if want[row] && want[col] {
+			out.Put(row, col, v)
 		}
 	}
 	return out

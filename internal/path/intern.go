@@ -1,0 +1,131 @@
+package path
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the interning layer that canonicalizes every path
+// expression to a unique, process-wide node. Two Paths denote the same
+// expression iff they hold the same *pnode, which turns the structural
+// comparisons on the analysis hot path (Set.Equal, Set.find, dropSubsumed,
+// MayOverlapSet) into pointer/ID comparisons. Each node carries a
+// precomputed 64-bit signature (a seed-hash of the canonical segments) and
+// a small unique ID; the language-question memo tables in memo.go are
+// keyed by (ID, ID) pairs.
+//
+// The table is sharded and mutex-guarded so the concurrent analysis
+// fixpoint and the parallel property tests can intern from many goroutines
+// without contending on a single lock. Interned nodes are immutable and
+// never released; the universe of distinct path expressions a run can
+// produce is bounded by the widening limits, so the table stays small.
+
+// pnode is one interned path expression (never the empty path S, which is
+// represented by a nil node so that the zero Path value remains S).
+type pnode struct {
+	id   uint32
+	sig  uint64
+	segs []Seg // canonical; immutable after interning
+}
+
+const internShards = 64
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]*pnode // signature → collision chain
+}
+
+var (
+	internTab [internShards]internShard
+	// nextID is the allocator for node IDs; ID 0 is reserved for S.
+	nextID atomic.Uint32
+)
+
+func init() {
+	for i := range internTab {
+		internTab[i].m = make(map[uint64][]*pnode)
+	}
+}
+
+// sigSegs computes the FNV-1a signature of a canonical segment slice.
+func sigSegs(segs []Seg) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, s := range segs {
+		h = (h ^ uint64(s.Dir)) * prime64
+		h = (h ^ uint64(s.Min)) * prime64
+		if s.Inf {
+			h = (h ^ 1) * prime64
+		} else {
+			h = (h ^ 2) * prime64
+		}
+	}
+	return h
+}
+
+func equalSegs(a, b []Seg) bool { return slices.Equal(a, b) }
+
+// intern returns the unique node for the given canonical segments, or nil
+// for the empty path. The caller must pass segments already in canonical
+// form (the output of canon) and must not mutate them afterwards; intern
+// copies the slice when it creates a new node, so callers may also pass
+// scratch slices.
+func intern(segs []Seg) *pnode {
+	if len(segs) == 0 {
+		return nil
+	}
+	sig := sigSegs(segs)
+	sh := &internTab[sig%internShards]
+	sh.mu.RLock()
+	for _, n := range sh.m[sig] {
+		if equalSegs(n.segs, segs) {
+			sh.mu.RUnlock()
+			return n
+		}
+	}
+	sh.mu.RUnlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, n := range sh.m[sig] {
+		if equalSegs(n.segs, segs) {
+			return n
+		}
+	}
+	n := &pnode{
+		id:   nextID.Add(1),
+		sig:  sig,
+		segs: append([]Seg(nil), segs...),
+	}
+	sh.m[sig] = append(sh.m[sig], n)
+	return n
+}
+
+// newPath canonicalizes and interns the segments into a Path value.
+func newPath(segs []Seg, possible bool) Path {
+	return Path{node: intern(canon(segs)), possible: possible}
+}
+
+// ID returns the interned identity of the path expression, ignoring the
+// definiteness flag; S has ID 0. Equal IDs ⇔ equal expressions.
+func (p Path) ID() uint32 {
+	if p.node == nil {
+		return 0
+	}
+	return p.node.id
+}
+
+// Signature returns the precomputed 64-bit hash of the expression (0 for S).
+func (p Path) Signature() uint64 {
+	if p.node == nil {
+		return 0
+	}
+	return p.node.sig
+}
+
+// InternedCount reports how many distinct non-empty path expressions have
+// been interned process-wide (monitoring hook for silbench).
+func InternedCount() int { return int(nextID.Load()) }

@@ -1,0 +1,197 @@
+package path
+
+// Tests for the interning + memoization layer: interned operations must
+// agree exactly with the structural implementations they replaced, IDs must
+// be stable identities for expressions, and the shared tables must be safe
+// under concurrent hammering (run with -race).
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestInternIdentity: interning is an identity map on expressions — two
+// paths share an ID iff they render to the same expression string.
+func TestInternIdentity(t *testing.T) {
+	f := func(a, b concretePathGen) bool {
+		p, q := a.path(), b.path()
+		structural := p.ExprString() == q.ExprString()
+		if (p.ID() == q.ID()) != structural {
+			t.Logf("ID(%s)=%d ID(%s)=%d structural=%v", p, p.ID(), q, q.ID(), structural)
+			return false
+		}
+		if p.EqualExpr(q) != structural {
+			t.Logf("EqualExpr(%s,%s) != %v", p, q, structural)
+			return false
+		}
+		if structural && p.Signature() != q.Signature() {
+			t.Logf("equal expressions with different signatures: %s", p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMemoAgreesWithSlow: the memoized language questions return exactly
+// what the uncached NFA decision procedures return, in both query orders
+// (a wrong cache key or a wrongly-assumed symmetry would show up here).
+func TestMemoAgreesWithSlow(t *testing.T) {
+	f := func(a, b concretePathGen) bool {
+		p, q := a.path(), b.path()
+		if got, want := Subsumes(p, q), subsumesSlow(p.Segs(), q.Segs()); got != want {
+			t.Logf("Subsumes(%s,%s) = %v, slow %v", p, q, got, want)
+			return false
+		}
+		if got, want := MayOverlap(p, q), mayOverlapSlow(p.Segs(), q.Segs()); got != want {
+			t.Logf("MayOverlap(%s,%s) = %v, slow %v", p, q, got, want)
+			return false
+		}
+		if MayOverlap(p, q) != MayOverlap(q, p) {
+			t.Logf("MayOverlap not symmetric on (%s,%s)", p, q)
+			return false
+		}
+		if got, want := MayStrictPrefix(p, q), mayStrictPrefixSlow(p.Segs(), q.Segs()); got != want {
+			t.Logf("MayStrictPrefix(%s,%s) = %v, slow %v", p, q, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// structuralSet is the pre-interning reference model of a Set: expression
+// string → definite?, with definite-wins on duplicates.
+type structuralSet map[string]bool
+
+func (m structuralSet) add(p Path) {
+	def, ok := m[p.ExprString()]
+	m[p.ExprString()] = (ok && def) || p.Definite()
+}
+
+func (m structuralSet) matches(s Set) bool {
+	if s.Len() != len(m) {
+		return false
+	}
+	for _, p := range s.Paths() {
+		def, ok := m[p.ExprString()]
+		if !ok || def != p.Definite() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSetOpsAgreeStructural: Add and Union on interned sets behave exactly
+// like the structural reference model.
+func TestSetOpsAgreeStructural(t *testing.T) {
+	f := func(a, b, c, d concretePathGen) bool {
+		paths := []Path{a.path(), b.path(), c.path(), d.path()}
+		model := structuralSet{}
+		var s Set
+		for _, p := range paths {
+			s = s.Add(p)
+			model.add(p)
+		}
+		if !model.matches(s) {
+			t.Logf("Add mismatch: set %s vs model %v", s, model)
+			return false
+		}
+		u := NewSet(paths[0], paths[1]).Union(NewSet(paths[2], paths[3]))
+		if !model.matches(u) {
+			t.Logf("Union mismatch: set %s vs model %v", u, model)
+			return false
+		}
+		// Set.Equal is now an ID comparison; it must agree with the
+		// rendered canonical form.
+		again := NewSet(paths[3], paths[2], paths[1], paths[0])
+		if !s.Equal(again) || s.String() != again.String() {
+			t.Logf("order-insensitivity lost: %s vs %s", s, again)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWidenMutualSubsumption is the regression test for the dropSubsumed
+// soundness bug: R1D2+ and R+D2+ denote the same language (D covers R), so
+// the two possible members subsumed each other and the widening dropped
+// both, collapsing the estimate to the empty set. The canonical-order tie
+// break must keep exactly one.
+func TestWidenMutualSubsumption(t *testing.T) {
+	lim := Limits{MaxExact: 2, MaxSegs: 2, MaxPaths: 2}
+	s := NewSet(MustParse("R1D2+?"), MustParse("R+D3?"))
+	w := s.Widen(lim)
+	if w.IsEmpty() {
+		t.Fatalf("widen(%s) collapsed to the empty set", s)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("widen(%s) = %s, want a single survivor", s, w)
+	}
+	// The survivor must cover both inputs (word-level soundness).
+	const maxLen = 6
+	have := map[string]bool{}
+	for _, p := range w.Paths() {
+		for word := range words(p, maxLen) {
+			have[word] = true
+		}
+	}
+	for _, p := range s.Paths() {
+		for word := range words(p, maxLen) {
+			if !have[word] {
+				t.Errorf("widen(%s) = %s lost word %q of %s", s, w, word, p)
+			}
+		}
+	}
+}
+
+// TestInternTableRace hammers the intern table and the memo caches from
+// parallel goroutines: IDs must be consistent (one ID per expression
+// process-wide) and memoized verdicts must equal the uncached ones. Run
+// with -race in CI.
+func TestInternTableRace(t *testing.T) {
+	const goroutines = 16
+	const perG = 400
+	var idOf sync.Map // expression string → uint32
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 7919))
+			for i := 0; i < perG; i++ {
+				p := concretePathGen{Seed: rng.Int63n(512)}.path()
+				q := concretePathGen{Seed: rng.Int63n(512)}.path()
+				got, loaded := idOf.LoadOrStore(p.ExprString(), p.ID())
+				if loaded && got.(uint32) != p.ID() {
+					errs <- "two IDs for expression " + p.ExprString()
+					return
+				}
+				if Subsumes(p, q) != subsumesSlow(p.Segs(), q.Segs()) {
+					errs <- "memoized Subsumes diverged on " + p.String() + " vs " + q.String()
+					return
+				}
+				if MayOverlap(p, q) != mayOverlapSlow(p.Segs(), q.Segs()) {
+					errs <- "memoized MayOverlap diverged on " + p.String() + " vs " + q.String()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

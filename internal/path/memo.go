@@ -1,0 +1,97 @@
+package path
+
+import "sync"
+
+// Memoization of the language questions on interned path expressions.
+// Because interning gives every distinct expression a unique small ID, a
+// verdict for a pair of expressions is cached once per process under the
+// key id(a)<<32 | id(b) and every later query is a map hit instead of an
+// NFA product walk. The widening limits bound the universe of expressions,
+// so the tables stay small; like the intern table they are sharded and
+// mutex-guarded for the concurrent analysis fixpoint.
+
+// pairKey builds the directed cache key for an (a, b) expression pair.
+func pairKey(a, b uint32) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// overlapKey is pairKey with the operands ordered: MayOverlap is symmetric,
+// so both query directions share one cache line.
+func overlapKey(a, b uint32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey(a, b)
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[uint64]bool
+}
+
+// memoTable is a sharded (key → verdict) cache.
+type memoTable struct {
+	shards [internShards]memoShard
+}
+
+func (t *memoTable) lookup(key uint64) (verdict, ok bool) {
+	sh := &t.shards[key%internShards]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+func (t *memoTable) store(key uint64, v bool) {
+	sh := &t.shards[key%internShards]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64]bool)
+	}
+	sh.m[key] = v
+	sh.mu.Unlock()
+}
+
+func (t *memoTable) size() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+var (
+	subsumeMemo memoTable
+	overlapMemo memoTable
+	prefixMemo  memoTable
+)
+
+// MemoizedVerdicts reports how many subsumption/overlap/prefix verdicts are
+// cached process-wide (monitoring hook for silbench).
+func MemoizedVerdicts() int {
+	return subsumeMemo.size() + overlapMemo.size() + prefixMemo.size()
+}
+
+// residueTab caches Residue results per (expression, direction), computed
+// on the definite form; Path.Residue adjusts flags for possible inputs.
+// The cached slices are immutable.
+var residueTab = struct {
+	mu sync.RWMutex
+	m  map[uint64][]Path
+}{m: make(map[uint64][]Path)}
+
+func residueMemo(n *pnode, f Dir) []Path {
+	key := uint64(n.id)<<2 | uint64(f)
+	residueTab.mu.RLock()
+	r, ok := residueTab.m[key]
+	residueTab.mu.RUnlock()
+	if ok {
+		return r
+	}
+	r = residueCompute(n, f)
+	residueTab.mu.Lock()
+	residueTab.m[key] = r
+	residueTab.mu.Unlock()
+	return r
+}

@@ -86,16 +86,50 @@ func productReach(a, b nfa, ok func(ka, kb int) bool) bool {
 // concrete edge sequence — i.e. whether, starting from a common node, the
 // two paths can land on the same node. Definiteness flags are ignored; this
 // is a may-question. S overlaps only with paths that can be empty (only S).
+// Verdicts are memoized on the interned (ID, ID) pair; see memo.go.
 func MayOverlap(p, q Path) bool {
-	a, b := buildNFA(p.segs), buildNFA(q.segs)
+	if p.node == q.node {
+		return true // every path expression denotes at least one word
+	}
+	if p.node == nil || q.node == nil {
+		return false // S denotes only the empty word; non-S paths never do
+	}
+	key := overlapKey(p.node.id, q.node.id)
+	if v, ok := overlapMemo.lookup(key); ok {
+		return v
+	}
+	v := mayOverlapSlow(p.node.segs, q.node.segs)
+	overlapMemo.store(key, v)
+	return v
+}
+
+func mayOverlapSlow(ps, qs []Seg) bool {
+	a, b := buildNFA(ps), buildNFA(qs)
 	return productReach(a, b, func(ka, kb int) bool { return a.accept(ka) && b.accept(kb) })
 }
 
 // MayStrictPrefix reports whether some word denoted by p is a strict prefix
 // of some word denoted by q: equivalently L(p)·Σ+ ∩ L(q) ≠ ∅. When true, a
 // node reached by p can lie strictly on the way to a node reached by q.
+// Verdicts are memoized on the interned (ID, ID) pair; see memo.go.
 func MayStrictPrefix(p, q Path) bool {
-	a, b := buildNFA(p.segs), buildNFA(q.segs)
+	if q.node == nil {
+		return false // nothing is strictly longer than the empty word
+	}
+	if p.node == nil {
+		return true // the empty word prefixes every non-empty word
+	}
+	key := pairKey(p.node.id, q.node.id)
+	if v, ok := prefixMemo.lookup(key); ok {
+		return v
+	}
+	v := mayStrictPrefixSlow(p.node.segs, q.node.segs)
+	prefixMemo.store(key, v)
+	return v
+}
+
+func mayStrictPrefixSlow(ps, qs []Seg) bool {
+	a, b := buildNFA(ps), buildNFA(qs)
 	// Reach a state where p has accepted; then require q to consume at
 	// least one more letter and still be able to accept.
 	type st struct {
@@ -168,9 +202,27 @@ func MayDescend(p, q Path) bool {
 //
 // Decision: walk the product of q's NFA with the on-the-fly determinized
 // p-NFA; a counterexample is a reachable state where q accepts but no
-// p-state does.
+// p-state does. Verdicts are memoized on the interned (ID, ID) pair.
 func Subsumes(p, q Path) bool {
-	pn, qn := buildNFA(p.segs), buildNFA(q.segs)
+	if p.node == q.node {
+		return true
+	}
+	if q.node == nil || p.node == nil {
+		// S ⊆ p only when p can denote the empty word (only S itself, ruled
+		// out above); q ⊆ S likewise requires q = S.
+		return false
+	}
+	key := pairKey(p.node.id, q.node.id)
+	if v, ok := subsumeMemo.lookup(key); ok {
+		return v
+	}
+	v := subsumesSlow(p.node.segs, q.node.segs)
+	subsumeMemo.store(key, v)
+	return v
+}
+
+func subsumesSlow(ps, qs []Seg) bool {
+	pn, qn := buildNFA(ps), buildNFA(qs)
 	type st struct {
 		kq   int
 		pset string // sorted p-state set encoding

@@ -131,11 +131,11 @@ func words(p Path, maxLen int) map[string]bool {
 	out := map[string]bool{}
 	var rec func(segIdx int, prefix string)
 	rec = func(segIdx int, prefix string) {
-		if segIdx == len(p.segs) {
+		if segIdx == len(p.segs()) {
 			out[prefix] = true
 			return
 		}
-		s := p.segs[segIdx]
+		s := p.segs()[segIdx]
 		var letters []string
 		switch s.Dir {
 		case LeftD:

@@ -67,8 +67,7 @@ func Parse(src string) (Path, error) {
 	if len(segs) == 0 {
 		return Path{}, fmt.Errorf("path: parse %q: empty path (use S)", orig)
 	}
-	p := Path{segs: canon(segs), possible: possible}
-	return p, nil
+	return newPath(segs, possible), nil
 }
 
 // MustParse is Parse for test fixtures and package examples; it panics on

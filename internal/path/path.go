@@ -76,10 +76,20 @@ func (s Seg) String() string {
 }
 
 // Path is an immutable path expression together with its definiteness flag.
-// The zero value is the definite path S (same node).
+// The zero value is the definite path S (same node). The expression part is
+// interned (see intern.go): equal expressions share one node, so expression
+// equality is a pointer comparison.
 type Path struct {
-	segs     []Seg // canonical; never mutated after construction
+	node     *pnode // nil means S
 	possible bool
+}
+
+// segs returns the canonical segments backing the expression (nil for S).
+func (p Path) segs() []Seg {
+	if p.node == nil {
+		return nil
+	}
+	return p.node.segs
 }
 
 // Same is the definite path S: the two handles refer to the same node.
@@ -90,10 +100,10 @@ func SamePossible() Path { return Path{possible: true} }
 
 // New builds a definite path from the given segments, canonicalizing them.
 // New() with no segments is Same().
-func New(segs ...Seg) Path { return Path{segs: canon(segs)} }
+func New(segs ...Seg) Path { return newPath(segs, false) }
 
 // NewPossible builds a possible path from the given segments.
-func NewPossible(segs ...Seg) Path { return Path{segs: canon(segs), possible: true} }
+func NewPossible(segs ...Seg) Path { return newPath(segs, true) }
 
 // Exact is shorthand for the segment Dir^n.
 func Exact(d Dir, n int) Seg { return Seg{Dir: d, Min: n} }
@@ -130,7 +140,7 @@ func canon(segs []Seg) []Seg {
 }
 
 // IsSame reports whether the path is S (or S?).
-func (p Path) IsSame() bool { return len(p.segs) == 0 }
+func (p Path) IsSame() bool { return p.node == nil }
 
 // Possible reports whether the path is only possible (rendered "?").
 func (p Path) Possible() bool { return p.possible }
@@ -145,15 +155,15 @@ func (p Path) AsPossible() Path { p.possible = true; return p }
 func (p Path) AsDefinite() Path { p.possible = false; return p }
 
 // Segs returns the canonical segments. The caller must not modify them.
-func (p Path) Segs() []Seg { return p.segs }
+func (p Path) Segs() []Seg { return p.segs() }
 
 // NumSegs returns the number of canonical segments (0 for S).
-func (p Path) NumSegs() int { return len(p.segs) }
+func (p Path) NumSegs() int { return len(p.segs()) }
 
 // MinLen returns the minimum number of edges the path can denote.
 func (p Path) MinLen() int {
 	n := 0
-	for _, s := range p.segs {
+	for _, s := range p.segs() {
 		n += s.Min
 	}
 	return n
@@ -163,7 +173,7 @@ func (p Path) MinLen() int {
 // returning the exact maximum length when it does.
 func (p Path) Bounded() (maxLen int, ok bool) {
 	n := 0
-	for _, s := range p.segs {
+	for _, s := range p.segs() {
 		if s.Inf {
 			return 0, false
 		}
@@ -178,7 +188,7 @@ func (p Path) ExprString() string {
 		return "S"
 	}
 	var b strings.Builder
-	for _, s := range p.segs {
+	for _, s := range p.segs() {
 		b.WriteString(s.String())
 	}
 	return b.String()
@@ -193,29 +203,17 @@ func (p Path) String() string {
 	return p.ExprString()
 }
 
-// key is the canonical identity of the path expression ignoring the flag.
-func (p Path) key() string { return p.ExprString() }
-
 // EqualExpr reports whether p and q denote the same path expression,
-// ignoring definiteness.
-func (p Path) EqualExpr(q Path) bool {
-	if len(p.segs) != len(q.segs) {
-		return false
-	}
-	for i, s := range p.segs {
-		if s != q.segs[i] {
-			return false
-		}
-	}
-	return true
-}
+// ignoring definiteness. Interning makes this a pointer comparison.
+func (p Path) EqualExpr(q Path) bool { return p.node == q.node }
 
 // Equal reports whether p and q are identical, including definiteness.
-func (p Path) Equal(q Path) bool { return p.possible == q.possible && p.EqualExpr(q) }
+func (p Path) Equal(q Path) bool { return p.possible == q.possible && p.node == q.node }
 
 // IsExactEdge reports whether the path is exactly one edge in direction d.
 func (p Path) IsExactEdge(d Dir) bool {
-	return len(p.segs) == 1 && p.segs[0] == Exact(d, 1)
+	segs := p.segs()
+	return len(segs) == 1 && segs[0] == Exact(d, 1)
 }
 
 // Extend returns the path p followed by one extra edge in direction d
@@ -227,19 +225,21 @@ func (p Path) Extend(d Dir) Path {
 
 // ExtendN appends n >= 1 edges in direction d.
 func (p Path) ExtendN(d Dir, n int) Path {
-	segs := make([]Seg, len(p.segs), len(p.segs)+1)
-	copy(segs, p.segs)
+	ps := p.segs()
+	segs := make([]Seg, len(ps), len(ps)+1)
+	copy(segs, ps)
 	segs = append(segs, Exact(d, n))
-	return Path{segs: canon(segs), possible: p.possible}
+	return newPath(segs, p.possible)
 }
 
 // Concat returns p followed by q. The result is definite only when both
 // parts are definite.
 func (p Path) Concat(q Path) Path {
-	segs := make([]Seg, 0, len(p.segs)+len(q.segs))
-	segs = append(segs, p.segs...)
-	segs = append(segs, q.segs...)
-	return Path{segs: canon(segs), possible: p.possible || q.possible}
+	ps, qs := p.segs(), q.segs()
+	segs := make([]Seg, 0, len(ps)+len(qs))
+	segs = append(segs, ps...)
+	segs = append(segs, qs...)
+	return newPath(segs, p.possible || q.possible)
 }
 
 // Residue computes the relationship between b.f and x, given that the
@@ -250,18 +250,37 @@ func (p Path) Concat(q Path) Path {
 // This is the rule validated by the paper's Figure 2(c): the residue of D+
 // by left is {S?, D+?} — e and c may be the same node, or c may be one or
 // more edges below e.
+//
+// The returned slice may alias the process-wide residue memo cache and
+// must not be modified by the caller.
 func (p Path) Residue(f Dir) []Path {
 	if p.IsSame() {
 		// b and x are the same node, so x is the parent of b.f: there is an
 		// upward path, which path matrices do not record in this direction.
 		return nil
 	}
-	first, rest := p.segs[0], p.segs[1:]
+	base := residueMemo(p.node, f)
+	if !p.possible || len(base) == 0 {
+		return base
+	}
+	// The memo is computed for the definite form; a possible input demotes
+	// every alternative.
+	out := make([]Path, len(base))
+	for i, r := range base {
+		out[i] = r.AsPossible()
+	}
+	return out
+}
+
+// residueCompute is the uncached residue rule, evaluated on the definite
+// form of a non-empty interned expression.
+func residueCompute(n *pnode, f Dir) []Path {
+	first, rest := n.segs[0], n.segs[1:]
 	tail := func(extra ...Seg) Path {
 		segs := make([]Seg, 0, len(extra)+len(rest))
 		segs = append(segs, extra...)
 		segs = append(segs, rest...)
-		return Path{segs: canon(segs), possible: p.possible}
+		return newPath(segs, false)
 	}
 	switch first.Dir {
 	case f:
@@ -321,8 +340,10 @@ func compareSegs(a, b []Seg) int {
 
 // Compare orders paths: by expression, definite before possible.
 func (p Path) Compare(q Path) int {
-	if c := compareSegs(p.segs, q.segs); c != 0 {
-		return c
+	if p.node != q.node {
+		if c := compareSegs(p.segs(), q.segs()); c != 0 {
+			return c
+		}
 	}
 	switch {
 	case p.possible == q.possible:

@@ -26,7 +26,7 @@ var DefaultLimits = Limits{MaxExact: 8, MaxSegs: 6, MaxPaths: 8}
 
 // widenPath applies the per-path structural bounds.
 func widenPath(p Path, lim Limits) Path {
-	segs := p.segs
+	segs := p.segs()
 	changed := false
 	for i, s := range segs {
 		if !s.Inf && s.Min > lim.MaxExact {
@@ -58,10 +58,7 @@ func widenPath(p Path, lim Limits) Path {
 		// existence; but the expression is weaker. Existence is what the
 		// flag asserts, so keep it.
 	}
-	if p2 := (Path{segs: canon(segs), possible: p.possible}); true {
-		return p2
-	}
-	return p
+	return newPath(segs, p.possible)
 }
 
 // Set is a canonical set of paths: the estimate of the relationship between
@@ -264,7 +261,11 @@ func (s Set) Widen(lim Limits) Set {
 
 // dropSubsumed removes possible members whose language is covered by some
 // other member; definite members are never dropped (they carry a stronger
-// existence guarantee).
+// existence guarantee). Distinct expressions can denote the same language
+// (D covers both concrete directions, so e.g. R1D2+ ≡ R+D2+); two such
+// possible members subsume each other mutually, and dropping both would
+// unsoundly empty the set, so the tie is broken by canonical order: only
+// the earlier spelling survives.
 func (s Set) dropSubsumed() Set {
 	if len(s.ps) < 2 {
 		return s
@@ -280,10 +281,14 @@ func (s Set) dropSubsumed() Set {
 			if i == j || q.EqualExpr(p) {
 				continue
 			}
-			if Subsumes(p, q) {
-				covered = true
-				break
+			if !Subsumes(p, q) {
+				continue
 			}
+			if p.Possible() && j > i && Subsumes(q, p) {
+				continue // mutual: the earlier member is the survivor
+			}
+			covered = true
+			break
 		}
 		if !covered {
 			keep = append(keep, q)
@@ -304,7 +309,7 @@ func (s Set) collapseBySignature() Set {
 	var order []string
 	for _, p := range s.ps {
 		sig := ""
-		for _, seg := range p.segs {
+		for _, seg := range p.segs() {
 			sig += seg.Dir.String()
 		}
 		if _, ok := groups[sig]; !ok {
@@ -320,12 +325,12 @@ func (s Set) collapseBySignature() Set {
 			continue
 		}
 		first := g[0]
-		segs := append([]Seg(nil), first.segs...)
+		segs := append([]Seg(nil), first.segs()...)
 		definite := first.Definite()
 		for _, p := range g[1:] {
 			definite = definite && p.Definite()
 			for i := range segs {
-				o := p.segs[i]
+				o := p.segs()[i]
 				if o.Min < segs[i].Min {
 					segs[i] = Seg{Dir: segs[i].Dir, Min: o.Min, Inf: true}
 				} else if o.Min > segs[i].Min || o.Inf {
@@ -333,8 +338,7 @@ func (s Set) collapseBySignature() Set {
 				}
 			}
 		}
-		merged := Path{segs: canon(segs), possible: !definite}
-		out = out.Add(merged)
+		out = out.Add(newPath(segs, !definite))
 	}
 	return out
 }
