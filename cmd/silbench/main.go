@@ -5,10 +5,17 @@
 // Usage:
 //
 //	silbench [-out BENCH_analysis.json] [-iters 25] [-workers 0] [-min-ms 200]
+//	         [-reset] [-baseline FILE] [-max-regress 0.15]
 //
 // For each corpus program it measures the full analyze+parallelize path
 // (the hot path this repository optimizes) and reports ns/op alongside the
-// analysis verdicts, plus process-wide intern/memo table statistics.
+// analysis verdicts, plus the path.Space table statistics (sizes and memo
+// hit rate). With -reset it then resets the process Space — the long-lived
+// service epoch boundary — and records the post-reset counters, proving
+// the intern/memo memory is returned. With -baseline it compares the fresh
+// numbers against a stored report and exits non-zero on regression: the CI
+// gate fails a PR when total corpus ns/op regresses by more than
+// -max-regress (default 15%), or any single program by twice that.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/matrix"
 	"repro/internal/par"
 	"repro/internal/path"
 	"repro/internal/progs"
@@ -37,17 +45,48 @@ type result struct {
 	ParStatements int     `json:"par_statements"`
 }
 
+// spaceStats is the JSON rendering of path.SpaceStats plus the matrix
+// handle table, the epoch-scoped cache hierarchy of the analysis.
+type spaceStats struct {
+	Epoch           uint64  `json:"epoch"`
+	InternedPaths   int     `json:"interned_paths"`
+	InternedHandles int     `json:"interned_handles"`
+	MemoVerdicts    int     `json:"memo_verdicts"`
+	ResidueEntries  int     `json:"residue_entries"`
+	MemoHits        uint64  `json:"memo_hits"`
+	MemoMisses      uint64  `json:"memo_misses"`
+	MemoHitRate     float64 `json:"memo_hit_rate"`
+}
+
+func snapshotSpace() spaceStats {
+	st := path.DefaultSpace().Stats()
+	return spaceStats{
+		Epoch:           st.Epoch,
+		InternedPaths:   st.InternedPaths,
+		InternedHandles: matrix.InternedHandles(),
+		MemoVerdicts:    st.Verdicts(),
+		ResidueEntries:  st.ResidueEntries,
+		MemoHits:        st.MemoHits,
+		MemoMisses:      st.MemoMisses,
+		MemoHitRate:     st.HitRate(),
+	}
+}
+
 // report is the whole BENCH_analysis.json document.
 type report struct {
-	Schema        string    `json:"schema"`
-	Timestamp     time.Time `json:"timestamp"`
-	GoVersion     string    `json:"go_version"`
-	NumCPU        int       `json:"num_cpu"`
-	Workers       int       `json:"workers"`
-	Corpus        []result  `json:"corpus"`
-	TotalNsPerOp  float64   `json:"total_ns_per_op"`
-	InternedPaths int       `json:"interned_paths"`
-	MemoVerdicts  int       `json:"memo_verdicts"`
+	Schema       string    `json:"schema"`
+	Timestamp    time.Time `json:"timestamp"`
+	GoVersion    string    `json:"go_version"`
+	NumCPU       int       `json:"num_cpu"`
+	Workers      int       `json:"workers"`
+	Corpus       []result  `json:"corpus"`
+	TotalNsPerOp float64   `json:"total_ns_per_op"`
+	// InternedPaths and MemoVerdicts stay at top level for older readers;
+	// Space carries the full table statistics.
+	InternedPaths   int         `json:"interned_paths"`
+	MemoVerdicts    int         `json:"memo_verdicts"`
+	Space           spaceStats  `json:"space"`
+	SpaceAfterReset *spaceStats `json:"space_after_reset,omitempty"`
 }
 
 func main() {
@@ -56,10 +95,13 @@ func main() {
 	iters := flag.Int("iters", 25, "fixed iterations per program (0 = time-based)")
 	minMS := flag.Int("min-ms", 200, "minimum measurement time per program when iters=0")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = default)")
+	reset := flag.Bool("reset", false, "reset the path.Space after measuring and record the post-reset counters")
+	baseline := flag.String("baseline", "", "baseline BENCH_analysis.json to gate regressions against")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed total ns/op regression vs -baseline (fraction)")
 	flag.Parse()
 
 	rep := report{
-		Schema:    "sil-bench/v1",
+		Schema:    "sil-bench/v2",
 		Timestamp: time.Now().UTC(),
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
@@ -75,8 +117,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-16s %12.0f ns/op  shape=%-6s diags=%d parstmts=%d\n",
 			r.Name, r.NsPerOp, r.Shape, r.Diags, r.ParStatements)
 	}
-	rep.InternedPaths = path.InternedCount()
-	rep.MemoVerdicts = path.MemoizedVerdicts()
+	rep.Space = snapshotSpace()
+	rep.InternedPaths = rep.Space.InternedPaths
+	rep.MemoVerdicts = rep.Space.MemoVerdicts
+	fmt.Fprintf(os.Stderr, "space: %d paths, %d handles, %d verdicts, hit rate %.3f\n",
+		rep.Space.InternedPaths, rep.Space.InternedHandles, rep.Space.MemoVerdicts, rep.Space.MemoHitRate)
+	if *reset {
+		path.DefaultSpace().Reset()
+		after := snapshotSpace()
+		rep.SpaceAfterReset = &after
+		fmt.Fprintf(os.Stderr, "after reset: %d paths, %d handles, %d verdicts (epoch %d)\n",
+			after.InternedPaths, after.InternedHandles, after.MemoVerdicts, after.Epoch)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -85,13 +137,68 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (total %.2f ms/op over %d programs)\n",
+			*out, rep.TotalNsPerOp/1e6, len(rep.Corpus))
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+	if *baseline != "" {
+		if err := gateRegression(rep, *baseline, *maxRegress); err != nil {
+			log.Fatalf("benchmark regression gate: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "regression gate passed (limit %.0f%%)\n", *maxRegress*100)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (total %.2f ms/op over %d programs)\n",
-		*out, rep.TotalNsPerOp/1e6, len(rep.Corpus))
+}
+
+// gateRegression compares the fresh report against a stored baseline and
+// returns an error when the corpus regressed beyond the allowed fraction.
+// Per-program checks use twice the total budget — individual programs are
+// noisier than the corpus sum.
+func gateRegression(fresh report, baselineFile string, maxRegress float64) error {
+	data, err := os.ReadFile(baselineFile)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	if base.TotalNsPerOp <= 0 {
+		return fmt.Errorf("baseline has no total_ns_per_op")
+	}
+	var failures []string
+	if r := fresh.TotalNsPerOp/base.TotalNsPerOp - 1; r > maxRegress {
+		failures = append(failures, fmt.Sprintf(
+			"total: %.2fms -> %.2fms (+%.1f%%, limit %.0f%%)",
+			base.TotalNsPerOp/1e6, fresh.TotalNsPerOp/1e6, r*100, maxRegress*100))
+	}
+	baseByName := make(map[string]float64, len(base.Corpus))
+	for _, r := range base.Corpus {
+		baseByName[r.Name] = r.NsPerOp
+	}
+	for _, r := range fresh.Corpus {
+		b, ok := baseByName[r.Name]
+		if !ok || b < 1e6 {
+			// New program, or one measured in microseconds — per-program
+			// timings below ~1ms are dominated by scheduler/GC noise; the
+			// total still covers them.
+			continue
+		}
+		if reg := r.NsPerOp/b - 1; reg > 2*maxRegress {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0fns -> %.0fns (+%.1f%%, limit %.0f%%)",
+				r.Name, b, r.NsPerOp, reg*100, 2*maxRegress*100))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION "+f)
+		}
+		return fmt.Errorf("%d regression(s) vs %s", len(failures), baselineFile)
+	}
+	return nil
 }
 
 // benchOne measures one corpus program end to end (compile once, then

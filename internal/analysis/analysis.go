@@ -123,7 +123,19 @@ type Summary struct {
 	// HandleParamIdx maps handle-parameter order (1-based symbolic index)
 	// to parameter positions.
 	HandleParamIdx []int
+
+	// entryMemo is the §5.2 summary memoization keyed by entry-matrix
+	// fingerprint: call contexts already proven to fold into Entry without
+	// changing it. A fingerprint hit still verifies the candidate
+	// structurally (collision fallback) before skipping the Merge+Widen
+	// allocation. The memo is only valid against the current Entry, so any
+	// Entry growth clears it; entryMemoN bounds the retained matrices.
+	entryMemo  map[matrix.Fp][]*matrix.Matrix
+	entryMemoN int
 }
+
+// entryMemoCap bounds how many no-op call contexts a summary retains.
+const entryMemoCap = 64
 
 // ReadOnlyParam reports whether parameter i is read-only (§5.2).
 func (s *Summary) ReadOnlyParam(i int) bool {
@@ -145,16 +157,36 @@ func (s *Summary) snapshotExit() *matrix.Matrix {
 }
 
 // mergeEntry folds one more call context into the entry matrix, reporting
-// whether the entry grew.
+// whether the entry grew. Contexts already known (by fingerprint, with a
+// structural fallback) to leave the entry unchanged return immediately:
+// at and near the fixpoint every call site re-presents the same context on
+// every pass, and the memo turns those passes allocation-free. The caller
+// must not mutate ent after the call (call sites build a fresh entry per
+// call, so this holds).
 func (s *Summary) mergeEntry(ent *matrix.Matrix, lim path.Limits) (changed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	fp := ent.Fingerprint()
+	for _, seen := range s.entryMemo[fp] {
+		if seen.Equal(ent) {
+			return false
+		}
+	}
 	merged := s.Entry.Merge(ent)
 	merged.Widen(lim)
 	if merged.Equal(s.Entry) {
+		if s.entryMemoN < entryMemoCap {
+			if s.entryMemo == nil {
+				s.entryMemo = make(map[matrix.Fp][]*matrix.Matrix)
+			}
+			s.entryMemo[fp] = append(s.entryMemo[fp], ent)
+			s.entryMemoN++
+		}
 		return false
 	}
 	s.Entry = merged
+	s.entryMemo = nil
+	s.entryMemoN = 0
 	return true
 }
 

@@ -26,9 +26,9 @@ func fingerprint(t *testing.T, info *Info) string {
 		s := info.Summaries[name]
 		out += fmt.Sprintf("proc %s mod=%v upd=%v link=%v attach=%v\n",
 			name, s.ModifiesLinks, s.UpdateParams, s.LinkParams, s.AttachesParams)
-		out += "entry " + s.Entry.Key() + "\n"
+		out += "entry " + s.Entry.Fingerprint().String() + "\n"
 		if s.Exit != nil {
-			out += "exit " + s.Exit.Key() + "\n"
+			out += "exit " + s.Exit.Fingerprint().String() + "\n"
 		} else {
 			out += "exit bottom\n"
 		}

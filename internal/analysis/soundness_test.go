@@ -9,6 +9,8 @@ package analysis
 // relationships among handles").
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/heap"
@@ -65,10 +67,15 @@ func coveredBy(entry path.Set, w string) bool {
 }
 
 func TestAnalysisCoversConcreteRelationships(t *testing.T) {
-	const trials = 250
+	// The scheduled CI soundness job widens the random-program budget via
+	// SIL_QUICK_SCALE; per-PR runs keep the fast default.
+	trials := 250
+	if v, err := strconv.Atoi(os.Getenv("SIL_QUICK_SCALE")); err == nil && v > 0 {
+		trials *= v
+	}
 	const maxWordLen = 6
 	checked := 0
-	for seed := int64(0); seed < trials; seed++ {
+	for seed := int64(0); seed < int64(trials); seed++ {
 		src := progs.RandomProgram(seed)
 		prog, err := progs.Compile(src)
 		if err != nil {

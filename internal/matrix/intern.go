@@ -1,6 +1,10 @@
 package matrix
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/path"
+)
 
 // Handle interning: every handle name used by any matrix is mapped once to
 // a small process-wide ID, and matrix entries are keyed by packed ID pairs
@@ -12,10 +16,40 @@ import "sync"
 // single RWMutex does not contend.
 
 var handleTab = struct {
-	mu    sync.RWMutex
-	ids   map[Handle]uint32
-	names []Handle // index id → name
+	mu  sync.RWMutex
+	ids map[Handle]uint32
+	// base is the first ID of the current epoch; like path node IDs,
+	// handle IDs are monotonic and never reused across epochs.
+	base  uint32
+	names []Handle // index (id - base) → name
 }{ids: make(map[Handle]uint32)}
+
+// The handle table is epoch-scoped alongside the path tables: resetting
+// the process path.Space also drops the handle universe, so one Reset call
+// bounds the whole analysis cache hierarchy between batches. The epoch
+// contract of path.Space applies — matrices built before a Reset must not
+// be used after it. Because IDs are never reused, a stale matrix keeps the
+// benign failure mode the contract promises: its packed entry keys can
+// never collide with fresh IDs and silently read another handle's entry
+// (lookups miss, and resolving a stale ID to a name fails loudly).
+func init() {
+	path.DefaultSpace().OnReset(func() {
+		handleTab.mu.Lock()
+		handleTab.base += uint32(len(handleTab.names))
+		handleTab.ids = make(map[Handle]uint32)
+		handleTab.names = nil
+		handleTab.mu.Unlock()
+	})
+}
+
+// InternedHandles reports how many distinct handle names the current epoch
+// has interned (monitoring hook for silbench).
+func InternedHandles() int {
+	handleTab.mu.RLock()
+	n := len(handleTab.names)
+	handleTab.mu.RUnlock()
+	return n
+}
 
 // idOf interns h and returns its stable ID.
 func idOf(h Handle) uint32 {
@@ -30,16 +64,21 @@ func idOf(h Handle) uint32 {
 	if id, ok := handleTab.ids[h]; ok {
 		return id
 	}
-	id = uint32(len(handleTab.names))
+	id = handleTab.base + uint32(len(handleTab.names))
+	if id < handleTab.base {
+		// Monotonic-ID exhaustion: a wrap would let a stale matrix's packed
+		// keys collide with fresh handles, so fail fast (cf. path.intern).
+		panic("matrix: interned handle IDs exhausted; restart the process")
+	}
 	handleTab.ids[h] = id
 	handleTab.names = append(handleTab.names, h)
 	return id
 }
 
-// nameOf returns the handle with the given interned ID.
+// nameOf returns the handle with the given interned ID (current epoch).
 func nameOf(id uint32) Handle {
 	handleTab.mu.RLock()
-	h := handleTab.names[id]
+	h := handleTab.names[id-handleTab.base]
 	handleTab.mu.RUnlock()
 	return h
 }

@@ -9,7 +9,6 @@ package matrix
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"text/tabwriter"
 
@@ -156,6 +155,11 @@ type Matrix struct {
 	entries map[entryKey]path.Set
 	attrs   map[Handle]Attr
 	sticky  Shape
+	// fp is the incrementally maintained 128-bit fingerprint of
+	// (sticky, attrs, entries); see fingerprint.go. Every mutation of the
+	// three fingerprinted fields must go through setSticky / putAttr /
+	// dropAttr / setEntry so the roll-up stays exact.
+	fp Fp
 }
 
 // New returns an empty matrix describing a TREE store with no live handles.
@@ -163,6 +167,7 @@ func New() *Matrix {
 	return &Matrix{
 		entries: make(map[entryKey]path.Set),
 		attrs:   make(map[Handle]Attr),
+		fp:      stickyFP(ShapeTree),
 	}
 }
 
@@ -173,6 +178,7 @@ func (m *Matrix) Copy() *Matrix {
 		entries: make(map[entryKey]path.Set, len(m.entries)),
 		attrs:   make(map[Handle]Attr, len(m.attrs)),
 		sticky:  m.sticky,
+		fp:      m.fp,
 	}
 	for k, v := range m.entries {
 		c.entries[k] = v
@@ -181,6 +187,49 @@ func (m *Matrix) Copy() *Matrix {
 		c.attrs[k] = v
 	}
 	return c
+}
+
+// setSticky, putAttr, dropAttr and setEntry are the only writers of the
+// fingerprinted fields: each keeps m.fp in sync by subtracting the old
+// contribution and adding the new one.
+
+func (m *Matrix) setSticky(s Shape) {
+	if s == m.sticky {
+		return
+	}
+	m.fpSub(stickyFP(m.sticky))
+	m.sticky = s
+	m.fpAdd(stickyFP(s))
+}
+
+func (m *Matrix) putAttr(h Handle, a Attr) {
+	if old, ok := m.attrs[h]; ok {
+		if old == a {
+			return
+		}
+		m.fpSub(attrFP(h, old))
+	}
+	m.attrs[h] = a
+	m.fpAdd(attrFP(h, a))
+}
+
+func (m *Matrix) dropAttr(h Handle) {
+	if old, ok := m.attrs[h]; ok {
+		m.fpSub(attrFP(h, old))
+		delete(m.attrs, h)
+	}
+}
+
+func (m *Matrix) setEntry(k entryKey, s path.Set) {
+	if old, ok := m.entries[k]; ok {
+		m.fpSub(entryFP(k, old))
+	}
+	if s.IsEmpty() {
+		delete(m.entries, k)
+		return
+	}
+	m.entries[k] = s
+	m.fpAdd(entryFP(k, s))
 }
 
 // Shape returns the current structure estimate: the sticky damage joined
@@ -210,13 +259,13 @@ func (m *Matrix) StickyShape() Shape { return m.sticky }
 // SetShape records a sticky structure verdict; the estimate only degrades.
 func (m *Matrix) SetShape(s Shape) {
 	if s > m.sticky {
-		m.sticky = s
+		m.setSticky(s)
 	}
 }
 
 // ResetShape forcibly sets the sticky estimate (used when entering a fresh
 // store or seeding a callee entry).
-func (m *Matrix) ResetShape(s Shape) { m.sticky = s }
+func (m *Matrix) ResetShape(s Shape) { m.setSticky(s) }
 
 // foldDyingAttr preserves structure evidence carried by a handle that is
 // about to disappear: a shared node without a name can never be proven
@@ -249,7 +298,7 @@ func (m *Matrix) SetAttr(h Handle, a Attr) {
 	if !m.Has(h) {
 		return
 	}
-	m.attrs[h] = a
+	m.putAttr(h, a)
 }
 
 // Add introduces a handle with the given attributes. A non-nil handle
@@ -259,11 +308,11 @@ func (m *Matrix) Add(h Handle, a Attr) {
 	if !m.Has(h) {
 		m.order = append(m.order, h)
 	}
-	m.attrs[h] = a
+	m.putAttr(h, a)
 	if a.Nil != DefNil {
-		m.entries[ek(h, h)] = path.NewSet(path.Same())
+		m.setEntry(ek(h, h), path.NewSet(path.Same()))
 	} else {
-		delete(m.entries, ek(h, h))
+		m.setEntry(ek(h, h), path.EmptySet())
 	}
 }
 
@@ -281,10 +330,11 @@ func (m *Matrix) Remove(h Handle) {
 			break
 		}
 	}
-	delete(m.attrs, h)
+	m.dropAttr(h)
 	hid := idOf(h)
-	for k := range m.entries {
+	for k, v := range m.entries {
 		if uint32(k>>32) == hid || uint32(k) == hid {
+			m.fpSub(entryFP(k, v))
 			delete(m.entries, k)
 		}
 	}
@@ -300,11 +350,7 @@ func (m *Matrix) Put(a, b Handle, s path.Set) {
 	if !m.Has(a) || !m.Has(b) {
 		return
 	}
-	if s.IsEmpty() {
-		delete(m.entries, ek(a, b))
-		return
-	}
-	m.entries[ek(a, b)] = s
+	m.setEntry(ek(a, b), s)
 }
 
 // AddPaths unions extra paths into p[a,b].
@@ -335,8 +381,12 @@ func (m *Matrix) MayAlias(a, b Handle) bool {
 
 // Equal compares matrices: same handles (any order), equal entries, equal
 // attributes and shape. This is the convergence test of the Figure 3
-// iteration.
+// iteration; the fingerprint comparison rejects unequal matrices in O(1)
+// and equality is still decided structurally (collision safety).
 func (m *Matrix) Equal(o *Matrix) bool {
+	if m.fp != o.fp {
+		return false
+	}
 	if m.sticky != o.sticky || len(m.attrs) != len(o.attrs) {
 		return false
 	}
@@ -387,7 +437,7 @@ func mergeShape(a, b Shape) Shape {
 // weakening.
 func (m *Matrix) Merge(o *Matrix) *Matrix {
 	out := New()
-	out.sticky = mergeShape(m.sticky, o.sticky)
+	out.setSticky(mergeShape(m.sticky, o.sticky))
 	// Preserve m's ordering first, then o's extras. A node shared on only
 	// one side is possibly shared: the Indegree lattice has no value for
 	// that, so the evidence moves to the sticky estimate.
@@ -439,13 +489,16 @@ func (m *Matrix) Merge(o *Matrix) *Matrix {
 // Widen applies the domain bounds to every entry.
 func (m *Matrix) Widen(lim path.Limits) {
 	for k, v := range m.entries {
-		m.entries[k] = v.Widen(lim)
+		m.setEntry(k, v.Widen(lim))
 	}
 }
 
 // Rename rewrites handle names (used to map actuals to formals at calls).
-// Unmapped handles keep their names. Multiple handles mapping to one name
-// must not occur; the analysis guarantees injectivity.
+// Unmapped handles keep their names. The substitution need not be
+// injective: when several handles collapse onto one name, their attribute
+// records join in the attribute lattices (Shared indegree evidence
+// survives the join) and their entries union pointwise — the previous
+// last-Put-wins behavior silently dropped entries and attribute evidence.
 func (m *Matrix) Rename(sub map[Handle]Handle) *Matrix {
 	name := func(h Handle) Handle {
 		if n, ok := sub[h]; ok {
@@ -454,13 +507,18 @@ func (m *Matrix) Rename(sub map[Handle]Handle) *Matrix {
 		return h
 	}
 	out := New()
-	out.sticky = m.sticky
+	out.setSticky(m.sticky)
 	for _, h := range m.order {
-		out.Add(name(h), m.attrs[h])
+		n, a := name(h), m.attrs[h]
+		if out.Has(n) {
+			prev := out.attrs[n]
+			a = Attr{Nil: mergeNilness(prev.Nil, a.Nil), Indeg: mergeIndegree(prev.Indeg, a.Indeg)}
+		}
+		out.Add(n, a)
 	}
 	for k, v := range m.entries {
 		row, col := k.handles()
-		out.Put(name(row), name(col), v)
+		out.AddPaths(name(row), name(col), v)
 	}
 	return out
 }
@@ -472,7 +530,7 @@ func (m *Matrix) Project(keep []Handle) *Matrix {
 		want[h] = true
 	}
 	out := New()
-	out.sticky = m.sticky
+	out.setSticky(m.sticky)
 	for _, h := range m.order {
 		if want[h] {
 			out.Add(h, m.attrs[h])
@@ -487,27 +545,6 @@ func (m *Matrix) Project(keep []Handle) *Matrix {
 		}
 	}
 	return out
-}
-
-// Key returns a canonical string identity of the matrix, used to memoize
-// procedure summaries by entry-matrix shape (§5.2).
-func (m *Matrix) Key() string {
-	hs := append([]Handle(nil), m.order...)
-	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
-	var b strings.Builder
-	fmt.Fprintf(&b, "shape=%s;", m.Shape())
-	for _, h := range hs {
-		a := m.attrs[h]
-		fmt.Fprintf(&b, "%s[%s,%s];", h, a.Nil, a.Indeg)
-	}
-	for _, r := range hs {
-		for _, c := range hs {
-			if e := m.Get(r, c); !e.IsEmpty() {
-				fmt.Fprintf(&b, "%s->%s:%s;", r, c, e)
-			}
-		}
-	}
-	return b.String()
 }
 
 // String renders the matrix as the paper's figures lay it out: one row and

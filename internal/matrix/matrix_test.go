@@ -238,6 +238,46 @@ func TestRename(t *testing.T) {
 	}
 }
 
+// TestRenameNonInjective is the regression test for the silent-drop bug:
+// with a non-injective substitution the old last-Put-wins behavior lost
+// colliding entries and attribute evidence. Colliding entries must union
+// and attributes must join in their lattices.
+func TestRenameNonInjective(t *testing.T) {
+	m := New()
+	m.Add("a", Attr{Nil: NonNil, Indeg: Root})
+	m.Add("b", Attr{Nil: NonNil, Indeg: Shared})
+	m.Add("x", nonNil())
+	m.Put("a", "x", path.MustParseSet("L1"))
+	m.Put("b", "x", path.MustParseSet("R1?"))
+	m.Put("x", "a", path.MustParseSet("S?"))
+	r := m.Rename(map[Handle]Handle{"a": "c", "b": "c"})
+	if r.Has("a") || r.Has("b") || !r.Has("c") {
+		t.Fatalf("rename handles: %v", r.Handles())
+	}
+	// Both outgoing entries survive as a union, not last-wins.
+	if got := r.Get("c", "x").String(); got != "L1, R1?" {
+		t.Errorf("collided entry = %q, want union L1, R1?", got)
+	}
+	if got := r.Get("x", "c").String(); got != "S?" {
+		t.Errorf("reverse entry = %q", got)
+	}
+	// Shared indegree evidence from b must survive the attribute join.
+	if got := r.Attr("c").Indeg; got != Shared {
+		t.Errorf("merged indegree = %v, want shared", got)
+	}
+	if got := r.Attr("c").Nil; got != NonNil {
+		t.Errorf("merged nilness = %v, want nonnil", got)
+	}
+	// An injective rename is unchanged by the fix.
+	inj := m.Rename(map[Handle]Handle{"a": "p", "b": "q"})
+	if got := inj.Get("p", "x").String(); got != "L1" {
+		t.Errorf("injective entry = %q", got)
+	}
+	if got := inj.Attr("p"); got != (Attr{Nil: NonNil, Indeg: Root}) {
+		t.Errorf("injective attr = %+v", got)
+	}
+}
+
 func TestProject(t *testing.T) {
 	m := New()
 	for _, h := range []Handle{"a", "b", "c"} {
@@ -257,7 +297,7 @@ func TestProject(t *testing.T) {
 	}
 }
 
-func TestKeyStableUnderOrder(t *testing.T) {
+func TestFingerprintStableUnderOrder(t *testing.T) {
 	a := New()
 	a.Add("x", nonNil())
 	a.Add("y", nonNil())
@@ -266,12 +306,89 @@ func TestKeyStableUnderOrder(t *testing.T) {
 	b.Add("y", nonNil())
 	b.Add("x", nonNil())
 	b.Put("x", "y", path.MustParseSet("L1"))
-	if a.Key() != b.Key() {
-		t.Error("Key must be order-insensitive")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("Fingerprint must be order-insensitive")
 	}
 	b.Put("y", "x", path.MustParseSet("S?"))
-	if a.Key() == b.Key() {
-		t.Error("Key must reflect entries")
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("Fingerprint must reflect entries")
+	}
+	b.Put("y", "x", path.EmptySet())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("deleting the entry must restore the fingerprint")
+	}
+	b.SetAttr("y", Attr{Nil: MaybeNil, Indeg: Shared})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("Fingerprint must reflect attributes")
+	}
+}
+
+// TestFingerprintIncrementalAgreesWithRecompute drives random mutation and
+// derivation sequences and checks the incrementally maintained fingerprint
+// against the from-scratch roll-up — the invariant the Equal fast-reject
+// and the summary memoization rely on.
+func TestFingerprintIncrementalAgreesWithRecompute(t *testing.T) {
+	handles := []Handle{"a", "b", "c", "d"}
+	sets := []string{"", "S?", "L1", "L+, R1?", "D+", "S, D2+?"}
+	f := func(seed int64) bool {
+		s := seed
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int(uint64(s) % uint64(n))
+		}
+		m := New()
+		check := func(stage string, mm *Matrix) bool {
+			if mm.Fingerprint() != mm.recomputeFP() {
+				t.Logf("seed %d: %s: incremental fp diverged from recompute", seed, stage)
+				return false
+			}
+			return true
+		}
+		for op := 0; op < 40; op++ {
+			switch next(7) {
+			case 0:
+				m.Add(handles[next(len(handles))], Attr{Nil: Nilness(next(3)), Indeg: Indegree(next(4))})
+			case 1:
+				m.Remove(handles[next(len(handles))])
+			case 2:
+				pick := sets[next(len(sets))]
+				set := path.EmptySet()
+				if pick != "" {
+					set = path.MustParseSet(pick)
+				}
+				m.Put(handles[next(len(handles))], handles[next(len(handles))], set)
+			case 3:
+				m.SetShape(Shape(next(5)))
+			case 4:
+				m.SetAttr(handles[next(len(handles))], Attr{Nil: Nilness(next(3)), Indeg: Indegree(next(4))})
+			case 5:
+				m.AddPaths(handles[next(len(handles))], handles[next(len(handles))], path.MustParseSet("L1?"))
+			case 6:
+				m.Widen(path.Limits{MaxExact: 2, MaxSegs: 2, MaxPaths: 2})
+			}
+			if !check("mutate", m) {
+				return false
+			}
+		}
+		other := m.Copy()
+		other.Add("e", nonNil())
+		for _, stage := range []struct {
+			name string
+			mm   *Matrix
+		}{
+			{"copy", m.Copy()},
+			{"merge", m.Merge(other)},
+			{"rename", m.Rename(map[Handle]Handle{"a": "z", "b": "z"})},
+			{"project", m.Project([]Handle{"a", "b"})},
+		} {
+			if !check(stage.name, stage.mm) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -324,6 +441,25 @@ func TestShapeStrings(t *testing.T) {
 	}
 	if !ShapeDAG.DefinitelyAcyclic() || ShapeMaybeCyclic.DefinitelyAcyclic() {
 		t.Error("DefinitelyAcyclic")
+	}
+}
+
+// TestHandleIDsNotReusedAcrossEpochs: like path node IDs, handle IDs must
+// be monotonic across Space resets — a stale matrix's packed entry keys
+// must never collide with a fresh handle's ID and silently resolve to the
+// wrong entry (the benign-failure clause of the epoch contract).
+func TestHandleIDsNotReusedAcrossEpochs(t *testing.T) {
+	a := idOf("epoch-probe-a")
+	path.DefaultSpace().Reset()
+	if got := InternedHandles(); got != 0 {
+		t.Fatalf("reset must empty the handle table, have %d", got)
+	}
+	b := idOf("epoch-probe-b")
+	if b <= a {
+		t.Errorf("handle ID %d reused/regressed across epochs (previous %d)", b, a)
+	}
+	if nameOf(b) != "epoch-probe-b" {
+		t.Errorf("nameOf(%d) = %q", b, nameOf(b))
 	}
 }
 

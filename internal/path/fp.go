@@ -1,0 +1,59 @@
+package path
+
+// Order-independent 128-bit fingerprints for path sets. Every member
+// contributes a two-lane hash of its interned node ID and definiteness
+// flag; lanes combine by modular addition, so the set fingerprint is
+// independent of member order, incrementally maintainable under Add (and
+// subtractable when a possible member upgrades to definite in place), and
+// rolls up further into the per-matrix fingerprint that replaces the old
+// string Matrix.Key. Fingerprint equality is a fast filter, not an
+// identity: consumers that key caches by fingerprints keep a structural
+// equality fallback for the (astronomically unlikely) collision.
+
+// Mix64 is the splitmix64 finalizer: a cheap full-avalanche bijection used
+// to turn small structured integers (IDs, packed keys) into hash lanes. It
+// is exported for the matrix package's fingerprint roll-up.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const (
+	fpSeedLo uint64 = 0x9e3779b97f4a7c15
+	fpSeedHi uint64 = 0xc2b2ae3d27d4eb4f
+)
+
+// pathFP is the two-lane member hash of one path: interned expression ID
+// plus the definiteness flag.
+func pathFP(p Path) [2]uint64 {
+	x := uint64(p.ID()) << 1
+	if p.possible {
+		x |= 1
+	}
+	return [2]uint64{Mix64(x + fpSeedLo), Mix64(Mix64(x) + fpSeedHi)}
+}
+
+// mkSet builds a Set around an already-canonical member slice, computing
+// its fingerprint. The caller transfers ownership of ps.
+func mkSet(ps []Path) Set {
+	if len(ps) == 0 {
+		return Set{}
+	}
+	s := Set{ps: ps}
+	for _, p := range ps {
+		f := pathFP(p)
+		s.fp[0] += f[0]
+		s.fp[1] += f[1]
+	}
+	return s
+}
+
+// Fingerprint returns the set's order-independent 128-bit fingerprint.
+// Equal sets (same expressions and flags) always have equal fingerprints;
+// distinct sets collide with probability ~2^-128. Fingerprints are only
+// comparable within one Space epoch.
+func (s Set) Fingerprint() [2]uint64 { return s.fp }

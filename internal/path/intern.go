@@ -3,23 +3,22 @@ package path
 import (
 	"slices"
 	"sync"
-	"sync/atomic"
 )
 
 // This file implements the interning layer that canonicalizes every path
-// expression to a unique, process-wide node. Two Paths denote the same
-// expression iff they hold the same *pnode, which turns the structural
-// comparisons on the analysis hot path (Set.Equal, Set.find, dropSubsumed,
-// MayOverlapSet) into pointer/ID comparisons. Each node carries a
-// precomputed 64-bit signature (a seed-hash of the canonical segments) and
-// a small unique ID; the language-question memo tables in memo.go are
-// keyed by (ID, ID) pairs.
+// expression to a unique node within the current Space. Two Paths denote
+// the same expression iff they hold the same *pnode, which turns the
+// structural comparisons on the analysis hot path (Set.Equal, Set.find,
+// dropSubsumed, MayOverlapSet) into pointer/ID comparisons. Each node
+// carries a precomputed 64-bit signature (a seed-hash of the canonical
+// segments) and a small unique ID; the language-question memo tables in
+// memo.go are keyed by (ID, ID) pairs.
 //
 // The table is sharded and mutex-guarded so the concurrent analysis
 // fixpoint and the parallel property tests can intern from many goroutines
-// without contending on a single lock. Interned nodes are immutable and
-// never released; the universe of distinct path expressions a run can
-// produce is bounded by the widening limits, so the table stays small.
+// without contending on a single lock. Interned nodes are immutable; the
+// table they live in belongs to the process Space (space.go), whose Reset
+// drops an epoch's nodes wholesale between analysis batches.
 
 // pnode is one interned path expression (never the empty path S, which is
 // represented by a nil node so that the zero Path value remains S).
@@ -34,18 +33,6 @@ const internShards = 64
 type internShard struct {
 	mu sync.RWMutex
 	m  map[uint64][]*pnode // signature → collision chain
-}
-
-var (
-	internTab [internShards]internShard
-	// nextID is the allocator for node IDs; ID 0 is reserved for S.
-	nextID atomic.Uint32
-)
-
-func init() {
-	for i := range internTab {
-		internTab[i].m = make(map[uint64][]*pnode)
-	}
 }
 
 // sigSegs computes the FNV-1a signature of a canonical segment slice.
@@ -78,8 +65,9 @@ func intern(segs []Seg) *pnode {
 	if len(segs) == 0 {
 		return nil
 	}
+	sp := procSpace
 	sig := sigSegs(segs)
-	sh := &internTab[sig%internShards]
+	sh := &sp.shards[sig%internShards]
 	sh.mu.RLock()
 	for _, n := range sh.m[sig] {
 		if equalSegs(n.segs, segs) {
@@ -95,12 +83,22 @@ func intern(segs []Seg) *pnode {
 			return n
 		}
 	}
+	id := sp.nextID.Add(1)
+	if id == 0 {
+		// The allocator deliberately survives Reset so IDs are never reused
+		// across epochs; a uint32 wrap would silently break that contract
+		// (memo keys and fingerprints of distinct live nodes colliding), so
+		// exhaustion fails fast instead. ~4 billion interns across a
+		// process lifetime is far beyond any realistic service horizon.
+		panic("path: interned node IDs exhausted; restart the process")
+	}
 	n := &pnode{
-		id:   nextID.Add(1),
+		id:   id,
 		sig:  sig,
 		segs: append([]Seg(nil), segs...),
 	}
 	sh.m[sig] = append(sh.m[sig], n)
+	sp.interned.Add(1)
 	return n
 }
 
@@ -110,7 +108,8 @@ func newPath(segs []Seg, possible bool) Path {
 }
 
 // ID returns the interned identity of the path expression, ignoring the
-// definiteness flag; S has ID 0. Equal IDs ⇔ equal expressions.
+// definiteness flag; S has ID 0. Equal IDs ⇔ equal expressions (within one
+// Space epoch; IDs are never reused across epochs).
 func (p Path) ID() uint32 {
 	if p.node == nil {
 		return 0
@@ -126,6 +125,6 @@ func (p Path) Signature() uint64 {
 	return p.node.sig
 }
 
-// InternedCount reports how many distinct non-empty path expressions have
-// been interned process-wide (monitoring hook for silbench).
-func InternedCount() int { return int(nextID.Load()) }
+// InternedCount reports how many distinct non-empty path expressions the
+// current epoch of the process Space holds (monitoring hook for silbench).
+func InternedCount() int { return int(procSpace.interned.Load()) }

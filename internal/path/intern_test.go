@@ -125,8 +125,9 @@ func TestSetOpsAgreeStructural(t *testing.T) {
 // TestWidenMutualSubsumption is the regression test for the dropSubsumed
 // soundness bug: R1D2+ and R+D2+ denote the same language (D covers R), so
 // the two possible members subsumed each other and the widening dropped
-// both, collapsing the estimate to the empty set. The canonical-order tie
-// break must keep exactly one.
+// both, collapsing the estimate to the empty set. Intern-time
+// canonicalization now spells both inputs identically once widened, so the
+// set must converge to exactly one surviving member.
 func TestWidenMutualSubsumption(t *testing.T) {
 	lim := Limits{MaxExact: 2, MaxSegs: 2, MaxPaths: 2}
 	s := NewSet(MustParse("R1D2+?"), MustParse("R+D3?"))

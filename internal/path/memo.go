@@ -1,14 +1,18 @@
 package path
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Memoization of the language questions on interned path expressions.
 // Because interning gives every distinct expression a unique small ID, a
-// verdict for a pair of expressions is cached once per process under the
-// key id(a)<<32 | id(b) and every later query is a map hit instead of an
-// NFA product walk. The widening limits bound the universe of expressions,
-// so the tables stay small; like the intern table they are sharded and
-// mutex-guarded for the concurrent analysis fixpoint.
+// verdict for a pair of expressions is cached once per Space epoch under
+// the key id(a)<<32 | id(b) and every later query is a map hit instead of
+// an NFA product walk. The widening limits bound the universe of
+// expressions, so the tables stay small within one epoch; like the intern
+// table they are sharded and mutex-guarded for the concurrent analysis
+// fixpoint, owned by the Space, and dropped wholesale by Space.Reset.
 
 // pairKey builds the directed cache key for an (a, b) expression pair.
 func pairKey(a, b uint32) uint64 { return uint64(a)<<32 | uint64(b) }
@@ -22,12 +26,17 @@ func overlapKey(a, b uint32) uint64 {
 	return pairKey(a, b)
 }
 
+// memoShard carries its own hit/miss counters so the hot lookup path never
+// touches a cache line shared across shards (a table-wide counter would
+// serialize every worker of the concurrent fixpoint on one atomic word).
 type memoShard struct {
-	mu sync.RWMutex
-	m  map[uint64]bool
+	mu     sync.RWMutex
+	m      map[uint64]bool
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
-// memoTable is a sharded (key → verdict) cache.
+// memoTable is a sharded (key → verdict) cache with hit/miss counters.
 type memoTable struct {
 	shards [internShards]memoShard
 }
@@ -37,6 +46,11 @@ func (t *memoTable) lookup(key uint64) (verdict, ok bool) {
 	sh.mu.RLock()
 	v, ok := sh.m[key]
 	sh.mu.RUnlock()
+	if ok {
+		sh.hits.Add(1)
+	} else {
+		sh.misses.Add(1)
+	}
 	return v, ok
 }
 
@@ -61,37 +75,55 @@ func (t *memoTable) size() int {
 	return n
 }
 
-var (
-	subsumeMemo memoTable
-	overlapMemo memoTable
-	prefixMemo  memoTable
-)
-
-// MemoizedVerdicts reports how many subsumption/overlap/prefix verdicts are
-// cached process-wide (monitoring hook for silbench).
-func MemoizedVerdicts() int {
-	return subsumeMemo.size() + overlapMemo.size() + prefixMemo.size()
+// traffic sums the per-shard hit/miss counters.
+func (t *memoTable) traffic() (hits, misses uint64) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		hits += sh.hits.Load()
+		misses += sh.misses.Load()
+	}
+	return hits, misses
 }
 
-// residueTab caches Residue results per (expression, direction), computed
+// reset drops every shard's map and restarts the counters (Space.Reset).
+func (t *memoTable) reset() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+		sh.hits.Store(0)
+		sh.misses.Store(0)
+	}
+}
+
+// MemoizedVerdicts reports how many subsumption/overlap/prefix verdicts the
+// current epoch holds (monitoring hook for silbench).
+func MemoizedVerdicts() int {
+	sp := procSpace
+	return sp.subsume.size() + sp.overlap.size() + sp.prefix.size()
+}
+
+// residueTable caches Residue results per (expression, direction), computed
 // on the definite form; Path.Residue adjusts flags for possible inputs.
 // The cached slices are immutable.
-var residueTab = struct {
+type residueTable struct {
 	mu sync.RWMutex
 	m  map[uint64][]Path
-}{m: make(map[uint64][]Path)}
+}
 
 func residueMemo(n *pnode, f Dir) []Path {
+	t := &procSpace.residue
 	key := uint64(n.id)<<2 | uint64(f)
-	residueTab.mu.RLock()
-	r, ok := residueTab.m[key]
-	residueTab.mu.RUnlock()
+	t.mu.RLock()
+	r, ok := t.m[key]
+	t.mu.RUnlock()
 	if ok {
 		return r
 	}
 	r = residueCompute(n, f)
-	residueTab.mu.Lock()
-	residueTab.m[key] = r
-	residueTab.mu.Unlock()
+	t.mu.Lock()
+	t.m[key] = r
+	t.mu.Unlock()
 	return r
 }

@@ -95,11 +95,12 @@ func MayOverlap(p, q Path) bool {
 		return false // S denotes only the empty word; non-S paths never do
 	}
 	key := overlapKey(p.node.id, q.node.id)
-	if v, ok := overlapMemo.lookup(key); ok {
+	memo := &procSpace.overlap
+	if v, ok := memo.lookup(key); ok {
 		return v
 	}
 	v := mayOverlapSlow(p.node.segs, q.node.segs)
-	overlapMemo.store(key, v)
+	memo.store(key, v)
 	return v
 }
 
@@ -120,11 +121,12 @@ func MayStrictPrefix(p, q Path) bool {
 		return true // the empty word prefixes every non-empty word
 	}
 	key := pairKey(p.node.id, q.node.id)
-	if v, ok := prefixMemo.lookup(key); ok {
+	memo := &procSpace.prefix
+	if v, ok := memo.lookup(key); ok {
 		return v
 	}
 	v := mayStrictPrefixSlow(p.node.segs, q.node.segs)
-	prefixMemo.store(key, v)
+	memo.store(key, v)
 	return v
 }
 
@@ -213,11 +215,12 @@ func Subsumes(p, q Path) bool {
 		return false
 	}
 	key := pairKey(p.node.id, q.node.id)
-	if v, ok := subsumeMemo.lookup(key); ok {
+	memo := &procSpace.subsume
+	if v, ok := memo.lookup(key); ok {
 		return v
 	}
 	v := subsumesSlow(p.node.segs, q.node.segs)
-	subsumeMemo.store(key, v)
+	memo.store(key, v)
 	return v
 }
 

@@ -2,6 +2,8 @@ package path
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -123,7 +125,17 @@ func (g concretePathGen) path() Path {
 	return p
 }
 
-func quickCfg() *quick.Config { return &quick.Config{MaxCount: 300} }
+// quickCfg sizes the randomized property suites. The scheduled CI
+// soundness job raises the budget via SIL_QUICK_SCALE (a multiplier on the
+// default count); local and per-PR runs keep the fast default.
+func quickCfg() *quick.Config { return &quick.Config{MaxCount: 300 * quickScale()} }
+
+func quickScale() int {
+	if v, err := strconv.Atoi(os.Getenv("SIL_QUICK_SCALE")); err == nil && v > 0 {
+		return v
+	}
+	return 1
+}
 
 // words enumerates every word of the path language up to maxLen letters
 // over {l, r} ('l' and 'r' runes), treating D as either letter.

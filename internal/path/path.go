@@ -118,6 +118,17 @@ func AtLeast(d Dir, m int) Seg { return Seg{Dir: d, Min: m, Inf: true} }
 // A segment with Min <= 0 and !Inf is the empty run and vanishes; Min <= 0
 // with Inf is normalized to Min = 1 by the callers that could produce it
 // (Residue splits Dir^{>=0} into S plus Dir+ instead).
+//
+// It then normalizes the one remaining source of equal-language spellings:
+// a concrete-direction ">= Min" segment adjacent to a D^{>=m} segment. The
+// D neighbor absorbs the surplus edges (L^{>=a}·D^{>=b} ≡ L^a·D^{>=b},
+// since l^x w with x >= a rewrites to l^a · (l^{x-a} w) and the remainder
+// stays in D^{>=b}; symmetrically on the right), so the Inf flag drops and
+// e.g. R+D2+ interns as R1D2+. With this rule two distinct canonical forms
+// always denote distinct languages: equal languages force equal minimal
+// words, which fix the (Dir, Min) run sequence, and the only Inf-flag
+// freedom left is exactly this absorption (pinned by the intern-time
+// property test that mutual Subsumes implies a shared node).
 func canon(segs []Seg) []Seg {
 	out := make([]Seg, 0, len(segs))
 	for _, s := range segs {
@@ -132,6 +143,14 @@ func canon(segs []Seg) []Seg {
 			continue
 		}
 		out = append(out, s)
+	}
+	infDown := func(i int) bool {
+		return i >= 0 && i < len(out) && out[i].Dir == DownD && out[i].Inf
+	}
+	for i := range out {
+		if out[i].Inf && out[i].Dir != DownD && (infDown(i-1) || infDown(i+1)) {
+			out[i].Inf = false
+		}
 	}
 	if len(out) == 0 {
 		return nil

@@ -68,6 +68,9 @@ func widenPath(p Path, lim Limits) Path {
 // Sets are value-like: operations return new sets and never mutate inputs.
 type Set struct {
 	ps []Path // sorted by Compare, unique by expression
+	// fp is the order-independent 128-bit fingerprint of the members,
+	// maintained incrementally at construction (see fp.go).
+	fp [2]uint64
 }
 
 // EmptySet is the entry for unrelated handles.
@@ -95,14 +98,23 @@ func (s Set) Len() int { return len(s.ps) }
 // Paths returns the canonical contents. Callers must not modify the slice.
 func (s Set) Paths() []Path { return s.ps }
 
-// Add returns s with p included, keeping canonical form.
+// Add returns s with p included, keeping canonical form. Upgrading an
+// existing possible member to definite replaces it in place without
+// re-sorting: members are unique by expression and Compare consults the
+// definiteness flag only between equal expressions, so the flag flip cannot
+// reorder the member relative to any other (pinned by the canonical-order
+// property test in set_test.go).
 func (s Set) Add(p Path) Set {
 	for i, q := range s.ps {
 		if q.EqualExpr(p) {
 			if q.possible && !p.possible {
 				out := append([]Path(nil), s.ps...)
 				out[i] = p
-				return Set{ps: out}
+				fp := s.fp
+				of, nf := pathFP(q), pathFP(p)
+				fp[0] += nf[0] - of[0]
+				fp[1] += nf[1] - of[1]
+				return Set{ps: out, fp: fp}
 			}
 			return s
 		}
@@ -110,12 +122,21 @@ func (s Set) Add(p Path) Set {
 	out := append([]Path(nil), s.ps...)
 	out = append(out, p)
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return Set{ps: out}
+	f := pathFP(p)
+	return Set{ps: out, fp: [2]uint64{s.fp[0] + f[0], s.fp[1] + f[1]}}
 }
 
 // Union returns the union of two sets collected along a single control-flow
-// path (definite-wins on duplicate expressions).
+// path (definite-wins on duplicate expressions). Unions with an empty
+// operand share the other set unchanged — sets are immutable values, and
+// Matrix.Rename funnels every entry through here.
 func (s Set) Union(t Set) Set {
+	if len(s.ps) == 0 {
+		return t
+	}
+	if len(t.ps) == 0 {
+		return s
+	}
 	out := s
 	for _, p := range t.ps {
 		out = out.Add(p)
@@ -261,11 +282,11 @@ func (s Set) Widen(lim Limits) Set {
 
 // dropSubsumed removes possible members whose language is covered by some
 // other member; definite members are never dropped (they carry a stronger
-// existence guarantee). Distinct expressions can denote the same language
-// (D covers both concrete directions, so e.g. R1D2+ ≡ R+D2+); two such
-// possible members subsume each other mutually, and dropping both would
-// unsoundly empty the set, so the tie is broken by canonical order: only
-// the earlier spelling survives.
+// existence guarantee). Intern-time canonicalization (canon's absorption
+// rule) gives every language exactly one spelling, so two distinct members
+// can never subsume each other mutually and coverage is a strict partial
+// order on the set: a maximal member always survives, and dropping every
+// covered member cannot empty a non-empty set.
 func (s Set) dropSubsumed() Set {
 	if len(s.ps) < 2 {
 		return s
@@ -281,14 +302,10 @@ func (s Set) dropSubsumed() Set {
 			if i == j || q.EqualExpr(p) {
 				continue
 			}
-			if !Subsumes(p, q) {
-				continue
+			if Subsumes(p, q) {
+				covered = true
+				break
 			}
-			if p.Possible() && j > i && Subsumes(q, p) {
-				continue // mutual: the earlier member is the survivor
-			}
-			covered = true
-			break
 		}
 		if !covered {
 			keep = append(keep, q)
@@ -297,7 +314,7 @@ func (s Set) dropSubsumed() Set {
 	if len(keep) == len(s.ps) {
 		return s
 	}
-	return Set{ps: keep}
+	return mkSet(keep)
 }
 
 // collapseBySignature merges members sharing the same direction signature
@@ -343,9 +360,10 @@ func (s Set) collapseBySignature() Set {
 	return out
 }
 
-// Equal reports set equality including definiteness flags.
+// Equal reports set equality including definiteness flags. The fingerprint
+// comparison is a fast reject; equality is still decided structurally.
 func (s Set) Equal(t Set) bool {
-	if len(s.ps) != len(t.ps) {
+	if s.fp != t.fp || len(s.ps) != len(t.ps) {
 		return false
 	}
 	for i := range s.ps {

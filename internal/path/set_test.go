@@ -1,6 +1,7 @@
 package path
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -34,6 +35,68 @@ func TestSetStringAndParse(t *testing.T) {
 	}
 	if _, err := ParseSet("L1, X"); err == nil {
 		t.Error("bad member should fail")
+	}
+}
+
+// TestSetCanonicalOrderInvariant pins the invariant Add relies on when it
+// upgrades a possible member to definite in place without re-sorting:
+// members stay strictly sorted by Compare and unique by expression, which
+// holds because Compare is definiteness-blind between distinct expressions
+// (the flag is consulted only to order equal expressions). The maintained
+// fingerprint must also always match a from-scratch recomputation.
+func TestSetCanonicalOrderInvariant(t *testing.T) {
+	canonical := func(s Set) error {
+		for i := 1; i < s.Len(); i++ {
+			if c := s.ps[i-1].Compare(s.ps[i]); c >= 0 {
+				return fmt.Errorf("members %s, %s out of order (Compare=%d)", s.ps[i-1], s.ps[i], c)
+			}
+			if s.ps[i-1].EqualExpr(s.ps[i]) {
+				return fmt.Errorf("duplicate expression %s", s.ps[i].ExprString())
+			}
+		}
+		if got := mkSet(append([]Path(nil), s.ps...)).fp; got != s.fp {
+			return fmt.Errorf("incremental fingerprint diverged from recomputation")
+		}
+		return nil
+	}
+	f := func(gens [6]concretePathGen, flips [6]bool) bool {
+		var s Set
+		for i, g := range gens {
+			p := g.path()
+			// Exercise both flag spellings of the same expression so the
+			// in-place possible→definite upgrade path runs often.
+			if flips[i] {
+				s = s.Add(p.AsPossible())
+				s = s.Add(p.AsDefinite())
+			} else {
+				s = s.Add(p)
+			}
+			if err := canonical(s); err != nil {
+				t.Logf("after Add(%s): %v (set %s)", p, err, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetAddUpgradeInPlace: upgrading a possible member to definite keeps
+// the member at its canonical position among unrelated expressions.
+func TestSetAddUpgradeInPlace(t *testing.T) {
+	s := MustParseSet("L1, L2?, R1")
+	s = s.Add(MustParse("L2"))
+	if got := s.String(); got != "L1, L2, R1" {
+		t.Errorf("upgrade = %q, want L1, L2, R1", got)
+	}
+	if !s.Equal(MustParseSet("L1, L2, R1")) {
+		t.Error("upgraded set must equal the directly built set")
+	}
+	// Fingerprints agree with the directly built spelling too.
+	if s.Fingerprint() != MustParseSet("L1, L2, R1").Fingerprint() {
+		t.Error("fingerprint must not depend on construction order")
 	}
 }
 

@@ -1,0 +1,145 @@
+package path
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// A Space owns every process-wide table behind the path-expression algebra:
+// the sharded intern table that canonicalizes expressions to unique nodes,
+// the memoized verdict shards for the language questions (Subsumes,
+// MayOverlap, MayStrictPrefix), and the residue cache. PR 1 made these
+// tables process-global and append-only — the degenerate no-eviction cache
+// policy. A Space makes the epoch explicit so a long-lived service can
+// return the memory between analysis batches:
+//
+//	stats := path.DefaultSpace().Stats() // table sizes + memo hit rate
+//	path.DefaultSpace().Reset()          // drop every table, start an epoch
+//
+// Epoch contract: Reset must not run concurrently with path operations, and
+// Path, Set, or matrix values created before a Reset must not be mixed into
+// values built after it — the old interned nodes are no longer in the
+// table, so a re-interned equal expression would compare unequal. Node IDs
+// are monotonic and never reused across epochs, which keeps the failure
+// mode of a violated contract benign: a stale value can at worst miss the
+// fresh caches, never collide with a fresh ID and corrupt a verdict.
+type Space struct {
+	shards [internShards]internShard
+	// nextID allocates node IDs; ID 0 is reserved for S. It deliberately
+	// survives Reset so IDs are unique across epochs.
+	nextID atomic.Uint32
+	// interned counts the nodes in the current epoch's table.
+	interned atomic.Int64
+	epoch    atomic.Uint64
+
+	subsume memoTable
+	overlap memoTable
+	prefix  memoTable
+	residue residueTable
+
+	hookMu sync.Mutex
+	hooks  []func()
+}
+
+func newSpace() *Space {
+	sp := &Space{}
+	for i := range sp.shards {
+		sp.shards[i].m = make(map[uint64][]*pnode)
+	}
+	sp.residue.m = make(map[uint64][]Path)
+	return sp
+}
+
+// procSpace is the process default every package-level path operation uses.
+var procSpace = newSpace()
+
+// DefaultSpace returns the process-wide Space.
+func DefaultSpace() *Space { return procSpace }
+
+// Epoch returns the number of Resets this Space has seen.
+func (sp *Space) Epoch() uint64 { return sp.epoch.Load() }
+
+// OnReset registers a hook run at the end of every Reset. Packages layered
+// on top of path (e.g. the matrix handle interner) use it to tie their own
+// epoch-scoped tables to the same reset, so one call drops the whole
+// analysis cache hierarchy.
+func (sp *Space) OnReset(f func()) {
+	sp.hookMu.Lock()
+	sp.hooks = append(sp.hooks, f)
+	sp.hookMu.Unlock()
+}
+
+// Reset starts a new epoch: the intern table, the three verdict memo
+// tables, and the residue cache are replaced by fresh empty maps (returning
+// their memory to the allocator) and the hit/miss counters restart at zero.
+// See the type comment for the epoch contract.
+func (sp *Space) Reset() {
+	sp.epoch.Add(1)
+	for i := range sp.shards {
+		sh := &sp.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[uint64][]*pnode)
+		sh.mu.Unlock()
+	}
+	sp.interned.Store(0)
+	sp.subsume.reset()
+	sp.overlap.reset()
+	sp.prefix.reset()
+	sp.residue.mu.Lock()
+	sp.residue.m = make(map[uint64][]Path)
+	sp.residue.mu.Unlock()
+	sp.hookMu.Lock()
+	hooks := append([]func(){}, sp.hooks...)
+	sp.hookMu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+}
+
+// SpaceStats is a point-in-time snapshot of a Space's table sizes and memo
+// traffic (the monitoring surface for silbench and service dashboards).
+type SpaceStats struct {
+	Epoch           uint64
+	InternedPaths   int
+	SubsumeVerdicts int
+	OverlapVerdicts int
+	PrefixVerdicts  int
+	ResidueEntries  int
+	MemoHits        uint64
+	MemoMisses      uint64
+}
+
+// Verdicts is the total number of memoized language-question verdicts.
+func (st SpaceStats) Verdicts() int {
+	return st.SubsumeVerdicts + st.OverlapVerdicts + st.PrefixVerdicts
+}
+
+// HitRate is the fraction of memo lookups answered from cache (0 when no
+// lookups happened yet).
+func (st SpaceStats) HitRate() float64 {
+	total := st.MemoHits + st.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.MemoHits) / float64(total)
+}
+
+// Stats snapshots the current epoch's table sizes and counters.
+func (sp *Space) Stats() SpaceStats {
+	st := SpaceStats{
+		Epoch:           sp.epoch.Load(),
+		InternedPaths:   int(sp.interned.Load()),
+		SubsumeVerdicts: sp.subsume.size(),
+		OverlapVerdicts: sp.overlap.size(),
+		PrefixVerdicts:  sp.prefix.size(),
+	}
+	for _, t := range []*memoTable{&sp.subsume, &sp.overlap, &sp.prefix} {
+		h, m := t.traffic()
+		st.MemoHits += h
+		st.MemoMisses += m
+	}
+	sp.residue.mu.RLock()
+	st.ResidueEntries = len(sp.residue.m)
+	sp.residue.mu.RUnlock()
+	return st
+}
