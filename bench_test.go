@@ -419,6 +419,29 @@ func BenchmarkCorpusAnalysis(b *testing.B) {
 	}
 }
 
+// BenchmarkCorpusAnalysisMerged — the same hot path with context-sensitive
+// summaries disabled (MaxContexts < 0): the pre-context behavior the
+// regression gate bounds at <15% vs the seed, and the reference point for
+// the context-table overhead.
+func BenchmarkCorpusAnalysisMerged(b *testing.B) {
+	for _, e := range progs.Catalog {
+		e := e
+		prog, err := progs.Compile(e.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(e.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				info, err := analysis.Analyze(prog, analysis.Options{ExternalRoots: e.Roots, MaxContexts: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				par.Parallelize(info, par.DefaultOptions)
+			}
+		})
+	}
+}
+
 // BenchmarkAnalysisWorkers — scaling of the concurrent interprocedural
 // fixpoint across worker-pool sizes on the Figure 7 program.
 func BenchmarkAnalysisWorkers(b *testing.B) {

@@ -5,12 +5,17 @@
 // Usage:
 //
 //	silbench [-out BENCH_analysis.json] [-iters 25] [-workers 0] [-min-ms 200]
-//	         [-reset] [-baseline FILE] [-max-regress 0.15]
+//	         [-ctx 0] [-reset] [-baseline FILE] [-max-regress 0.15]
 //
 // For each corpus program it measures the full analyze+parallelize path
 // (the hot path this repository optimizes) and reports ns/op alongside the
 // analysis verdicts, plus the path.Space table statistics (sizes and memo
-// hit rate). With -reset it then resets the process Space — the long-lived
+// hit rate). -ctx selects the summary mode: 0 runs the default
+// context-sensitive table (cap analysis.DefaultMaxContexts), a positive
+// value overrides the cap, and a negative value disables context
+// sensitivity ("merged mode", the pre-context behavior); the report
+// carries the mode plus per-program context-table statistics so the two
+// modes leave separately gateable trajectories. With -reset it then resets the process Space — the long-lived
 // service epoch boundary — and records the post-reset counters, proving
 // the intern/memo memory is returned. With -baseline it compares the fresh
 // numbers against a stored report and exits non-zero on regression: the CI
@@ -43,6 +48,11 @@ type result struct {
 	Shape         string  `json:"shape"`
 	ExitShape     string  `json:"exit_shape"`
 	ParStatements int     `json:"par_statements"`
+	// Context-table statistics (zero in merged mode): live exact contexts,
+	// procedures that grew a merged fallback, and cap evictions.
+	Contexts    int `json:"contexts"`
+	MergedProcs int `json:"merged_procs"`
+	Evictions   int `json:"evictions"`
 }
 
 // spaceStats is the JSON rendering of path.SpaceStats plus the matrix
@@ -74,13 +84,17 @@ func snapshotSpace() spaceStats {
 
 // report is the whole BENCH_analysis.json document.
 type report struct {
-	Schema       string    `json:"schema"`
-	Timestamp    time.Time `json:"timestamp"`
-	GoVersion    string    `json:"go_version"`
-	NumCPU       int       `json:"num_cpu"`
-	Workers      int       `json:"workers"`
-	Corpus       []result  `json:"corpus"`
-	TotalNsPerOp float64   `json:"total_ns_per_op"`
+	Schema    string    `json:"schema"`
+	Timestamp time.Time `json:"timestamp"`
+	GoVersion string    `json:"go_version"`
+	NumCPU    int       `json:"num_cpu"`
+	Workers   int       `json:"workers"`
+	// Mode is "context" (per-context summaries) or "merged" (single
+	// summary per procedure); MaxContexts is the effective table cap.
+	Mode         string   `json:"mode"`
+	MaxContexts  int      `json:"max_contexts"`
+	Corpus       []result `json:"corpus"`
+	TotalNsPerOp float64  `json:"total_ns_per_op"`
 	// InternedPaths and MemoVerdicts stay at top level for older readers;
 	// Space carries the full table statistics.
 	InternedPaths   int         `json:"interned_paths"`
@@ -95,27 +109,35 @@ func main() {
 	iters := flag.Int("iters", 25, "fixed iterations per program (0 = time-based)")
 	minMS := flag.Int("min-ms", 200, "minimum measurement time per program when iters=0")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = default)")
+	ctx := flag.Int("ctx", 0, "context-table cap: 0 = default, >0 = override, <0 = merged mode (context-insensitive)")
 	reset := flag.Bool("reset", false, "reset the path.Space after measuring and record the post-reset counters")
 	baseline := flag.String("baseline", "", "baseline BENCH_analysis.json to gate regressions against")
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed total ns/op regression vs -baseline (fraction)")
 	flag.Parse()
 
+	modeOpts := analysis.Options{Workers: *workers, MaxContexts: *ctx}
+	mode := "context"
+	if !modeOpts.ContextSensitive() {
+		mode = "merged"
+	}
 	rep := report{
-		Schema:    "sil-bench/v2",
-		Timestamp: time.Now().UTC(),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Workers:   analysis.Options{Workers: *workers}.EffectiveWorkers(),
+		Schema:      "sil-bench/v2",
+		Timestamp:   time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     modeOpts.EffectiveWorkers(),
+		Mode:        mode,
+		MaxContexts: *ctx,
 	}
 	for _, e := range progs.Catalog {
-		r, err := benchOne(e, *iters, time.Duration(*minMS)*time.Millisecond, *workers)
+		r, err := benchOne(e, *iters, time.Duration(*minMS)*time.Millisecond, *workers, *ctx)
 		if err != nil {
 			log.Fatalf("%s: %v", e.Name, err)
 		}
 		rep.Corpus = append(rep.Corpus, r)
 		rep.TotalNsPerOp += r.NsPerOp
-		fmt.Fprintf(os.Stderr, "%-16s %12.0f ns/op  shape=%-6s diags=%d parstmts=%d\n",
-			r.Name, r.NsPerOp, r.Shape, r.Diags, r.ParStatements)
+		fmt.Fprintf(os.Stderr, "%-16s %12.0f ns/op  shape=%-6s diags=%d parstmts=%d ctxs=%d\n",
+			r.Name, r.NsPerOp, r.Shape, r.Diags, r.ParStatements, r.Contexts)
 	}
 	rep.Space = snapshotSpace()
 	rep.InternedPaths = rep.Space.InternedPaths
@@ -203,12 +225,12 @@ func gateRegression(fresh report, baselineFile string, maxRegress float64) error
 
 // benchOne measures one corpus program end to end (compile once, then
 // analyze+parallelize per iteration, which is the optimized hot path).
-func benchOne(e progs.Entry, iters int, minTime time.Duration, workers int) (result, error) {
+func benchOne(e progs.Entry, iters int, minTime time.Duration, workers, maxContexts int) (result, error) {
 	prog, err := progs.Compile(e.Source)
 	if err != nil {
 		return result{}, err
 	}
-	opts := analysis.Options{ExternalRoots: e.Roots, Workers: workers}
+	opts := analysis.Options{ExternalRoots: e.Roots, Workers: workers, MaxContexts: maxContexts}
 	run := func() (*analysis.Info, *par.Result, error) {
 		info, err := analysis.Analyze(prog, opts)
 		if err != nil {
@@ -239,6 +261,7 @@ func benchOne(e progs.Entry, iters int, minTime time.Duration, workers int) (res
 			break
 		}
 	}
+	exact, mergedProcs, evictions := info.ContextTableStats()
 	return result{
 		Name:          e.Name,
 		Iters:         n,
@@ -247,5 +270,8 @@ func benchOne(e progs.Entry, iters int, minTime time.Duration, workers int) (res
 		Shape:         info.Shape().String(),
 		ExitShape:     info.ExitShape().String(),
 		ParStatements: parRes.Stats.ParStatements,
+		Contexts:      exact,
+		MergedProcs:   mergedProcs,
+		Evictions:     evictions,
 	}, nil
 }

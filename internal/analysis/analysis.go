@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/matrix"
 	"repro/internal/path"
@@ -38,13 +40,26 @@ type Options struct {
 	Limits path.Limits
 	// MaxLoopIters caps Figure 3's iteration as a backstop beyond widening.
 	MaxLoopIters int
-	// MaxWorklist caps procedure reanalyses.
+	// MaxWorklist scales the cap on total (procedure, context) item
+	// analyses — the non-convergence backstop.
 	MaxWorklist int
-	// Workers bounds the worker pool that drains the interprocedural
-	// worklist: independent (non-mutually-recursive) procedures are analyzed
-	// concurrently, with per-summary locking. 0 picks a default from the
-	// machine; 1 reproduces the sequential driver exactly.
+	// Workers bounds the worker pool of the round-based interprocedural
+	// fixpoint. Work items are (procedure, context) pairs, so independent
+	// procedures AND independent call contexts of the same procedure are
+	// analyzed concurrently within a round. Rounds read a frozen snapshot
+	// and apply updates at a deterministic barrier, so the result is
+	// bit-identical for every pool size. 0 picks a default from the
+	// machine.
 	Workers int
+	// MaxContexts bounds the per-procedure context table of the
+	// context-sensitive summaries (see context.go): each distinct call
+	// context, keyed by its entry-matrix fingerprint, gets its own
+	// entry→exit mapping; beyond the cap, least-recently-used contexts
+	// collapse into a merged widened fallback context, degrading gracefully
+	// to the paper's single-summary behavior. 0 picks DefaultMaxContexts;
+	// negative values disable context sensitivity entirely ("merged mode":
+	// every call context folds into the one fallback summary).
+	MaxContexts int
 	// ExternalRoots names main locals that the execution environment binds
 	// to externally built structures before main runs (the paper's
 	// "... build a tree at root ..." realized by a Setup function). They
@@ -72,8 +87,15 @@ func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = 1
 	}
+	if o.MaxContexts == 0 {
+		o.MaxContexts = DefaultMaxContexts
+	}
 	return o
 }
+
+// ContextSensitive reports whether Analyze will keep per-context summaries
+// for this Options value (reporting hook for silbench).
+func (o Options) ContextSensitive() bool { return o.withDefaults().MaxContexts > 0 }
 
 // EffectiveWorkers returns the worker-pool size Analyze will actually use
 // for this Options value (reporting hook for silbench).
@@ -90,22 +112,18 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Level, d.Msg)
 }
 
-// Summary is the interprocedural abstraction of one procedure. During the
-// concurrent fixpoint, mu guards every mutable field; the matrices held in
-// Entry and Exit are immutable once published, so workers snapshot the
-// pointers under the lock and read the matrices lock-free. After Analyze
-// returns, summaries are quiescent and may be read directly.
+// Summary is the interprocedural abstraction of one procedure: the
+// context table (see context.go) mapping each distinct call context to its
+// own entry→exit pair, plus the per-procedure mod-ref classification,
+// which stays joined over every context (a parameter is an update argument
+// if ANY context may write through it). During the concurrent fixpoint, mu
+// guards every mutable field; matrices are immutable once published, so
+// workers snapshot pointers under the lock and read them lock-free. After
+// Analyze returns, summaries are quiescent and may be read directly.
 type Summary struct {
 	mu sync.Mutex
 
 	Proc *ast.ProcDecl
-	// Entry is the merged entry matrix over formals and symbolic handles
-	// (h*i, h**i), combining every call context seen so far.
-	Entry *matrix.Matrix
-	// Exit is the matrix at procedure exit projected onto the formals,
-	// symbolic handles and (for functions) the return variable. nil means
-	// bottom: no terminating path analyzed yet.
-	Exit *matrix.Matrix
 	// UpdateParams[i] reports that the i-th parameter is an update argument
 	// (§5.2): some write (value or link) may occur through it. Non-handle
 	// parameters are always false.
@@ -124,90 +142,26 @@ type Summary struct {
 	// to parameter positions.
 	HandleParamIdx []int
 
-	// entryMemo is the §5.2 summary memoization keyed by entry-matrix
-	// fingerprint: call contexts already proven to fold into Entry without
-	// changing it. A fingerprint hit still verifies the candidate
-	// structurally (collision fallback) before skipping the Merge+Widen
-	// allocation. The memo is only valid against the current Entry, so any
-	// Entry growth clears it; entryMemoN bounds the retained matrices.
-	entryMemo  map[matrix.Fp][]*matrix.Matrix
-	entryMemoN int
+	// The context table (context.go): exact contexts keyed by entry
+	// fingerprint in an LRU bounded by maxContexts, a lazily created
+	// merged fallback context, and the evicted-fingerprint redirect set.
+	maxContexts int
+	contexts    map[matrix.Fp][]*ProcContext
+	lru         []*ProcContext
+	merged      *ProcContext
+	evicted     map[matrix.Fp]bool
+	evictions   int
+	// mergedMemo memoizes entries proven to fold into the fallback without
+	// growing it (fingerprint-keyed, structural fallback on collision).
+	mergedMemo  map[matrix.Fp][]*matrix.Matrix
+	mergedMemoN int
+	// seqCounter issues ProcContext.seq values (barrier-only mutation).
+	seqCounter int
 }
-
-// entryMemoCap bounds how many no-op call contexts a summary retains.
-const entryMemoCap = 64
 
 // ReadOnlyParam reports whether parameter i is read-only (§5.2).
 func (s *Summary) ReadOnlyParam(i int) bool {
 	return i < len(s.UpdateParams) && !s.UpdateParams[i]
-}
-
-// snapshotEntry returns the current entry matrix pointer (immutable value).
-func (s *Summary) snapshotEntry() *matrix.Matrix {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Entry
-}
-
-// snapshotExit returns the current exit matrix pointer (nil while bottom).
-func (s *Summary) snapshotExit() *matrix.Matrix {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Exit
-}
-
-// mergeEntry folds one more call context into the entry matrix, reporting
-// whether the entry grew. Contexts already known (by fingerprint, with a
-// structural fallback) to leave the entry unchanged return immediately:
-// at and near the fixpoint every call site re-presents the same context on
-// every pass, and the memo turns those passes allocation-free. The caller
-// must not mutate ent after the call (call sites build a fresh entry per
-// call, so this holds).
-func (s *Summary) mergeEntry(ent *matrix.Matrix, lim path.Limits) (changed bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	fp := ent.Fingerprint()
-	for _, seen := range s.entryMemo[fp] {
-		if seen.Equal(ent) {
-			return false
-		}
-	}
-	merged := s.Entry.Merge(ent)
-	merged.Widen(lim)
-	if merged.Equal(s.Entry) {
-		if s.entryMemoN < entryMemoCap {
-			if s.entryMemo == nil {
-				s.entryMemo = make(map[matrix.Fp][]*matrix.Matrix)
-			}
-			s.entryMemo[fp] = append(s.entryMemo[fp], ent)
-			s.entryMemoN++
-		}
-		return false
-	}
-	s.Entry = merged
-	s.entryMemo = nil
-	s.entryMemoN = 0
-	return true
-}
-
-// updateExit folds a freshly computed exit projection into the summary,
-// reporting whether the exit changed.
-func (s *Summary) updateExit(proj *matrix.Matrix, lim path.Limits) (changed bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.Exit != nil && s.Exit.Equal(proj) {
-		return false
-	}
-	if s.Exit != nil {
-		merged := s.Exit.Merge(proj)
-		merged.Widen(lim)
-		if s.Exit.Equal(merged) {
-			return false
-		}
-		proj = merged
-	}
-	s.Exit = proj
-	return true
 }
 
 // modref is a consistent snapshot of a summary's mod-ref classification.
@@ -227,24 +181,13 @@ func (s *Summary) modrefSnapshot() modref {
 	}
 }
 
-// setModifiesLinks records a link write, reporting whether this was news.
-func (s *Summary) setModifiesLinks() (changed bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ModifiesLinks {
-		return false
-	}
-	s.ModifiesLinks = true
-	return true
-}
-
 // Info is the analysis result.
 type Info struct {
 	Prog *ast.Program
 	Opts Options
 	// Before and After give the path matrix at the program point
-	// immediately before / after each statement (merged over all contexts
-	// of the final fixpoint iteration).
+	// immediately before / after each statement, merged over every live
+	// call context of the converged fixpoint.
 	Before map[ast.Stmt]*matrix.Matrix
 	After  map[ast.Stmt]*matrix.Matrix
 	// Summaries maps procedure names to their fixpoint summaries.
@@ -302,13 +245,21 @@ func (in *Info) DiagStrings() []string {
 // Analyze runs the whole-program analysis. The program must be checked and
 // normalized; Analyze verifies the basic-statement invariants first.
 //
-// The interprocedural fixpoint is a concurrent worklist: opts.Workers
-// goroutines pop procedures and re-analyze them against their current entry
-// summaries, with per-summary locking (a given procedure is never analyzed
-// by two workers at once, but independent procedures proceed in parallel).
-// Diagnostics and the Before/After matrices are collected by a final
-// sequential pass over the converged summaries, so the reported output is
-// deterministic regardless of worker scheduling.
+// The interprocedural fixpoint is round-based (bulk-synchronous) over
+// (procedure, context) work items: within a round, opts.Workers goroutines
+// analyze the dirty items in parallel against a FROZEN snapshot of every
+// summary — each analysis stages its writes (call entries, exit
+// projection, mod-ref flags) into a private buffer instead of mutating
+// shared state. At the round barrier the staged updates apply sequentially
+// in a canonical, content-sorted order. Because in-round reads see only
+// the snapshot and the barrier is deterministic, the converged result is
+// bit-identical for every worker-pool size — unlike a chaotic worklist,
+// where the order in which joins meet the widening changes which (equally
+// sound) fixpoint the merged summaries land on.
+//
+// Diagnostics and the Before/After matrices are collected afterwards by a
+// sequential closure pass over the context bindings reachable from main;
+// contexts only visited by transient fixpoint states are pruned.
 func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 	if err := types.VerifyBasic(prog); err != nil {
 		return nil, fmt.Errorf("analysis: program is not in basic form: %w", err)
@@ -329,136 +280,379 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 	for _, d := range prog.Decls {
 		walkStmts(d.Body, func(s ast.Stmt) { eng.info.stmtProc[s] = d.Name })
 	}
-	eng.summaryFor(main, entryForMain(main, opts))
-	eng.enqueue("main")
-	var wg sync.WaitGroup
-	for i := 0; i < opts.Workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Workers are muted: diagnostics from intermediate fixpoint
-			// states would depend on scheduling; the recording pass below
-			// re-derives them from the converged summaries.
-			w := &analyzer{eng: eng, mute: true}
-			for {
-				name, ok := eng.next()
-				if !ok {
-					return
-				}
-				w.reanalyze(name)
-				eng.done(name)
-			}
-		}()
+	mainSum := eng.summaryFor(main)
+	lk := mainSum.contextFor(entryForMain(main, opts), opts.Limits, false)
+	eng.rootCtx = lk.ctx
+	work := make([]item, 0, len(lk.analyze))
+	for _, c := range lk.analyze {
+		work = append(work, item{"main", c})
 	}
-	wg.Wait()
-	if err := eng.failure(); err != nil {
-		return nil, err
+	for len(work) > 0 {
+		eng.steps += len(work)
+		if eng.steps > eng.budget {
+			return nil, fmt.Errorf("analysis: fixpoint did not converge in %d item analyses", eng.budget)
+		}
+		stages := eng.runRound(work)
+		work = eng.applyRound(work, stages)
 	}
-	// One final sequential pass per reachable procedure so Before/After and
-	// the diagnostics reflect the fixpoint summaries deterministically.
+	// Final sequential recording pass: a breadth-first closure over the
+	// (procedure, context) bindings reachable from main's root context.
+	// Each reached item is replayed once; record() merges the matrices of
+	// a procedure's contexts pointwise, and the call resolution is
+	// read-only (lookupContext), so the pass cannot perturb the fixpoint.
 	rec := &analyzer{eng: eng, recording: true}
-	for _, name := range eng.analysisOrder() {
-		rec.reanalyze(name)
+	recorded := map[item]bool{}
+	queue := []item{{"main", eng.rootCtx}}
+	rec.onCall = func(it item) {
+		if !recorded[it] {
+			queue = append(queue, it)
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if recorded[it] {
+			continue
+		}
+		recorded[it] = true
+		rec.reanalyze(it)
+	}
+	// Prune contexts the converged program does not bind (visited only by
+	// transient fixpoint states — their membership depends on worker
+	// scheduling, so they must not leak into the reported result).
+	live := map[string]map[*ProcContext]bool{}
+	for it := range recorded {
+		if live[it.name] == nil {
+			live[it.name] = map[*ProcContext]bool{}
+		}
+		live[it.name][it.ctx] = true
+	}
+	for name, sum := range eng.info.Summaries {
+		sum.pruneContexts(live[name])
 	}
 	return eng.info, nil
 }
 
+// item is one unit of fixpoint work: a procedure analyzed against one of
+// its call contexts.
+type item struct {
+	name string
+	ctx  *ProcContext
+}
+
 // engine is the state shared by every worker of one Analyze run: the
-// program, the worklist, the call graph discovered so far, and the result
-// under construction. All mutable fields are guarded by mu.
+// program, the round-based fixpoint bookkeeping, and the result under
+// construction. During a round, workers only read summary state (under the
+// per-summary locks) and only write their private staging buffers; mu
+// guards the few shared tables that may grow mid-round (summary creation,
+// diagnostics).
 type engine struct {
 	prog *ast.Program
 	opts Options
 	info *Info
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []string
-	queued   map[string]bool
-	running  map[string]bool
-	inflight int
-	steps    int
-	err      error
-	callers  map[string]map[string]bool
+	mu sync.Mutex
+	// procDeps maps a callee name to its caller items: when any of the
+	// callee's contexts changes (exit growth, eviction) or its mod-ref
+	// bits sharpen, every registered caller re-runs. Mutated only at round
+	// barriers.
+	procDeps map[string]map[item]bool
 	diagSet  map[string]bool
+	steps    int
+	budget   int
+	// rootCtx is main's entry context, the recording pass's seed.
+	rootCtx *ProcContext
+	// keyCache memoizes canonicalKey by matrix fingerprint (structural
+	// Equal fallback on collision). Barrier-only access.
+	keyCache map[matrix.Fp][]keyEntry
+	// scc maps each procedure to its static call-graph SCC id (computed
+	// once, read-only afterwards): calls within one SCC — self or mutual
+	// recursion — bind the merged fallback context (see context.go).
+	scc map[string]int
+}
+
+// stagedEntry is one call-site context presentation, applied at the round
+// barrier.
+type stagedEntry struct {
+	callee    string
+	ent       *matrix.Matrix
+	recursive bool
+	caller    item
+	key       string // canonical content key, filled at the barrier
+}
+
+// stagedUpdates collects everything one item's in-round analysis wants to
+// write: the call entries it presented, its exit projection, and the
+// mod-ref flags it derived for its own procedure. Buffers are private to
+// the analyzing goroutine until the barrier.
+type stagedUpdates struct {
+	entries       []stagedEntry
+	exit          *matrix.Matrix // projected exit, nil while bottom
+	modUpdate     map[int]bool   // parameter positions flagged as update
+	modLink       map[int]bool
+	modAttach     map[int]bool
+	modifiesLinks bool
+}
+
+func (st *stagedUpdates) flagParam(m map[int]bool, pos int) map[int]bool {
+	if m == nil {
+		m = map[int]bool{}
+	}
+	m[pos] = true
+	return m
+}
+
+// runRound analyzes every work item in parallel against the frozen summary
+// state, returning one staging buffer per item (indexed like work).
+func (e *engine) runRound(work []item) []*stagedUpdates {
+	stages := make([]*stagedUpdates, len(work))
+	workers := e.opts.Workers
+	if workers > len(work) {
+		workers = len(work)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Workers are muted: diagnostics from intermediate fixpoint
+			// states would depend on the iteration strategy; the recording
+			// pass re-derives them from the converged summaries.
+			a := &analyzer{eng: e, mute: true}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(work) {
+					return
+				}
+				a.st = &stagedUpdates{}
+				a.reanalyze(work[i])
+				stages[i] = a.st
+			}
+		}()
+	}
+	wg.Wait()
+	return stages
+}
+
+// applyRound applies the staged updates of one round sequentially and
+// returns the next round's work list. Every ordering here is canonical
+// (content-sorted entries, work-order exits, context sequence numbers), so
+// the resulting state — and therefore the whole fixpoint — does not depend
+// on how many workers ran the round.
+func (e *engine) applyRound(work []item, stages []*stagedUpdates) []item {
+	lim := e.opts.Limits
+	dirty := map[item]bool{}
+	dirtyProcs := map[string]bool{}
+
+	// 1. Register caller dependencies, then apply context presentations in
+	// canonical order: sorted by callee, binding kind, and the entry's
+	// content rendering (fingerprints would not do — they incorporate
+	// intern IDs, which depend on process history).
+	var reqs []stagedEntry
+	for _, st := range stages {
+		for _, se := range st.entries {
+			e.addProcDep(se.callee, se.caller)
+			se.key = e.canonicalKeyCached(se.ent)
+			reqs = append(reqs, se)
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].callee != reqs[j].callee {
+			return reqs[i].callee < reqs[j].callee
+		}
+		if reqs[i].recursive != reqs[j].recursive {
+			return !reqs[i].recursive
+		}
+		return reqs[i].key < reqs[j].key
+	})
+	for _, se := range reqs {
+		sum := e.summary(se.callee)
+		lk := sum.contextFor(se.ent, lim, se.recursive)
+		for _, c := range lk.analyze {
+			dirty[item{se.callee, c}] = true
+		}
+		if lk.evicted != nil {
+			dirtyProcs[se.callee] = true // callers rebind to the fallback
+		}
+	}
+
+	// 2. Apply exit projections (one item owns one context, so these are
+	// pairwise independent).
+	for i, st := range stages {
+		if st.exit == nil {
+			continue
+		}
+		it := work[i]
+		if e.summary(it.name).updateCtxExit(it.ctx, st.exit, lim) {
+			dirtyProcs[it.name] = true
+		}
+	}
+
+	// 3. Apply mod-ref flags (monotone booleans; order-free).
+	for i, st := range stages {
+		if e.summary(work[i].name).applyModref(st) {
+			dirtyProcs[work[i].name] = true
+		}
+	}
+
+	for p := range dirtyProcs {
+		for it := range e.procDeps[p] {
+			dirty[it] = true
+		}
+	}
+	next := make([]item, 0, len(dirty))
+	for it := range dirty {
+		if !it.ctx.dropped {
+			next = append(next, it)
+		}
+	}
+	sort.Slice(next, func(i, j int) bool {
+		if next[i].name != next[j].name {
+			return next[i].name < next[j].name
+		}
+		return next[i].ctx.seq < next[j].ctx.seq
+	})
+	return next
+}
+
+// sameSCC reports whether a call from caller to callee stays inside one
+// call-graph SCC (i.e. is part of a recursive cycle).
+func (e *engine) sameSCC(caller, callee string) bool {
+	return e.scc[caller] != 0 && e.scc[caller] == e.scc[callee]
+}
+
+// callGraphSCC computes the strongly connected components of the static
+// call graph (SIL has no indirect calls, so the AST graph is exact) with
+// Tarjan's algorithm. Components are numbered from 1; procedures missing
+// from the program map to 0, which sameSCC never matches.
+func callGraphSCC(prog *ast.Program) map[string]int {
+	callees := map[string][]string{}
+	for _, d := range prog.Decls {
+		seen := map[string]bool{}
+		walkStmts(d.Body, func(s ast.Stmt) {
+			name := ""
+			switch s := s.(type) {
+			case *ast.CallStmt:
+				name = s.Name
+			case *ast.Assign:
+				if c, ok := s.Rhs.(*ast.CallExpr); ok {
+					name = c.Name
+				}
+			}
+			if name != "" && !seen[name] && prog.Proc(name) != nil {
+				seen[name] = true
+				callees[d.Name] = append(callees[d.Name], name)
+			}
+		})
+	}
+	scc := map[string]int{}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next, comp := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		next++
+		index[v], low[v] = next, next
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range callees[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			comp++
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc[w] = comp
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+	for _, d := range prog.Decls {
+		if _, ok := index[d.Name]; !ok {
+			strongconnect(d.Name)
+		}
+	}
+	return scc
 }
 
 func newEngine(prog *ast.Program, opts Options, info *Info) *engine {
 	e := &engine{
-		prog:    prog,
-		opts:    opts,
-		info:    info,
-		queued:  map[string]bool{},
-		running: map[string]bool{},
-		callers: map[string]map[string]bool{},
-		diagSet: map[string]bool{},
+		prog:     prog,
+		opts:     opts,
+		info:     info,
+		procDeps: map[string]map[item]bool{},
+		diagSet:  map[string]bool{},
+		keyCache: map[matrix.Fp][]keyEntry{},
 	}
-	e.cond = sync.NewCond(&e.mu)
+	if prog != nil {
+		e.scc = callGraphSCC(prog)
+	}
+	// The budget caps total item analyses as a non-convergence backstop.
+	// Context-sensitive runs multiply the item count by the live contexts
+	// per procedure, so it scales with the table cap.
+	e.budget = opts.MaxWorklist * 8
+	if opts.MaxContexts > 0 {
+		e.budget *= opts.MaxContexts + 1
+	}
 	return e
 }
 
-// enqueue schedules a procedure for (re-)analysis.
-func (e *engine) enqueue(name string) {
-	e.mu.Lock()
-	if !e.queued[name] {
-		e.queued[name] = true
-		e.queue = append(e.queue, name)
-		e.cond.Broadcast()
+// keyEntry is one canonicalKey cache line.
+type keyEntry struct {
+	m   *matrix.Matrix
+	key string
+}
+
+// canonicalKeyCached memoizes canonicalKey by fingerprint: at and near
+// the fixpoint the same entries are re-presented every round, and the
+// rendering is the barrier's main cost.
+func (e *engine) canonicalKeyCached(m *matrix.Matrix) string {
+	fp := m.Fingerprint()
+	for _, ke := range e.keyCache[fp] {
+		if ke.m.Equal(m) {
+			return ke.key
+		}
 	}
-	e.mu.Unlock()
+	key := canonicalKey(m)
+	e.keyCache[fp] = append(e.keyCache[fp], keyEntry{m, key})
+	return key
 }
 
-// next blocks until a procedure not currently being analyzed is available,
-// or the fixpoint has drained (queue empty, no worker in flight), or the
-// run failed. The second result is false when the worker should exit.
-func (e *engine) next() (string, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for {
-		if e.err != nil {
-			return "", false
-		}
-		for i, n := range e.queue {
-			if e.running[n] {
-				continue
-			}
-			e.queue = append(e.queue[:i:i], e.queue[i+1:]...)
-			e.queued[n] = false
-			e.running[n] = true
-			e.inflight++
-			e.steps++
-			// Concurrent workers can pop a procedure against an entry a
-			// caller is still growing, spending pops that a sequential
-			// drain would not, so the budget scales with the pool size;
-			// Workers=1 reproduces the sequential cap exactly.
-			if e.steps > e.opts.MaxWorklist*e.opts.Workers {
-				e.err = fmt.Errorf("analysis: worklist did not converge in %d steps", e.opts.MaxWorklist*e.opts.Workers)
-				e.cond.Broadcast()
-				return "", false
-			}
-			return n, true
-		}
-		if e.inflight == 0 {
-			e.cond.Broadcast()
-			return "", false
-		}
-		e.cond.Wait()
+// canonicalKey renders a matrix in a purely content-based, deterministic
+// form — the barrier's sort key for staged call entries. (Fingerprints
+// would not do: they incorporate interned IDs, which depend on the
+// process's interning history.)
+func canonicalKey(m *matrix.Matrix) string {
+	hs := append([]matrix.Handle(nil), m.Handles()...)
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", m.StickyShape())
+	for _, h := range hs {
+		a := m.Attr(h)
+		fmt.Fprintf(&b, "%s=%d,%d|", h, a.Nil, a.Indeg)
 	}
-}
-
-// done marks a popped procedure as finished.
-func (e *engine) done(name string) {
-	e.mu.Lock()
-	e.running[name] = false
-	e.inflight--
-	e.cond.Broadcast()
-	e.mu.Unlock()
-}
-
-func (e *engine) failure() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.err
+	for _, r := range hs {
+		for _, c := range hs {
+			if e := m.Get(r, c); !e.IsEmpty() {
+				fmt.Fprintf(&b, "%s>%s:%s|", r, c, e)
+			}
+		}
+	}
+	return b.String()
 }
 
 // summary returns the summary for name, or nil.
@@ -468,65 +662,66 @@ func (e *engine) summary(name string) *Summary {
 	return e.info.Summaries[name]
 }
 
-// summaryFor returns the summary for the procedure, creating it with the
-// given entry matrix if this is the first sighting. created reports whether
-// this call performed the creation (the entry argument was consumed).
-func (e *engine) summaryFor(d *ast.ProcDecl, entry *matrix.Matrix) (s *Summary, created bool) {
+// summaryFor returns the summary for the procedure, creating it (with an
+// empty context table) on first sighting.
+func (e *engine) summaryFor(d *ast.ProcDecl) *Summary {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s, ok := e.info.Summaries[d.Name]
 	if !ok {
 		s = &Summary{
 			Proc:           d,
-			Entry:          entry,
 			UpdateParams:   make([]bool, len(d.Params)),
 			LinkParams:     make([]bool, len(d.Params)),
 			AttachesParams: make([]bool, len(d.Params)),
 			HandleParamIdx: handleParams(d),
+			maxContexts:    e.opts.MaxContexts,
 		}
 		e.info.Summaries[d.Name] = s
-		return s, true
 	}
-	return s, false
+	return s
 }
 
-// addCaller records a call edge caller → callee.
-func (e *engine) addCaller(callee, caller string) {
+// addProcDep records that it calls the named procedure (and therefore
+// consumes its contexts' exits and mod-ref bits). Called only from round
+// barriers (single-threaded), but locked for uniformity.
+func (e *engine) addProcDep(name string, it item) {
 	e.mu.Lock()
-	if e.callers[callee] == nil {
-		e.callers[callee] = map[string]bool{}
+	if e.procDeps[name] == nil {
+		e.procDeps[name] = map[item]bool{}
 	}
-	e.callers[callee][caller] = true
+	e.procDeps[name][it] = true
 	e.mu.Unlock()
 }
 
-// callersOf snapshots the recorded callers of name, and whether name calls
-// itself through a recorded edge.
-func (e *engine) callersOf(name string) (callers []string, selfEdge bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for c := range e.callers[name] {
-		callers = append(callers, c)
-	}
-	return callers, e.callers[name][name]
-}
-
-// analyzer is the per-worker view of an engine: the procedure currently
-// being analyzed plus the recording/muting flags. Workers never share an
-// analyzer value.
+// analyzer is the per-worker view of an engine: the work item currently
+// being analyzed plus the staging/recording/muting state. Workers never
+// share an analyzer value.
 type analyzer struct {
 	eng *engine
-	// recording enables Before/After capture (final pass only).
+	// st, when non-nil, receives this item's writes (call entries, exit,
+	// mod-ref flags) instead of mutating summaries — the in-round fixpoint
+	// mode; the engine applies the buffer at the round barrier.
+	st *stagedUpdates
+	// recording enables Before/After capture (final pass only). A
+	// recording analyzer resolves call contexts read-only and never
+	// mutates summaries.
 	recording bool
+	// onCall, when set on a recording analyzer, receives the (procedure,
+	// context) binding of every call site — the recording pass uses it to
+	// close over the reachable bindings.
+	onCall func(item)
 	// sink, when non-nil, receives before-matrices instead of info.Before
 	// (used by Replay).
 	sink map[ast.Stmt]*matrix.Matrix
 	// mute suppresses diagnostics (replays re-traverse analyzed code).
 	mute bool
 	// cur is the procedure under analysis; curSum caches its summary so the
-	// per-statement transfer path does not take the engine lock.
-	cur    *ast.ProcDecl
-	curSum *Summary
+	// per-statement transfer path does not take the engine lock; curItem is
+	// the work item, recorded as the dependent of every call it makes.
+	cur     *ast.ProcDecl
+	curSum  *Summary
+	curItem item
 }
 
 // currentSummary returns the summary of the procedure under analysis.
@@ -556,24 +751,6 @@ func (in *Info) Replay(procName string, p0 *matrix.Matrix, seq []ast.Stmt) (map[
 		m = a.stmt(m, s)
 	}
 	return a.sink, m
-}
-
-func (e *engine) analysisOrder() []string {
-	e.mu.Lock()
-	names := make([]string, 0, len(e.info.Summaries))
-	for n := range e.info.Summaries {
-		names = append(names, n)
-	}
-	e.mu.Unlock()
-	sort.Strings(names)
-	return names
-}
-
-func (a *analyzer) enqueue(name string) {
-	if a.recording {
-		return // the final recording pass must not perturb the fixpoint
-	}
-	a.eng.enqueue(name)
 }
 
 func (a *analyzer) diag(pos token.Pos, level, msg string) {
@@ -636,15 +813,19 @@ func entryForMain(main *ast.ProcDecl, opts Options) *matrix.Matrix {
 	return m
 }
 
-// reanalyze runs one pass over a procedure body from its current entry.
-func (a *analyzer) reanalyze(name string) {
-	s := a.eng.summary(name)
+// reanalyze runs one pass over a procedure body from one context's entry.
+// In fixpoint mode (a.st != nil) the computed exit projection is staged
+// for the round barrier; in recording mode the pass is read-only
+// (Before/After and diagnostics aside).
+func (a *analyzer) reanalyze(it item) {
+	s := a.eng.summary(it.name)
 	if s == nil {
 		return
 	}
 	a.cur = s.Proc
 	a.curSum = s
-	m := s.snapshotEntry().Copy()
+	a.curItem = it
+	m := s.ctxEntry(it.ctx).Copy()
 	// Locals start definitely nil — unless the entry matrix already binds
 	// them (main's external roots).
 	for _, v := range s.Proc.Locals {
@@ -652,65 +833,28 @@ func (a *analyzer) reanalyze(name string) {
 			m.Add(matrix.Handle(v.Name), matrix.Attr{Nil: matrix.DefNil, Indeg: matrix.Root})
 		}
 	}
-	if a.recording {
-		clearRecords(a.eng.info, s.Proc)
-	}
 	exit := a.stmt(m, s.Proc.Body)
-	changed := false
-	if exit != nil {
-		// Project onto the caller-visible handles.
-		keep := make([]matrix.Handle, 0, 8)
-		for _, h := range exit.Handles() {
-			if h.IsSymbolic() {
-				keep = append(keep, h)
-			}
-		}
-		for _, v := range s.Proc.Params {
-			if v.Type == ast.HandleT {
-				keep = append(keep, matrix.Handle(v.Name))
-			}
-		}
-		if s.Proc.IsFunction() {
-			keep = append(keep, matrix.Handle(s.Proc.ReturnVar))
-		}
-		proj := exit.Project(keep)
-		proj.Widen(a.eng.opts.Limits)
-		changed = s.updateExit(proj, a.eng.opts.Limits)
+	if a.st == nil || exit == nil {
+		return
 	}
-	if changed {
-		callers, selfEdge := a.eng.callersOf(name)
-		for _, caller := range callers {
-			a.enqueue(caller)
-		}
-		// Self-recursive procedures must also converge.
-		if selfEdge || a.selfCalls(s.Proc) {
-			a.enqueue(name)
+	// Project onto the caller-visible handles.
+	keep := make([]matrix.Handle, 0, 8)
+	for _, h := range exit.Handles() {
+		if h.IsSymbolic() {
+			keep = append(keep, h)
 		}
 	}
-}
-
-func (a *analyzer) selfCalls(d *ast.ProcDecl) bool {
-	found := false
-	walkStmts(d.Body, func(s ast.Stmt) {
-		switch s := s.(type) {
-		case *ast.CallStmt:
-			if s.Name == d.Name {
-				found = true
-			}
-		case *ast.Assign:
-			if c, ok := s.Rhs.(*ast.CallExpr); ok && c.Name == d.Name {
-				found = true
-			}
+	for _, v := range s.Proc.Params {
+		if v.Type == ast.HandleT {
+			keep = append(keep, matrix.Handle(v.Name))
 		}
-	})
-	return found
-}
-
-func clearRecords(in *Info, d *ast.ProcDecl) {
-	walkStmts(d.Body, func(s ast.Stmt) {
-		delete(in.Before, s)
-		delete(in.After, s)
-	})
+	}
+	if s.Proc.IsFunction() {
+		keep = append(keep, matrix.Handle(s.Proc.ReturnVar))
+	}
+	proj := exit.Project(keep)
+	proj.Widen(a.eng.opts.Limits)
+	a.st.exit = proj
 }
 
 // walkStmts visits every statement in a subtree.

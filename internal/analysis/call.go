@@ -23,10 +23,14 @@ import (
 //	            outer recursive invocations: the caller's own h*i and h**i
 //	            fold into the callee's h**i.
 //
-// Summaries are per-procedure: the entry matrix merges every call context
-// (exactly as the paper's pB "summarizes all possible relationships between
-// handles for the recursive calls of add_n"), and a worklist iterates until
-// entries, exits and mod-ref bits stabilize.
+// Summaries are per-procedure context tables (context.go): each distinct
+// entry matrix gets its own exit, so a call on a fresh tree is not polluted
+// by a call on aliased roots (the paper's single pB "summarizes all
+// possible relationships … for the recursive calls of add_n" — the merged
+// fallback context reproduces exactly that view). The round-based engine
+// (analysis.go) iterates (procedure, context) items until entries, exits
+// and mod-ref bits stabilize; mod-ref stays per-procedure, joined over
+// contexts.
 //
 // On return the caller maps the exit matrix back: relations among actuals
 // are replaced by the exit's h* relations; when the callee may update
@@ -61,29 +65,50 @@ func (a *analyzer) call(m *matrix.Matrix, name string, args []ast.Expr, dst *mat
 	if callee == nil {
 		return m
 	}
-	a.eng.addCaller(name, a.cur.Name)
 
-	// Handle actuals in handle-parameter order (normalization guarantees
-	// plain names).
+	// Handle actuals in handle-parameter order. Normalization produces
+	// plain names; a literal nil is also basic and binds the formal to no
+	// node at all (nilArg), not to an unknown handle.
 	hIdx := handleParams(callee)
 	actuals := make([]matrix.Handle, len(hIdx))
+	nilArg := make([]bool, len(hIdx))
 	for k, pi := range hIdx {
-		if v, okRef := args[pi].(*ast.VarRef); okRef {
+		switch v := args[pi].(type) {
+		case *ast.VarRef:
 			actuals[k] = matrix.Handle(v.Name)
+		case *ast.NilLit:
+			nilArg[k] = true
 		}
 	}
-	ent := a.buildEntry(m, callee, actuals)
-	sum, created := a.eng.summaryFor(callee, ent)
-	if created || sum.mergeEntry(ent, a.eng.opts.Limits) {
-		a.enqueue(name)
+	ent := a.buildEntry(m, callee, actuals, nilArg)
+	sum := a.eng.summaryFor(callee)
+	// Same-SCC calls (self or mutual recursion) bind the merged fallback
+	// context: recursion is summarized, as in the paper's pB (context.go).
+	recursive := a.eng.sameSCC(a.cur.Name, name)
+	var ctx *ProcContext
+	if a.st != nil {
+		// Fixpoint mode: resolve against the frozen table and stage the
+		// presentation; the round barrier admits/folds it and re-runs the
+		// affected items.
+		ctx = sum.resolveFrozen(ent, recursive)
+		a.st.entries = append(a.st.entries, stagedEntry{
+			callee: name, ent: ent, recursive: recursive, caller: a.curItem,
+		})
+	} else {
+		// Recording pass and Replay: read-only resolution against the
+		// converged tables.
+		ctx = sum.lookupContext(ent, recursive)
+		if ctx != nil && a.onCall != nil {
+			a.onCall(item{name, ctx})
+		}
 	}
 
-	// Propagate mod-ref through the call (snapshot the callee's bits once,
-	// so the view stays consistent while other workers refine them).
+	// Propagate mod-ref through the call (snapshot the callee's bits once;
+	// they are frozen for the duration of a round). Staged only: outside
+	// fixpoint mode the summaries are quiescent and must stay untouched.
 	mr := sum.modrefSnapshot()
-	cur := a.currentSummary()
-	if mr.modifiesLinks && cur != nil && cur.setModifiesLinks() {
-		a.bumpCallersOf(a.cur.Name)
+	if mr.modifiesLinks && a.st != nil {
+		a.st.modifiesLinks = true
 	}
 	for k, pi := range hIdx {
 		if actuals[k] == "" {
@@ -97,7 +122,10 @@ func (a *analyzer) call(m *matrix.Matrix, name string, args []ast.Expr, dst *mat
 		}
 	}
 
-	E := sum.snapshotExit()
+	var E *matrix.Matrix
+	if ctx != nil {
+		E = sum.ctxExit(ctx)
+	}
 	if E == nil {
 		return nil // bottom: callee never returns in the current approximation
 	}
@@ -107,7 +135,7 @@ func (a *analyzer) call(m *matrix.Matrix, name string, args []ast.Expr, dst *mat
 }
 
 // buildEntry constructs the callee entry matrix from the caller's matrix.
-func (a *analyzer) buildEntry(m *matrix.Matrix, callee *ast.ProcDecl, actuals []matrix.Handle) *matrix.Matrix {
+func (a *analyzer) buildEntry(m *matrix.Matrix, callee *ast.ProcDecl, actuals []matrix.Handle, nilArg []bool) *matrix.Matrix {
 	ent := matrix.New()
 	ent.ResetShape(m.Shape())
 	hIdx := handleParams(callee)
@@ -116,6 +144,13 @@ func (a *analyzer) buildEntry(m *matrix.Matrix, callee *ast.ProcDecl, actuals []
 		formals[k] = matrix.Handle(callee.Params[pi].Name)
 	}
 	attrOf := func(k int) matrix.Attr {
+		if nilArg[k] {
+			// A literal nil actual binds the formal (and h*k) to no node:
+			// definitely nil with root indegree and no relations — not to
+			// an unknown handle, which would drown the callee in
+			// possible-nil, unknown-indegree noise.
+			return matrix.Attr{Nil: matrix.DefNil, Indeg: matrix.Root}
+		}
 		if actuals[k] == "" || !m.Has(actuals[k]) {
 			return matrix.Attr{Nil: matrix.MaybeNil, Indeg: matrix.UnknownDeg}
 		}

@@ -16,7 +16,9 @@ import (
 )
 
 // fingerprint reduces an Info to a deterministic string covering every
-// output the rest of the pipeline consumes.
+// output the rest of the pipeline consumes, including every live context
+// of every summary (Contexts() orders them by entry fingerprint, which is
+// content-based and schedule-independent within one Space epoch).
 func fingerprint(t *testing.T, info *Info) string {
 	out := fmt.Sprintf("shape=%s exit=%s\n", info.Shape(), info.ExitShape())
 	for _, d := range info.DiagStrings() {
@@ -26,11 +28,17 @@ func fingerprint(t *testing.T, info *Info) string {
 		s := info.Summaries[name]
 		out += fmt.Sprintf("proc %s mod=%v upd=%v link=%v attach=%v\n",
 			name, s.ModifiesLinks, s.UpdateParams, s.LinkParams, s.AttachesParams)
-		out += "entry " + s.Entry.Fingerprint().String() + "\n"
-		if s.Exit != nil {
-			out += "exit " + s.Exit.Fingerprint().String() + "\n"
-		} else {
-			out += "exit bottom\n"
+		for _, c := range s.Contexts() {
+			tag := "ctx"
+			if c.IsMerged() {
+				tag = "merged-ctx"
+			}
+			out += tag + " entry " + c.Entry().Fingerprint().String() + "\n"
+			if c.Exit() != nil {
+				out += tag + " exit " + c.Exit().Fingerprint().String() + "\n"
+			} else {
+				out += tag + " exit bottom\n"
+			}
 		}
 	}
 	return out
@@ -45,13 +53,13 @@ func sortedSummaryNames(info *Info) []string {
 	return names
 }
 
-func analyzeWith(t *testing.T, src string, roots []string, workers int) string {
+func analyzeWith(t *testing.T, src string, roots []string, workers, maxContexts int) string {
 	t.Helper()
 	prog, err := progs.Compile(src)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	info, err := Analyze(prog, Options{Workers: workers, ExternalRoots: roots})
+	info, err := Analyze(prog, Options{Workers: workers, ExternalRoots: roots, MaxContexts: maxContexts})
 	if err != nil {
 		t.Fatalf("analyze (workers=%d): %v", workers, err)
 	}
@@ -59,8 +67,9 @@ func analyzeWith(t *testing.T, src string, roots []string, workers int) string {
 }
 
 // TestConcurrentFixpointEquivalence analyzes the whole corpus — plus a
-// batch of random programs — with one worker and with many, and requires
-// bit-identical results.
+// batch of random programs — with one worker and with many, in both
+// summary modes (context-sensitive and merged), and requires bit-identical
+// results.
 func TestConcurrentFixpointEquivalence(t *testing.T) {
 	type target struct {
 		name, src string
@@ -75,17 +84,27 @@ func TestConcurrentFixpointEquivalence(t *testing.T) {
 			fmt.Sprintf("random-%d", seed), progs.RandomProgram(seed), nil,
 		})
 	}
-	for _, tgt := range targets {
-		tgt := tgt
-		t.Run(tgt.name, func(t *testing.T) {
-			ref := analyzeWith(t, tgt.src, tgt.roots, 1)
-			for _, workers := range []int{2, 8} {
-				if got := analyzeWith(t, tgt.src, tgt.roots, workers); got != ref {
-					t.Errorf("workers=%d diverged from sequential:\n--- sequential\n%s--- workers=%d\n%s",
-						workers, ref, workers, got)
+	modes := []struct {
+		name        string
+		maxContexts int
+	}{
+		{"ctx", 0},     // default context-sensitive summaries
+		{"merged", -1}, // single merged summary per procedure
+	}
+	for _, mode := range modes {
+		mode := mode
+		for _, tgt := range targets {
+			tgt := tgt
+			t.Run(mode.name+"/"+tgt.name, func(t *testing.T) {
+				ref := analyzeWith(t, tgt.src, tgt.roots, 1, mode.maxContexts)
+				for _, workers := range []int{2, 8} {
+					if got := analyzeWith(t, tgt.src, tgt.roots, workers, mode.maxContexts); got != ref {
+						t.Errorf("workers=%d diverged from sequential:\n--- sequential\n%s--- workers=%d\n%s",
+							workers, ref, workers, got)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -1,0 +1,435 @@
+package analysis
+
+// Context-sensitive procedure summaries. The paper's §5.2 keeps ONE entry
+// matrix per procedure (pB merges "all possible relationships … for the
+// recursive calls of add_n"), which over-approximates as soon as a
+// procedure is called from dissimilar contexts: a call on a fresh,
+// unrelated tree inherits the aliasing of a call on overlapping external
+// roots. This file replaces the merged pair with a per-context table —
+// each distinct call context, keyed by its entry-matrix fingerprint
+// (structural Equal fallback on collision), maps to the exit computed from
+// exactly that entry.
+//
+// The table is bounded by Options.MaxContexts with an LRU-with-merge-
+// fallback policy (blind truncation — the old entryMemo clear-on-growth
+// hack — discards exactly the hot contexts a high-fan-in fixpoint keeps
+// re-presenting; recency keeps them): beyond the cap the least recently
+// used context is evicted into a merged widened fallback context whose
+// entry joins every context ever presented, so precision degrades
+// gracefully to the paper's single-summary behavior instead of failing.
+// An evicted fingerprint is remembered and redirected to the fallback
+// forever after — re-admitting it would let a >cap working set recreate
+// and evict contexts in a cycle and the fixpoint would never drain.
+//
+// Calls whose caller and callee share a call-graph SCC (self or mutual
+// recursion) always bind the merged fallback: inside a recursive cycle the
+// stacked-handle relations (h**k) generate an unbounded family of pairwise
+// incomparable entries (L1?, R1L1?, L1R1L2?, …), so keying recursion by
+// exact entry would enumerate that family instead of converging — the
+// fallback joins them exactly the way the paper's pB "summarizes all
+// possible relationships … for the recursive calls of add_n". Context
+// sensitivity therefore distinguishes how a procedure is REACHED (fresh
+// tree vs aliased roots), not its recursion depth.
+//
+// The merged fallback is otherwise created lazily, on the second distinct
+// context: single-context procedures (the common case) pay nothing for the
+// table. Once it exists it absorbs every presented entry, which keeps it a
+// sound stand-in for any context the procedure has seen — Replay and the
+// recording pass fall back to it when an entry has no exact match.
+
+import (
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/path"
+)
+
+// DefaultMaxContexts is the per-procedure context-table cap used when
+// Options.MaxContexts is zero.
+const DefaultMaxContexts = 16
+
+// mergedMemoCap bounds how many no-op entries the merged fallback's
+// fold memo retains (cleared whenever the merged entry grows).
+const mergedMemoCap = 64
+
+// ProcContext is one call context of a procedure: an entry matrix over the
+// formals and symbolic handles (h*i, h**i) paired with the exit computed
+// from exactly that entry. The merged fallback context (IsMerged) is the
+// join of every context presented to the procedure — the paper's original
+// single-summary view. During the fixpoint every field is guarded by the
+// owning Summary's lock; after Analyze returns, contexts are quiescent and
+// may be read directly.
+type ProcContext struct {
+	// entry is immutable for exact contexts; the merged fallback replaces
+	// it (with a fresh matrix) as more contexts fold in.
+	entry *matrix.Matrix
+	// exit is the matrix at procedure exit projected onto the
+	// caller-visible handles; nil means bottom (no terminating path
+	// analyzed from this entry yet).
+	exit *matrix.Matrix
+	// merged marks the widened fallback context.
+	merged bool
+	// seq is the context's creation sequence number within its summary —
+	// contexts are only created at round barriers, so seq is deterministic
+	// and serves as the canonical work-list tiebreaker.
+	seq int
+	// dropped marks contexts evicted from the table (or pruned); pending
+	// work items for them are discarded.
+	dropped bool
+}
+
+// Entry returns the context's entry matrix. Callers outside the analysis
+// fixpoint (tests, tools) may use it freely once Analyze has returned.
+func (c *ProcContext) Entry() *matrix.Matrix { return c.entry }
+
+// Exit returns the context's exit matrix, nil while bottom.
+func (c *ProcContext) Exit() *matrix.Matrix { return c.exit }
+
+// IsMerged reports whether this is the merged fallback context.
+func (c *ProcContext) IsMerged() bool { return c.merged }
+
+// ctxLookup is the result of binding one call site to a context.
+type ctxLookup struct {
+	// ctx is the binding for this call site.
+	ctx *ProcContext
+	// analyze lists contexts that need (re-)analysis: a freshly admitted
+	// exact context, and/or the merged fallback when its entry grew.
+	analyze []*ProcContext
+	// evicted is the exact context this lookup pushed into the fallback,
+	// if any; its dependents must be re-enqueued to rebind.
+	evicted *ProcContext
+}
+
+// contextFor binds a call entry to a context, admitting it into the table
+// if it is new. recursive marks a same-SCC call, which always binds the
+// merged fallback (see the package comment above). The caller must not
+// mutate ent afterwards (call sites build a fresh entry per call, so this
+// holds).
+func (s *Summary) contextFor(ent *matrix.Matrix, lim path.Limits, recursive bool) ctxLookup {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp := ent.Fingerprint()
+	if !recursive {
+		// Exact hit: the entry was folded into the fallback (if any) when
+		// it was admitted, so nothing else to do.
+		for _, c := range s.contexts[fp] {
+			if c.entry.Equal(ent) {
+				s.touchLocked(c)
+				return ctxLookup{ctx: c}
+			}
+		}
+	}
+	var lk ctxLookup
+	if !recursive && s.maxContexts > 0 && !s.evicted[fp] {
+		c := &ProcContext{entry: ent, seq: s.nextSeq()}
+		if s.contexts == nil {
+			s.contexts = make(map[matrix.Fp][]*ProcContext)
+		}
+		s.contexts[fp] = append(s.contexts[fp], c)
+		s.lru = append(s.lru, c)
+		lk.ctx = c
+		lk.analyze = append(lk.analyze, c)
+		if len(s.lru) > 1 || s.merged != nil {
+			// Second distinct context: the fallback starts existing (or
+			// keeps absorbing).
+			if s.foldMergedLocked(ent, lim) {
+				lk.analyze = append(lk.analyze, s.merged)
+			}
+		}
+		if len(s.lru) > s.maxContexts {
+			victim := s.lru[0]
+			s.lru = s.lru[1:]
+			s.dropContextLocked(victim)
+			s.evictions++
+			lk.evicted = victim
+		}
+		return lk
+	}
+	// Recursive call, context sensitivity off, or the fingerprint was
+	// evicted: fold into the merged fallback.
+	if s.foldMergedLocked(ent, lim) {
+		lk.analyze = append(lk.analyze, s.merged)
+	}
+	lk.ctx = s.merged
+	return lk
+}
+
+// touchLocked marks an exact context as recently used.
+func (s *Summary) touchLocked(c *ProcContext) {
+	if c.merged {
+		return
+	}
+	for i, o := range s.lru {
+		if o == c {
+			s.lru = append(append(s.lru[:i:i], s.lru[i+1:]...), c)
+			return
+		}
+	}
+}
+
+// dropContextLocked removes an exact context from the fingerprint buckets
+// and remembers its fingerprint as evicted. Its entry is already part of
+// the fallback (folded at admission), so eviction is a pure cache drop.
+func (s *Summary) dropContextLocked(victim *ProcContext) {
+	fp := victim.entry.Fingerprint()
+	bucket := s.contexts[fp]
+	for i, c := range bucket {
+		if c == victim {
+			s.contexts[fp] = append(bucket[:i:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(s.contexts[fp]) == 0 {
+		delete(s.contexts, fp)
+	}
+	if s.evicted == nil {
+		s.evicted = make(map[matrix.Fp]bool)
+	}
+	s.evicted[fp] = true
+	victim.dropped = true
+}
+
+// foldMergedLocked joins one entry into the merged fallback, creating it
+// (seeded with every exact entry admitted so far) on first use. Reports
+// whether the fallback's entry grew. Entries already known to be no-ops
+// (by fingerprint, with a structural fallback) return immediately: at and
+// near the fixpoint every call site re-presents the same context on every
+// pass, and the memo turns those passes allocation-free.
+func (s *Summary) foldMergedLocked(ent *matrix.Matrix, lim path.Limits) (grew bool) {
+	if s.merged == nil {
+		seed := ent
+		for _, c := range s.lru {
+			if c.entry == ent {
+				continue
+			}
+			seed = seed.Merge(c.entry)
+		}
+		if seed != ent {
+			seed.Widen(lim)
+		}
+		s.merged = &ProcContext{entry: seed, merged: true, seq: s.nextSeq()}
+		return true
+	}
+	fp := ent.Fingerprint()
+	for _, seen := range s.mergedMemo[fp] {
+		if seen.Equal(ent) {
+			return false
+		}
+	}
+	next := s.merged.entry.Merge(ent)
+	next.Widen(lim)
+	if next.Equal(s.merged.entry) {
+		if s.mergedMemoN < mergedMemoCap {
+			if s.mergedMemo == nil {
+				s.mergedMemo = make(map[matrix.Fp][]*matrix.Matrix)
+			}
+			s.mergedMemo[fp] = append(s.mergedMemo[fp], ent)
+			s.mergedMemoN++
+		}
+		return false
+	}
+	s.merged.entry = next
+	s.mergedMemo = nil
+	s.mergedMemoN = 0
+	return true
+}
+
+// lookupContext resolves an entry without mutating the table — the
+// read-only binding used by the recording pass and Replay, applying the
+// same rules as contextFor: recursive calls bind the fallback, others
+// match exactly first; for a single-context procedure (no fallback yet)
+// that one context stands in.
+func (s *Summary) lookupContext(ent *matrix.Matrix, recursive bool) *ProcContext {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !recursive {
+		for _, c := range s.contexts[ent.Fingerprint()] {
+			if c.entry.Equal(ent) {
+				return c
+			}
+		}
+	}
+	if s.merged != nil {
+		return s.merged
+	}
+	if len(s.lru) == 1 {
+		return s.lru[0]
+	}
+	return nil
+}
+
+// resolveFrozen resolves a call entry against the frozen table during a
+// fixpoint round, without mutating anything: an exact match binds it; a
+// recursive call or an evicted fingerprint binds the merged fallback; a
+// genuinely new entry binds nothing (bottom) until the round barrier
+// admits it.
+func (s *Summary) resolveFrozen(ent *matrix.Matrix, recursive bool) *ProcContext {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp := ent.Fingerprint()
+	if !recursive {
+		for _, c := range s.contexts[fp] {
+			if c.entry.Equal(ent) {
+				return c
+			}
+		}
+		if s.maxContexts > 0 && !s.evicted[fp] {
+			return nil // admitted (with a bottom exit) at the barrier
+		}
+	}
+	return s.merged // may be nil: folded in at the barrier
+}
+
+// nextSeq issues the next context creation sequence number (caller holds
+// s.mu).
+func (s *Summary) nextSeq() int {
+	s.seqCounter++
+	return s.seqCounter
+}
+
+// applyModref ORs one item's staged mod-ref flags into the summary,
+// reporting whether any bit was news. Called at round barriers.
+func (s *Summary) applyModref(st *stagedUpdates) (changed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.modifiesLinks && !s.ModifiesLinks {
+		s.ModifiesLinks = true
+		changed = true
+	}
+	apply := func(dst []bool, flags map[int]bool) {
+		for pos := range flags {
+			if pos < len(dst) && !dst[pos] {
+				dst[pos] = true
+				changed = true
+			}
+		}
+	}
+	apply(s.UpdateParams, st.modUpdate)
+	apply(s.LinkParams, st.modLink)
+	apply(s.AttachesParams, st.modAttach)
+	return changed
+}
+
+// ctxEntry snapshots a context's entry matrix pointer (immutable value).
+func (s *Summary) ctxEntry(c *ProcContext) *matrix.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.entry
+}
+
+// ctxExit snapshots a context's exit matrix pointer (nil while bottom).
+func (s *Summary) ctxExit(c *ProcContext) *matrix.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.exit
+}
+
+// updateCtxExit folds a freshly computed exit projection into the context,
+// reporting whether the exit changed.
+func (s *Summary) updateCtxExit(c *ProcContext, proj *matrix.Matrix, lim path.Limits) (changed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.exit != nil && c.exit.Equal(proj) {
+		return false
+	}
+	if c.exit != nil {
+		next := c.exit.Merge(proj)
+		next.Widen(lim)
+		if c.exit.Equal(next) {
+			return false
+		}
+		proj = next
+	}
+	c.exit = proj
+	return true
+}
+
+// pruneContexts drops exact contexts the converged program does not bind
+// (transient fixpoint states); the survivors are exactly what Contexts()
+// returns afterwards. The merged fallback always survives: Replay needs
+// it as the sound stand-in for entries outside the table.
+func (s *Summary) pruneContexts(live map[*ProcContext]bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.lru[:0]
+	for _, c := range s.lru {
+		if live[c] {
+			kept = append(kept, c)
+		} else {
+			s.dropContextLocked(c)
+		}
+	}
+	s.lru = kept
+}
+
+// Contexts returns the summary's contexts in a deterministic order: exact
+// contexts sorted by entry fingerprint, then the merged fallback (if any).
+// After Analyze returns only live exact contexts remain.
+func (s *Summary) Contexts() []*ProcContext {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]*ProcContext(nil), s.lru...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].entry.Fingerprint(), out[j].entry.Fingerprint()
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		return a.Lo < b.Lo
+	})
+	if s.merged != nil {
+		out = append(out, s.merged)
+	}
+	return out
+}
+
+// MergedEntry returns the context-insensitive entry view: the merged
+// fallback's entry, or the single context's entry when no fallback exists
+// (what the pre-context-table Summary.Entry field held). Nil for a
+// procedure never called.
+func (s *Summary) MergedEntry() *matrix.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.merged != nil {
+		return s.merged.entry
+	}
+	if len(s.lru) == 1 {
+		return s.lru[0].entry
+	}
+	return nil
+}
+
+// MergedExit returns the context-insensitive exit view (nil while bottom),
+// symmetric to MergedEntry.
+func (s *Summary) MergedExit() *matrix.Matrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.merged != nil {
+		return s.merged.exit
+	}
+	if len(s.lru) == 1 {
+		return s.lru[0].exit
+	}
+	return nil
+}
+
+// ContextStats reports the table's post-run shape: live exact contexts,
+// whether the merged fallback exists, and how many evictions occurred.
+func (s *Summary) ContextStats() (exact int, hasMerged bool, evictions int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lru), s.merged != nil, s.evictions
+}
+
+// ContextTableStats sums the per-summary context-table statistics over the
+// whole analysis (reporting hook for silbench).
+func (in *Info) ContextTableStats() (exact, mergedProcs, evictions int) {
+	for _, s := range in.Summaries {
+		e, m, ev := s.ContextStats()
+		exact += e
+		if m {
+			mergedProcs++
+		}
+		evictions += ev
+	}
+	return exact, mergedProcs, evictions
+}

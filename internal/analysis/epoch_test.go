@@ -68,12 +68,25 @@ func epochSnapshot(t *testing.T, src string, roots []string, workers int) string
 		s := info.Summaries[name]
 		fmt.Fprintf(&b, "proc %s mod=%v upd=%v link=%v attach=%v\n",
 			name, s.ModifiesLinks, s.UpdateParams, s.LinkParams, s.AttachesParams)
-		b.WriteString("entry\n" + canonicalMatrix(s.Entry))
-		if s.Exit != nil {
-			b.WriteString("exit\n" + canonicalMatrix(s.Exit))
-		} else {
-			b.WriteString("exit bottom\n")
+		// Contexts() orders by entry fingerprint, which is NOT comparable
+		// across epochs; render every context canonically and sort the
+		// renderings instead.
+		var ctxs []string
+		for _, c := range s.Contexts() {
+			r := "context"
+			if c.IsMerged() {
+				r = "merged-context"
+			}
+			r += "\nentry\n" + canonicalMatrix(c.Entry())
+			if c.Exit() != nil {
+				r += "exit\n" + canonicalMatrix(c.Exit())
+			} else {
+				r += "exit bottom\n"
+			}
+			ctxs = append(ctxs, r)
 		}
+		sort.Strings(ctxs)
+		b.WriteString(strings.Join(ctxs, ""))
 	}
 	return b.String()
 }

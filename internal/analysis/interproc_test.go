@@ -67,7 +67,7 @@ func TestMutualRecursionConverges(t *testing.T) {
 		if sum.ModifiesLinks {
 			t.Errorf("%s modifies no links", name)
 		}
-		if sum.Exit == nil {
+		if sum.MergedExit() == nil {
 			t.Errorf("%s has no exit matrix", name)
 		}
 	}

@@ -60,18 +60,42 @@ func refineComparison(m *matrix.Matrix, x, y ast.Expr, equal bool) *matrix.Matri
 		if !m.Has(hx) || !m.Has(hy) {
 			return m // int comparison, or unknown handles
 		}
+		nx, ny := m.Attr(hx).Nil, m.Attr(hy).Nil
 		if equal {
-			// Same node: each side gains a definite S to the other.
-			if m.Attr(hx).Nil != matrix.DefNil && m.Attr(hy).Nil != matrix.DefNil {
+			// h = g: nil-ness flows across the equality. A definitely-nil
+			// side forces the other nil too (its relations vanish); a
+			// definitely-non-nil side forces the other non-nil.
+			switch {
+			case nx == matrix.DefNil && ny == matrix.DefNil:
+				// Both already nil: nothing new.
+			case nx == matrix.DefNil:
+				return refineNil(m, hy, true)
+			case ny == matrix.DefNil:
+				return refineNil(m, hx, true)
+			default:
+				// Same node: each side gains a definite S to the other.
 				m.AddPaths(hx, hy, path.NewSet(path.Same()))
 				m.AddPaths(hy, hx, path.NewSet(path.Same()))
+				if nx == matrix.NonNil && ny != matrix.NonNil {
+					m = refineNil(m, hy, false)
+				} else if ny == matrix.NonNil && nx != matrix.NonNil {
+					m = refineNil(m, hx, false)
+				}
 			}
 			return m
 		}
-		// Known different nodes: drop S members.
+		// h <> g: known different nodes, drop S members.
 		notSame := func(p path.Path) bool { return !p.IsSame() }
 		m.Put(hx, hy, m.Get(hx, hy).Filter(notSame))
 		m.Put(hy, hx, m.Get(hy, hx).Filter(notSame))
+		// A definitely-nil side forces the other non-nil: h <> g with h =
+		// nil means g holds a node. (Both sides nil makes the branch dead;
+		// no refinement is sound or needed there.)
+		if nx == matrix.DefNil && ny != matrix.DefNil {
+			m = refineNil(m, hy, false)
+		} else if ny == matrix.DefNil && nx != matrix.DefNil {
+			m = refineNil(m, hx, false)
+		}
 		return m
 	}
 	return m

@@ -67,6 +67,20 @@ func coveredBy(entry path.Set, w string) bool {
 }
 
 func TestAnalysisCoversConcreteRelationships(t *testing.T) {
+	// Both summary modes must cover the concrete executions: the default
+	// context-sensitive table and the merged (context-insensitive) mode.
+	for _, mode := range []struct {
+		name        string
+		maxContexts int
+	}{{"ctx", 0}, {"merged", -1}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			coverSoundness(t, mode.maxContexts)
+		})
+	}
+}
+
+func coverSoundness(t *testing.T, maxContexts int) {
 	// The scheduled CI soundness job widens the random-program budget via
 	// SIL_QUICK_SCALE; per-PR runs keep the fast default.
 	trials := 250
@@ -81,7 +95,7 @@ func TestAnalysisCoversConcreteRelationships(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: compile: %v", seed, err)
 		}
-		info, err := Analyze(prog, Options{})
+		info, err := Analyze(prog, Options{MaxContexts: maxContexts})
 		if err != nil {
 			t.Fatalf("seed %d: analyze: %v", seed, err)
 		}

@@ -39,19 +39,19 @@ func fieldName(f path.Dir) string {
 
 // markWrite records that the current procedure writes through handle a
 // (mod-ref analysis of §5.2): every handle parameter whose original node
-// (h*k) may reach a is an update parameter.
+// (h*k) may reach a is an update parameter. The flags are only ever
+// staged for a round barrier — outside fixpoint mode (the recording pass,
+// Replay) this is a no-op: the bits are already maximal at the fixpoint,
+// and Replay in particular walks states the fixpoint never did (e.g. one
+// branch of a candidate parallel pair in isolation), so applying its
+// observations would corrupt the quiescent summaries.
 func (a *analyzer) markWrite(m *matrix.Matrix, target matrix.Handle, link bool) {
 	sum := a.currentSummary()
-	if sum == nil {
+	if sum == nil || a.st == nil {
 		return
 	}
-	// Flag updates happen under the summary lock; the (idempotent) caller
-	// re-enqueue is deferred past the unlock to keep lock order engine-free.
-	bump := false
-	sum.mu.Lock()
-	if link && !sum.ModifiesLinks {
-		sum.ModifiesLinks = true
-		bump = true
+	if link {
+		a.st.modifiesLinks = true
 	}
 	for symIdx, paramPos := range sum.HandleParamIdx {
 		h := matrix.Symbolic(symIdx + 1)
@@ -61,56 +61,31 @@ func (a *analyzer) markWrite(m *matrix.Matrix, target matrix.Handle, link bool) 
 			h = matrix.Handle(a.cur.Params[paramPos].Name)
 		}
 		if h == target || !m.Get(h, target).IsEmpty() || m.MayAlias(h, target) {
-			if !sum.UpdateParams[paramPos] {
-				sum.UpdateParams[paramPos] = true
-				bump = true
-			}
-			if link && !sum.LinkParams[paramPos] {
-				sum.LinkParams[paramPos] = true
-				bump = true
+			a.st.modUpdate = a.st.flagParam(a.st.modUpdate, paramPos)
+			if link {
+				a.st.modLink = a.st.flagParam(a.st.modLink, paramPos)
 			}
 		}
-	}
-	sum.mu.Unlock()
-	if bump {
-		a.bumpCallersOf(a.cur.Name)
 	}
 }
 
 // markAttach records that the current procedure may give the node of some
 // handle parameter a new parent (the argument appears as the right side of
-// a structure update).
+// a structure update). Staged only, like markWrite.
 func (a *analyzer) markAttach(m *matrix.Matrix, src matrix.Handle) {
 	sum := a.currentSummary()
-	if sum == nil {
+	if sum == nil || a.st == nil {
 		return
 	}
-	bump := false
-	sum.mu.Lock()
 	for symIdx, paramPos := range sum.HandleParamIdx {
 		h := matrix.Symbolic(symIdx + 1)
 		if !m.Has(h) {
 			h = matrix.Handle(a.cur.Params[paramPos].Name)
 		}
 		if h == src || m.MayAlias(h, src) {
-			if !sum.AttachesParams[paramPos] {
-				sum.AttachesParams[paramPos] = true
-				bump = true
-			}
+			a.st.modAttach = a.st.flagParam(a.st.modAttach, paramPos)
 		}
 	}
-	sum.mu.Unlock()
-	if bump {
-		a.bumpCallersOf(a.cur.Name)
-	}
-}
-
-func (a *analyzer) bumpCallersOf(name string) {
-	callers, _ := a.eng.callersOf(name)
-	for _, caller := range callers {
-		a.enqueue(caller)
-	}
-	a.enqueue(name)
 }
 
 // checkDeref emits nil-dereference diagnostics for reading or writing

@@ -137,3 +137,29 @@ end;
 		t.Errorf("bounded: %+v", bounded.Stats)
 	}
 }
+
+// TestCtxPairFusesUnderContextSensitivity: in the ctxpair corpus program
+// the fresh pair's value writes fuse only when the analysis keeps the two
+// bump contexts apart — the merged summary re-imports the aliased-roots
+// relation and blocks the fusion.
+func TestCtxPairFusesUnderContextSensitivity(t *testing.T) {
+	prog, err := progs.Compile(progs.CtxPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(maxContexts int) string {
+		info, err := analysis.Analyze(prog, analysis.Options{
+			ExternalRoots: []string{"ra", "rb"}, MaxContexts: maxContexts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return printer.Print(Parallelize(info, DefaultOptions).Prog)
+	}
+	if text := run(0); !strings.Contains(text, "x.value := 1 || y.value := 2") {
+		t.Errorf("context-sensitive mode should fuse the fresh pair's writes:\n%s", text)
+	}
+	if text := run(-1); strings.Contains(text, "x.value := 1 || y.value := 2") {
+		t.Errorf("merged mode must not fuse (x and y possibly aliased there):\n%s", text)
+	}
+}

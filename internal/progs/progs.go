@@ -303,6 +303,36 @@ begin
 end;
 `
 
+// CtxPair is the context-sensitivity showcase: bump is called once on two
+// externally built roots (which the environment may have aliased) and once
+// on two fresh, provably unrelated nodes. A merged (context-insensitive)
+// summary joins both entries, so bump's exit re-imports the aliased
+// context's S?/D+? relation between its h* argument nodes into the fresh
+// call — x and y end up spuriously related and their value writes cannot
+// fuse. Context-sensitive summaries keep the two entry fingerprints apart:
+// in the fresh context x and y stay unrelated, a strictly more precise
+// result.
+const CtxPair = `
+program ctxpair
+procedure main()
+  ra, rb, x, y: handle
+begin
+  bump(ra, rb);
+  x := new();
+  y := new();
+  bump(x, y);
+  x.value := 1;
+  y.value := 2
+end;
+procedure bump(a, b: handle)
+begin
+  if a <> nil then
+    a.left := nil;
+  if b <> nil then
+    b.value := 0
+end;
+`
+
 // Entry describes one corpus program.
 type Entry struct {
 	Name   string
@@ -327,6 +357,7 @@ var Catalog = []Entry{
 	{"leftmost", LeftmostMax, true, []string{"root"}, "Figure 3's spine walk as a workload"},
 	{"listinc", ListIncrement, true, []string{"cur"}, "linear list walk — no parallelism (negative control)"},
 	{"dagdemo", TreeDagDemo, false, nil, "DAG and cycle creation for structure verification"},
+	{"ctxpair", CtxPair, false, []string{"ra", "rb"}, "context-sensitivity demo: aliased-roots call vs fresh-pair call"},
 }
 
 // Compile parses, checks and normalizes a corpus source.

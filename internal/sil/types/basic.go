@@ -14,7 +14,7 @@ import (
 //   - scalar assignments write a variable or a.value and their right side
 //     contains no calls and no chained selectors;
 //   - call arguments are int expressions without calls, or plain handle
-//     variable names;
+//     variable names (or the literal nil);
 //   - conditions contain no calls and no chained selectors.
 //
 // It returns nil when the program is basic. Run Normalize first for
@@ -69,8 +69,12 @@ func basicArgs(prog *ast.Program, name string, args []ast.Expr) error {
 	callee := prog.Proc(name)
 	for i, a := range args {
 		if callee != nil && i < len(callee.Params) && callee.Params[i].Type == ast.HandleT {
-			if _, ok := a.(*ast.VarRef); !ok {
-				return fmt.Errorf("%s: handle argument %d of %s is not a plain name", a.Pos(), i+1, name)
+			// A plain name, or a literal nil — the analyzer binds a nil
+			// actual to a definitely-nil formal directly.
+			switch a.(type) {
+			case *ast.VarRef, *ast.NilLit:
+			default:
+				return fmt.Errorf("%s: handle argument %d of %s is not a plain name or nil", a.Pos(), i+1, name)
 			}
 			continue
 		}
