@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	silbench [-out BENCH_analysis.json] [-iters 25] [-workers 0] [-min-ms 200]
-//	         [-ctx 0] [-reset] [-baseline FILE] [-max-regress 0.15]
+//	silbench [-out BENCH_analysis.json] [-iters 25] [-samples 1] [-workers 0]
+//	         [-min-ms 200] [-ctx 0] [-reset] [-baseline FILE] [-max-regress 0.15]
 //
 // For each corpus program it measures the full analyze+parallelize path
 // (the hot path this repository optimizes) and reports ns/op alongside the
@@ -20,7 +20,11 @@
 // the intern/memo memory is returned. With -baseline it compares the fresh
 // numbers against a stored report and exits non-zero on regression: the CI
 // gate fails a PR when total corpus ns/op regresses by more than
-// -max-regress (default 15%), or any single program by twice that.
+// -max-regress (default 15%), or any single program by twice that. With
+// -samples N each program is measured N times and the per-program MEDIAN
+// ns/op is reported — the CI gate runs 5 samples so one descheduled
+// measurement on a shared runner cannot fail (or mask) a regression; the
+// median is robust where the mean is not.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/analysis"
@@ -53,6 +58,16 @@ type result struct {
 	Contexts    int `json:"contexts"`
 	MergedProcs int `json:"merged_procs"`
 	Evictions   int `json:"evictions"`
+	// Lazy-fallback statistics: procedures whose merged fallback found a
+	// consumer and was analyzed, the fixpoint analyses those fallbacks
+	// consumed, and live shared-exit aliases (read-only procedures bound
+	// to a covering converged context instead of re-analyzed). Absent
+	// (zero) in reports from binaries that predate them; the -baseline
+	// gate only reads the timing fields, so old and new reports compare
+	// freely in either direction.
+	FallbacksActivated int `json:"fallbacks_activated,omitempty"`
+	FallbackAnalyses   int `json:"fallback_analyses,omitempty"`
+	ExitsShared        int `json:"exits_shared,omitempty"`
 }
 
 // spaceStats is the JSON rendering of path.SpaceStats plus the matrix
@@ -90,9 +105,12 @@ type report struct {
 	NumCPU    int       `json:"num_cpu"`
 	Workers   int       `json:"workers"`
 	// Mode is "context" (per-context summaries) or "merged" (single
-	// summary per procedure); MaxContexts is the effective table cap.
+	// summary per procedure); MaxContexts is the effective table cap;
+	// Samples is how many measurement passes the per-program medians were
+	// taken over (absent/zero in reports from binaries predating it).
 	Mode         string   `json:"mode"`
 	MaxContexts  int      `json:"max_contexts"`
+	Samples      int      `json:"samples,omitempty"`
 	Corpus       []result `json:"corpus"`
 	TotalNsPerOp float64  `json:"total_ns_per_op"`
 	// InternedPaths and MemoVerdicts stay at top level for older readers;
@@ -107,6 +125,7 @@ func main() {
 	log.SetFlags(0)
 	out := flag.String("out", "BENCH_analysis.json", "output file (- for stdout)")
 	iters := flag.Int("iters", 25, "fixed iterations per program (0 = time-based)")
+	samples := flag.Int("samples", 1, "measurement passes per program; the reported ns/op is the per-program median")
 	minMS := flag.Int("min-ms", 200, "minimum measurement time per program when iters=0")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = default)")
 	ctx := flag.Int("ctx", 0, "context-table cap: 0 = default, >0 = override, <0 = merged mode (context-insensitive)")
@@ -121,23 +140,25 @@ func main() {
 		mode = "merged"
 	}
 	rep := report{
-		Schema:      "sil-bench/v2",
+		Schema:      "sil-bench/v3",
 		Timestamp:   time.Now().UTC(),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
 		Workers:     modeOpts.EffectiveWorkers(),
 		Mode:        mode,
 		MaxContexts: *ctx,
+		Samples:     *samples,
 	}
 	for _, e := range progs.Catalog {
-		r, err := benchOne(e, *iters, time.Duration(*minMS)*time.Millisecond, *workers, *ctx)
+		r, err := benchOne(e, *iters, *samples, time.Duration(*minMS)*time.Millisecond, *workers, *ctx)
 		if err != nil {
 			log.Fatalf("%s: %v", e.Name, err)
 		}
 		rep.Corpus = append(rep.Corpus, r)
 		rep.TotalNsPerOp += r.NsPerOp
-		fmt.Fprintf(os.Stderr, "%-16s %12.0f ns/op  shape=%-6s diags=%d parstmts=%d ctxs=%d\n",
-			r.Name, r.NsPerOp, r.Shape, r.Diags, r.ParStatements, r.Contexts)
+		fmt.Fprintf(os.Stderr, "%-16s %12.0f ns/op  shape=%-6s diags=%d parstmts=%d ctxs=%d fbAct=%d fbAna=%d shared=%d\n",
+			r.Name, r.NsPerOp, r.Shape, r.Diags, r.ParStatements, r.Contexts,
+			r.FallbacksActivated, r.FallbackAnalyses, r.ExitsShared)
 	}
 	rep.Space = snapshotSpace()
 	rep.InternedPaths = rep.Space.InternedPaths
@@ -174,6 +195,20 @@ func main() {
 	}
 }
 
+// median returns the middle value (mean of the middle two for even
+// lengths) of an unsorted sample set.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
 // gateRegression compares the fresh report against a stored baseline and
 // returns an error when the corpus regressed beyond the allowed fraction.
 // Per-program checks use twice the total budget — individual programs are
@@ -190,15 +225,39 @@ func gateRegression(fresh report, baselineFile string, maxRegress float64) error
 	if base.TotalNsPerOp <= 0 {
 		return fmt.Errorf("baseline has no total_ns_per_op")
 	}
-	var failures []string
-	if r := fresh.TotalNsPerOp/base.TotalNsPerOp - 1; r > maxRegress {
-		failures = append(failures, fmt.Sprintf(
-			"total: %.2fms -> %.2fms (+%.1f%%, limit %.0f%%)",
-			base.TotalNsPerOp/1e6, fresh.TotalNsPerOp/1e6, r*100, maxRegress*100))
-	}
+	// Totals are compared over the corpus INTERSECTION: a baseline from an
+	// older binary may lack programs added since (and, in principle, vice
+	// versa), and comparing totals over different corpus compositions
+	// would gate on the corpus diff, not on a regression. Programs outside
+	// the intersection are reported, never silently dropped.
 	baseByName := make(map[string]float64, len(base.Corpus))
 	for _, r := range base.Corpus {
 		baseByName[r.Name] = r.NsPerOp
+	}
+	freshNames := make(map[string]bool, len(fresh.Corpus))
+	var freshTotal, baseTotal float64
+	for _, r := range fresh.Corpus {
+		freshNames[r.Name] = true
+		if b, ok := baseByName[r.Name]; ok {
+			freshTotal += r.NsPerOp
+			baseTotal += b
+		} else {
+			fmt.Fprintf(os.Stderr, "gate: %s missing from baseline; excluded from the total\n", r.Name)
+		}
+	}
+	for _, r := range base.Corpus {
+		if !freshNames[r.Name] {
+			fmt.Fprintf(os.Stderr, "gate: %s missing from fresh report; excluded from the total\n", r.Name)
+		}
+	}
+	if baseTotal <= 0 {
+		return fmt.Errorf("baseline shares no programs with the fresh report")
+	}
+	var failures []string
+	if r := freshTotal/baseTotal - 1; r > maxRegress {
+		failures = append(failures, fmt.Sprintf(
+			"total: %.2fms -> %.2fms (+%.1f%%, limit %.0f%%)",
+			baseTotal/1e6, freshTotal/1e6, r*100, maxRegress*100))
 	}
 	for _, r := range fresh.Corpus {
 		b, ok := baseByName[r.Name]
@@ -225,7 +284,10 @@ func gateRegression(fresh report, baselineFile string, maxRegress float64) error
 
 // benchOne measures one corpus program end to end (compile once, then
 // analyze+parallelize per iteration, which is the optimized hot path).
-func benchOne(e progs.Entry, iters int, minTime time.Duration, workers, maxContexts int) (result, error) {
+// With samples > 1 the whole measurement repeats and the reported ns/op is
+// the median over the passes, which a single descheduled pass on a noisy
+// runner cannot move.
+func benchOne(e progs.Entry, iters, samples int, minTime time.Duration, workers, maxContexts int) (result, error) {
 	prog, err := progs.Compile(e.Source)
 	if err != nil {
 		return result{}, err
@@ -244,34 +306,46 @@ func benchOne(e progs.Entry, iters int, minTime time.Duration, workers, maxConte
 	if err != nil {
 		return result{}, err
 	}
-	var elapsed time.Duration
-	n := 0
-	start := time.Now()
-	for {
-		if _, _, err := run(); err != nil {
-			return result{}, err
-		}
-		n++
-		elapsed = time.Since(start)
-		if iters > 0 {
-			if n >= iters {
+	if samples < 1 {
+		samples = 1
+	}
+	perSample := make([]float64, 0, samples)
+	totalIters := 0
+	for s := 0; s < samples; s++ {
+		var elapsed time.Duration
+		n := 0
+		start := time.Now()
+		for {
+			if _, _, err := run(); err != nil {
+				return result{}, err
+			}
+			n++
+			elapsed = time.Since(start)
+			if iters > 0 {
+				if n >= iters {
+					break
+				}
+			} else if elapsed >= minTime {
 				break
 			}
-		} else if elapsed >= minTime {
-			break
 		}
+		totalIters += n
+		perSample = append(perSample, float64(elapsed.Nanoseconds())/float64(n))
 	}
-	exact, mergedProcs, evictions := info.ContextTableStats()
+	ct := info.ContextTableStats()
 	return result{
-		Name:          e.Name,
-		Iters:         n,
-		NsPerOp:       float64(elapsed.Nanoseconds()) / float64(n),
-		Diags:         len(info.Diags),
-		Shape:         info.Shape().String(),
-		ExitShape:     info.ExitShape().String(),
-		ParStatements: parRes.Stats.ParStatements,
-		Contexts:      exact,
-		MergedProcs:   mergedProcs,
-		Evictions:     evictions,
+		Name:               e.Name,
+		Iters:              totalIters,
+		NsPerOp:            median(perSample),
+		Diags:              len(info.Diags),
+		Shape:              info.Shape().String(),
+		ExitShape:          info.ExitShape().String(),
+		ParStatements:      parRes.Stats.ParStatements,
+		Contexts:           ct.Exact,
+		MergedProcs:        ct.MergedProcs,
+		Evictions:          ct.Evictions,
+		FallbacksActivated: ct.FallbacksActivated,
+		FallbackAnalyses:   ct.FallbackAnalyses,
+		ExitsShared:        ct.ExitsShared,
 	}, nil
 }

@@ -143,14 +143,25 @@ type Summary struct {
 	HandleParamIdx []int
 
 	// The context table (context.go): exact contexts keyed by entry
-	// fingerprint in an LRU bounded by maxContexts, a lazily created
-	// merged fallback context, and the evicted-fingerprint redirect set.
+	// fingerprint in an LRU bounded by maxContexts, a lazily created —
+	// and lazily ANALYZED — merged fallback context, and the
+	// evicted-fingerprint redirect set.
 	maxContexts int
 	contexts    map[matrix.Fp][]*ProcContext
 	lru         []*ProcContext
 	merged      *ProcContext
 	evicted     map[matrix.Fp]bool
 	evictions   int
+	// shared maps presented-entry fingerprints to shared-exit aliases:
+	// entries bound to a converged context's exit instead of a context of
+	// their own (context.go). Cleared whenever the mod-ref bits sharpen.
+	shared map[matrix.Fp][]sharedBinding
+	// fbActivations / fbAnalyses count merged-fallback activations and the
+	// fixpoint analyses the activated fallback consumed; exitsShared
+	// counts live shared-exit aliases. Barrier-only mutation.
+	fbActivations int
+	fbAnalyses    int
+	exitsShared   int
 	// mergedMemo memoizes entries proven to fold into the fallback without
 	// growing it (fingerprint-keyed, structural fallback on collision).
 	mergedMemo  map[matrix.Fp][]*matrix.Matrix
@@ -257,6 +268,15 @@ func (in *Info) DiagStrings() []string {
 // where the order in which joins meet the widening changes which (equally
 // sound) fixpoint the merged summaries land on.
 //
+// Work items are born on demand (context.go): exact contexts when a caller
+// presents a new entry, the merged fallback only when a consumer appears —
+// a same-SCC call, an eviction redirect, or the drain barrier below.
+// Dependencies are context-granular (engine.ctxDeps), so a caller bound to
+// an exact context is not re-run by the fallback's widening ladder, and
+// exact items of a recursive SCC are parked while that ladder converges
+// (deferBehindFallbacks). All of this is decided at barriers from barrier
+// state only, so the bit-identical-across-workers property is preserved.
+//
 // Diagnostics and the Before/After matrices are collected afterwards by a
 // sequential closure pass over the context bindings reachable from main;
 // contexts only visited by transient fixpoint states are pruned.
@@ -281,19 +301,35 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 		walkStmts(d.Body, func(s ast.Stmt) { eng.info.stmtProc[s] = d.Name })
 	}
 	mainSum := eng.summaryFor(main)
-	lk := mainSum.contextFor(entryForMain(main, opts), opts.Limits, false)
+	lk := mainSum.contextFor(entryForMain(main, opts), opts.Limits, false, false)
 	eng.rootCtx = lk.ctx
 	work := make([]item, 0, len(lk.analyze))
 	for _, c := range lk.analyze {
 		work = append(work, item{"main", c})
 	}
-	for len(work) > 0 {
-		eng.steps += len(work)
-		if eng.steps > eng.budget {
-			return nil, fmt.Errorf("analysis: fixpoint did not converge in %d item analyses", eng.budget)
+	for {
+		for len(work) > 0 {
+			eng.steps += len(work)
+			if eng.steps > eng.budget {
+				return nil, fmt.Errorf("analysis: fixpoint did not converge in %d item analyses", eng.budget)
+			}
+			for _, it := range work {
+				if it.ctx.merged {
+					eng.summary(it.name).noteFallbackAnalysis()
+				}
+			}
+			stages := eng.runRound(work)
+			work = eng.applyRound(work, stages)
 		}
-		stages := eng.runRound(work)
-		work = eng.applyRound(work, stages)
+		// Drain barrier: fallbacks whose entry accumulated two or more
+		// distinct contexts but that never found a consumer activate now,
+		// from already-converged callee exits — a few residual passes that
+		// keep the fallback exit a sound, materialized stand-in for Replay
+		// without a seat in every widening round.
+		work = eng.activateDormantFallbacks()
+		if len(work) == 0 {
+			break
+		}
 	}
 	// Final sequential recording pass: a breadth-first closure over the
 	// (procedure, context) bindings reachable from main's root context.
@@ -352,11 +388,25 @@ type engine struct {
 	info *Info
 
 	mu sync.Mutex
-	// procDeps maps a callee name to its caller items: when any of the
-	// callee's contexts changes (exit growth, eviction) or its mod-ref
-	// bits sharpen, every registered caller re-runs. Mutated only at round
-	// barriers.
+	// procDeps maps a callee name to its caller items: when the callee's
+	// mod-ref bits sharpen, every registered caller re-runs. Mutated only
+	// at round barriers.
 	procDeps map[string]map[item]bool
+	// ctxDeps maps one callee CONTEXT to the caller items bound to it —
+	// the exit-granular dependency edge: a context's exit growth (or its
+	// eviction) re-runs only the callers that actually consume that
+	// context, so a caller bound to an exact context is insulated from the
+	// fallback's widening ladder. Registrations persist (a stale edge
+	// costs a spurious re-run, never a missed one). Barrier-only mutation.
+	ctxDeps map[*ProcContext]map[item]bool
+	// deferred holds dirty exact-context items parked while a fallback of
+	// their procedure's SCC is still converging: inside a recursive cycle
+	// the exact context's body re-reads the fallback exit every round, so
+	// analyzing it before the fallback ladder stabilizes only burns passes
+	// on approximations that are immediately invalidated. Released when
+	// the fallback leaves the work list (or, as a progress guarantee, when
+	// nothing else is runnable). Barrier-only mutation.
+	deferred map[item]bool
 	diagSet  map[string]bool
 	steps    int
 	budget   int
@@ -466,30 +516,57 @@ func (e *engine) applyRound(work []item, stages []*stagedUpdates) []item {
 		}
 		return reqs[i].key < reqs[j].key
 	})
+	// Aliases created at THIS barrier, keyed by callee and entry
+	// fingerprint: every presenter of such an entry — not just the one
+	// whose presentation created the alias — resolved it to bottom
+	// in-round, and the donor's already-converged exit will never fire a
+	// dependency, so all of them must re-run.
+	newAliases := map[string]map[matrix.Fp]bool{}
 	for _, se := range reqs {
 		sum := e.summary(se.callee)
-		lk := sum.contextFor(se.ent, lim, se.recursive)
+		lk := sum.contextFor(se.ent, lim, se.recursive, !se.caller.ctx.merged)
+		e.addCtxDep(lk.ctx, se.caller)
 		for _, c := range lk.analyze {
 			dirty[item{se.callee, c}] = true
 		}
+		if lk.sharedNew {
+			if newAliases[se.callee] == nil {
+				newAliases[se.callee] = map[matrix.Fp]bool{}
+			}
+			newAliases[se.callee][se.ent.Fingerprint()] = true
+		}
+		if newAliases[se.callee][se.ent.Fingerprint()] {
+			// The caller resolved this entry to bottom in-round; it now
+			// has a converged donor exit to pick up.
+			dirty[se.caller] = true
+		}
 		if lk.evicted != nil {
-			dirtyProcs[se.callee] = true // callers rebind to the fallback
+			// Only the items actually bound to the victim must rebind (to
+			// the now-active fallback).
+			for dep := range e.ctxDeps[lk.evicted] {
+				dirty[dep] = true
+			}
 		}
 	}
 
 	// 2. Apply exit projections (one item owns one context, so these are
-	// pairwise independent).
+	// pairwise independent). An exit change re-runs exactly the items
+	// bound to that context — context-granular, so exact-context callers
+	// never chase the fallback's widening ladder.
 	for i, st := range stages {
 		if st.exit == nil {
 			continue
 		}
 		it := work[i]
 		if e.summary(it.name).updateCtxExit(it.ctx, st.exit, lim) {
-			dirtyProcs[it.name] = true
+			for dep := range e.ctxDeps[it.ctx] {
+				dirty[dep] = true
+			}
 		}
 	}
 
-	// 3. Apply mod-ref flags (monotone booleans; order-free).
+	// 3. Apply mod-ref flags (monotone booleans; order-free). Mod-ref
+	// stays per-procedure, so a change re-runs every registered caller.
 	for i, st := range stages {
 		if e.summary(work[i].name).applyModref(st) {
 			dirtyProcs[work[i].name] = true
@@ -501,6 +578,12 @@ func (e *engine) applyRound(work []item, stages []*stagedUpdates) []item {
 			dirty[it] = true
 		}
 	}
+	// Fold previously deferred items back in; the partition below decides
+	// afresh whether their SCC's fallback still churns.
+	for it := range e.deferred {
+		dirty[it] = true
+	}
+	e.deferred = map[item]bool{}
 	next := make([]item, 0, len(dirty))
 	for it := range dirty {
 		if !it.ctx.dropped {
@@ -513,7 +596,43 @@ func (e *engine) applyRound(work []item, stages []*stagedUpdates) []item {
 		}
 		return next[i].ctx.seq < next[j].ctx.seq
 	})
-	return next
+	return e.deferBehindFallbacks(next)
+}
+
+// deferBehindFallbacks parks exact-context items whose procedure's SCC has
+// a fallback in the work list: a recursive cycle's exact contexts re-read
+// the fallback exit on every pass, so they are analyzed only once the
+// fallback ladder has stabilized — the scheduling change that lets context
+// mode track merged-mode cost. If nothing else is runnable the deferred
+// items run anyway (progress guarantee), so convergence is unaffected; the
+// partition is a pure function of the barrier state, so determinism across
+// worker counts is preserved.
+func (e *engine) deferBehindFallbacks(next []item) []item {
+	fbSCC := map[int]bool{}
+	for _, it := range next {
+		if it.ctx.merged {
+			fbSCC[e.scc[it.name]] = true
+		}
+	}
+	if len(fbSCC) == 0 {
+		return next
+	}
+	runnable := make([]item, 0, len(next))
+	var parked []item
+	for _, it := range next {
+		if !it.ctx.merged && fbSCC[e.scc[it.name]] {
+			parked = append(parked, it)
+		} else {
+			runnable = append(runnable, it)
+		}
+	}
+	if len(runnable) == 0 {
+		return next
+	}
+	for _, it := range parked {
+		e.deferred[it] = true
+	}
+	return runnable
 }
 
 // sameSCC reports whether a call from caller to callee stays inside one
@@ -595,6 +714,8 @@ func newEngine(prog *ast.Program, opts Options, info *Info) *engine {
 		opts:     opts,
 		info:     info,
 		procDeps: map[string]map[item]bool{},
+		ctxDeps:  map[*ProcContext]map[item]bool{},
+		deferred: map[item]bool{},
 		diagSet:  map[string]bool{},
 		keyCache: map[matrix.Fp][]keyEntry{},
 	}
@@ -683,8 +804,8 @@ func (e *engine) summaryFor(d *ast.ProcDecl) *Summary {
 }
 
 // addProcDep records that it calls the named procedure (and therefore
-// consumes its contexts' exits and mod-ref bits). Called only from round
-// barriers (single-threaded), but locked for uniformity.
+// consumes its mod-ref bits). Called only from round barriers
+// (single-threaded), but locked for uniformity.
 func (e *engine) addProcDep(name string, it item) {
 	e.mu.Lock()
 	if e.procDeps[name] == nil {
@@ -692,6 +813,34 @@ func (e *engine) addProcDep(name string, it item) {
 	}
 	e.procDeps[name][it] = true
 	e.mu.Unlock()
+}
+
+// addCtxDep records that it is bound to the context (and therefore
+// consumes its exit). Barrier-only.
+func (e *engine) addCtxDep(ctx *ProcContext, it item) {
+	if e.ctxDeps[ctx] == nil {
+		e.ctxDeps[ctx] = map[item]bool{}
+	}
+	e.ctxDeps[ctx][it] = true
+}
+
+// activateDormantFallbacks runs the drain barrier (see Analyze): every
+// summary with two or more table entries and a dormant fallback activates
+// it, and the activated fallbacks come back as the continuation work list
+// in canonical name order.
+func (e *engine) activateDormantFallbacks() []item {
+	names := make([]string, 0, len(e.info.Summaries))
+	for name := range e.info.Summaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var work []item
+	for _, name := range names {
+		if s := e.info.Summaries[name]; s.activateDormantFallback() {
+			work = append(work, item{name, s.merged})
+		}
+	}
+	return work
 }
 
 // analyzer is the per-worker view of an engine: the work item currently

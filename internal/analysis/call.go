@@ -27,7 +27,15 @@ import (
 // entry matrix gets its own exit, so a call on a fresh tree is not polluted
 // by a call on aliased roots (the paper's single pB "summarizes all
 // possible relationships … for the recursive calls of add_n" — the merged
-// fallback context reproduces exactly that view). The round-based engine
+// fallback context reproduces exactly that view). Call-site binding is
+// demand-driven: a non-recursive call binds an exact context (or a
+// shared-exit alias when a converged context's entry covers this one and
+// mod-ref proves the body cannot tell them apart), while same-SCC calls
+// and evicted-fingerprint redirects bind — and thereby activate — the
+// merged fallback; a fallback nobody binds is never analyzed. In fixpoint
+// mode the binding resolves against the frozen table (resolveFrozen) and
+// the presentation is staged for the barrier; the recording pass and
+// Replay resolve read-only (lookupContext). The round-based engine
 // (analysis.go) iterates (procedure, context) items until entries, exits
 // and mod-ref bits stabilize; mod-ref stays per-procedure, joined over
 // contexts.

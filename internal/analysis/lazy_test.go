@@ -1,0 +1,263 @@
+package analysis
+
+// Tests for the demand-driven side of the context table: lazy fallback
+// activation (a fallback nobody consumes is never analyzed), the drain
+// barrier (a multi-context procedure's fallback is still materialized for
+// Replay), and entry-invariant exit sharing between contexts of read-only
+// procedures.
+
+import (
+	"testing"
+
+	"repro/internal/progs"
+)
+
+// TestLazyFallbackZeroAnalyses: corpus programs whose procedures are all
+// bound from a single context must report zero fallback activations and
+// zero fallback analyses — laziness makes them pay exactly merged-mode
+// cost. The remaining corpus programs may only activate fallbacks that
+// have a consumer (recursion, eviction, or a second distinct context).
+func TestLazyFallbackZeroAnalyses(t *testing.T) {
+	singleContext := map[string]bool{"leftmost": true, "listinc": true, "dagdemo": true}
+	for _, e := range progs.Catalog {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			prog, err := progs.Compile(e.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := Analyze(prog, Options{ExternalRoots: e.Roots})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct := info.ContextTableStats()
+			if singleContext[e.Name] {
+				if ct.FallbacksActivated != 0 || ct.FallbackAnalyses != 0 {
+					t.Errorf("single-context program activated fallbacks: %+v", ct)
+				}
+			}
+			// Nowhere may a fallback analysis happen without an activation,
+			// and per summary, a summary without a fallback has no analyses.
+			if ct.FallbackAnalyses > 0 && ct.FallbacksActivated == 0 {
+				t.Errorf("fallback analyzed without activation: %+v", ct)
+			}
+			for name, s := range info.Summaries {
+				act, ana, _ := s.LazyStats()
+				if act == 0 && ana != 0 {
+					t.Errorf("%s: %d fallback analyses but no activation", name, ana)
+				}
+			}
+		})
+	}
+}
+
+// TestDrainFallbackActivation: bump in ctxpair is non-recursive and bound
+// through two exact contexts, so during the fixpoint nothing consumes its
+// fallback — it must be activated by the drain barrier and analyzed a
+// handful of times at the very end, leaving a materialized exit as the
+// Replay stand-in.
+func TestDrainFallbackActivation(t *testing.T) {
+	prog, err := progs.Compile(progs.CtxPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(prog, Options{ExternalRoots: []string{"ra", "rb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bump := info.Summaries["bump"]
+	act, ana, _ := bump.LazyStats()
+	if act != 1 {
+		t.Fatalf("bump's fallback should be drain-activated exactly once, got %d", act)
+	}
+	if ana == 0 {
+		t.Error("drain-activated fallback was never analyzed")
+	}
+	if bump.MergedExit() == nil {
+		t.Error("drain-activated fallback must leave a materialized exit for Replay")
+	}
+	// The residual activation stays cheap: the fallback converges from
+	// already-converged callee exits in a few passes, not a full ladder.
+	if ana > 4 {
+		t.Errorf("drain-time fallback took %d analyses; expected a short tail", ana)
+	}
+}
+
+// TestExitSharingReadOnly: in shareread, depth's second entry (fresh
+// non-nil node) is covered by its first (external maybe-nil tree), and
+// mod-ref proves depth read-only — the second presentation must bind the
+// first context's exit as a shared alias instead of being analyzed.
+func TestExitSharingReadOnly(t *testing.T) {
+	prog, err := progs.Compile(progs.ShareRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(prog, Options{ExternalRoots: []string{"root"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := info.Summaries["depth"]
+	_, _, shared := depth.LazyStats()
+	if shared != 1 {
+		t.Fatalf("depth should share exactly one exit, got %d", shared)
+	}
+	exact, _, _ := depth.ContextStats()
+	if exact != 1 {
+		t.Errorf("the shared entry must not become a context of its own: %d exact contexts", exact)
+	}
+	// Sharing is a ctx-mode mechanism only.
+	mergedInfo, err := Analyze(prog, Options{ExternalRoots: []string{"root"}, MaxContexts: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := mergedInfo.ContextTableStats(); ct.ExitsShared != 0 {
+		t.Errorf("merged mode must not share exits: %+v", ct)
+	}
+}
+
+// TestNoSharingForWritingProcedure: the same call shape as shareread but
+// with a write through the parameter — mod-ref withdraws the read-only
+// premise, so the second entry must get its own context, never an alias.
+func TestNoSharingForWritingProcedure(t *testing.T) {
+	src := `
+program sharewrite
+procedure main()
+  root, x: handle
+begin
+  mark(root);
+  x := new();
+  mark(x)
+end;
+procedure mark(t: handle)
+  l, r: handle
+begin
+  if t <> nil then
+  begin
+    t.value := 1;
+    l := t.left;
+    r := t.right;
+    mark(l);
+    mark(r)
+  end
+end;
+`
+	prog, err := progs.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(prog, Options{ExternalRoots: []string{"root"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mark := info.Summaries["mark"]
+	if _, _, shared := mark.LazyStats(); shared != 0 {
+		t.Fatalf("a writing procedure must not share exits, got %d aliases", shared)
+	}
+	if exact, _, _ := mark.ContextStats(); exact != 2 {
+		t.Errorf("both entries of mark should be exact contexts, got %d", exact)
+	}
+	if !mark.UpdateParams[0] {
+		t.Error("mark's parameter should be classified as an update argument")
+	}
+}
+
+// TestEvictionActivatesFallback: with a cap of 1, admitting the second
+// distinct context evicts the first into the fallback — an eviction is a
+// consumer, so the fallback must be activated by the redirect, not by the
+// drain barrier, and the analysis stays sound (covered by the generic
+// overflow suite; here we pin the activation accounting).
+func TestEvictionActivatesFallback(t *testing.T) {
+	prog, err := progs.Compile(progs.CtxPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(prog, Options{ExternalRoots: []string{"ra", "rb"}, MaxContexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bump := info.Summaries["bump"]
+	_, _, evictions := bump.ContextStats()
+	act, ana, _ := bump.LazyStats()
+	if evictions == 0 {
+		t.Fatal("cap 1 should evict")
+	}
+	if act != 1 || ana == 0 {
+		t.Errorf("eviction should activate and analyze the fallback (act=%d ana=%d)", act, ana)
+	}
+	if bump.MergedExit() == nil {
+		t.Error("redirected fallback must have an exit")
+	}
+}
+
+// TestSharedAliasSameBarrierPresenters: two distinct callers present
+// structurally equal entries to a read-only procedure at the SAME round
+// barrier, after the covering donor context has already converged (the
+// if/else in main puts viaa and viab on the work list simultaneously —
+// sequential call chains would be serialized by bottom propagation). The
+// first presentation creates the shared-exit alias; the second hits the
+// fresh alias — and must be re-run too (its in-round resolution was
+// bottom, and the donor's already-converged exit will never fire a
+// dependency). A missed re-run leaves the second caller's exit bottom and
+// punches a hole in main's recorded matrices.
+func TestSharedAliasSameBarrierPresenters(t *testing.T) {
+	src := `
+program samebarrier
+procedure main()
+  root: handle; d, da, db: int
+begin
+  d := depth(root);
+  if d > 0 then
+    da := viaa()
+  else
+    db := viab()
+end;
+function viaa(): int
+  x: handle; d: int
+begin
+  x := new();
+  d := depth(x)
+end
+return (d);
+function viab(): int
+  y: handle; d: int
+begin
+  y := new();
+  d := depth(y)
+end
+return (d);
+function depth(t: handle): int
+  l: handle; dl: int
+begin
+  if t <> nil then
+  begin
+    l := t.left;
+    if l <> nil then
+      dl := 2
+    else
+      dl := 1
+  end
+end
+return (dl);
+`
+	prog, err := progs.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(prog, Options{ExternalRoots: []string{"root"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := info.Prog.Proc("main")
+	last := main.Body.Stmts[len(main.Body.Stmts)-1]
+	if info.After[last] == nil {
+		t.Fatal("main's exit matrix is missing: a presenter of a same-barrier alias was never re-run")
+	}
+	for _, fn := range []string{"viaa", "viab"} {
+		if info.Summaries[fn].MergedExit() == nil {
+			t.Errorf("%s's exit stayed bottom", fn)
+		}
+	}
+	if _, _, shared := info.Summaries["depth"].LazyStats(); shared == 0 {
+		t.Error("expected depth to share exits across the equal fresh-node entries")
+	}
+}

@@ -9,8 +9,11 @@ package analysis
 // relationships among handles").
 
 import (
+	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/heap"
@@ -67,16 +70,42 @@ func coveredBy(entry path.Set, w string) bool {
 }
 
 func TestAnalysisCoversConcreteRelationships(t *testing.T) {
-	// Both summary modes must cover the concrete executions: the default
-	// context-sensitive table and the merged (context-insensitive) mode.
+	// Every summary mode must cover the concrete executions: the default
+	// context-sensitive table, the merged (context-insensitive) mode, and
+	// a cap-1 table, which forces the eviction/redirect machinery (every
+	// second distinct context evicts the first into the fallback) on every
+	// multi-context random program. The scheduled soundness workflow runs
+	// the cap-1 shard in a job of its own (and sets SIL_SKIP_CAP1 in the
+	// main job so the budget is not spent twice); per-PR runs keep all
+	// three modes inline.
 	for _, mode := range []struct {
 		name        string
 		maxContexts int
-	}{{"ctx", 0}, {"merged", -1}} {
+	}{{"ctx", 0}, {"merged", -1}, {"ctx-cap1", 1}} {
 		mode := mode
 		t.Run(mode.name, func(t *testing.T) {
+			if mode.maxContexts == 1 && os.Getenv("SIL_SKIP_CAP1") != "" {
+				t.Skip("cap-1 shard runs in its own scheduled job")
+			}
 			coverSoundness(t, mode.maxContexts)
 		})
+	}
+}
+
+// dumpFailureSeed writes the failing random program to SIL_FAILURE_DIR (if
+// set), so CI can upload the reproducing seeds as artifacts.
+func dumpFailureSeed(t *testing.T, seed int64, src string) {
+	dir := os.Getenv("SIL_FAILURE_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("seed dump: %v", err)
+		return
+	}
+	name := filepath.Join(dir, fmt.Sprintf("%s-seed-%d.sil", strings.ReplaceAll(t.Name(), "/", "_"), seed))
+	if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+		t.Logf("seed dump: %v", err)
 	}
 }
 
@@ -91,6 +120,15 @@ func coverSoundness(t *testing.T, maxContexts int) {
 	checked := 0
 	for seed := int64(0); seed < int64(trials); seed++ {
 		src := progs.RandomProgram(seed)
+		dumped := false
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Errorf(format, args...)
+			if !dumped {
+				dumped = true
+				dumpFailureSeed(t, seed, src)
+			}
+		}
 		prog, err := progs.Compile(src)
 		if err != nil {
 			t.Fatalf("seed %d: compile: %v", seed, err)
@@ -138,7 +176,7 @@ func coverSoundness(t *testing.T, maxContexts int) {
 				entry := m.Get(hx, hy)
 				if x.node == y.node && x.name != y.name {
 					if !entry.HasSame() {
-						t.Errorf("seed %d: %s and %s are the same node but p[%s,%s]=%s lacks S\n%s",
+						fail("seed %d: %s and %s are the same node but p[%s,%s]=%s lacks S\n%s",
 							seed, x.name, y.name, x.name, y.name, entry, src)
 					}
 				}
@@ -147,7 +185,7 @@ func coverSoundness(t *testing.T, maxContexts int) {
 				}
 				for _, w := range concreteWords(res.Heap, x.node, y.node, maxWordLen) {
 					if !coveredBy(entry, w) {
-						t.Errorf("seed %d: concrete path %q from %s to %s not covered by p[%s,%s]=%s\n%s",
+						fail("seed %d: concrete path %q from %s to %s not covered by p[%s,%s]=%s\n%s",
 							seed, w, x.name, y.name, x.name, y.name, entry, src)
 					}
 				}
@@ -155,7 +193,7 @@ func coverSoundness(t *testing.T, maxContexts int) {
 				// be nil (checked by construction above: binds only holds
 				// non-nil handles).
 				if m.Attr(hx).Nil == matrix.DefNil {
-					t.Errorf("seed %d: %s claimed definitely nil but holds node %d", seed, x.name, x.node)
+					fail("seed %d: %s claimed definitely nil but holds node %d", seed, x.name, x.node)
 				}
 			}
 		}
@@ -175,7 +213,7 @@ func coverSoundness(t *testing.T, maxContexts int) {
 			ok = static >= matrix.ShapeMaybeDAG
 		}
 		if !ok {
-			t.Errorf("seed %d: concrete shape %v but static estimate %v\n%s", seed, concrete, static, src)
+			fail("seed %d: concrete shape %v but static estimate %v\n%s", seed, concrete, static, src)
 		}
 	}
 	if checked < trials/2 {

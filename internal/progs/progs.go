@@ -333,6 +333,40 @@ begin
 end;
 `
 
+// ShareRead is the entry-invariant exit-sharing showcase: depth is a
+// read-only recursive function first called on an externally built tree
+// (a maybe-nil, unknown-indegree entry) and then on a freshly allocated
+// node, whose entry — definitely non-nil, root indegree — is covered by
+// the first one. Since mod-ref proves depth never writes through (or
+// attaches) its argument, the second context cannot observe the
+// difference: the analysis binds the converged first exit to it instead of
+// analyzing a second context (silbench reports it under exitsShared).
+const ShareRead = `
+program shareread
+procedure main()
+  root, x: handle; d1, d2: int
+begin
+  d1 := depth(root);
+  x := new();
+  d2 := depth(x)
+end;
+function depth(t: handle): int
+  l, r: handle; dl, dr: int
+begin
+  if t <> nil then
+  begin
+    l := t.left;
+    r := t.right;
+    dl := depth(l);
+    dr := depth(r);
+    if dl < dr then
+      dr := dl;
+    dl := dr + 1
+  end
+end
+return (dl);
+`
+
 // Entry describes one corpus program.
 type Entry struct {
 	Name   string
@@ -358,6 +392,7 @@ var Catalog = []Entry{
 	{"listinc", ListIncrement, true, []string{"cur"}, "linear list walk — no parallelism (negative control)"},
 	{"dagdemo", TreeDagDemo, false, nil, "DAG and cycle creation for structure verification"},
 	{"ctxpair", CtxPair, false, []string{"ra", "rb"}, "context-sensitivity demo: aliased-roots call vs fresh-pair call"},
+	{"shareread", ShareRead, true, []string{"root"}, "entry-invariant exit sharing: read-only depth on external tree then fresh node"},
 }
 
 // Compile parses, checks and normalizes a corpus source.
