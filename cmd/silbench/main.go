@@ -25,6 +25,16 @@
 // ns/op is reported — the CI gate runs 5 samples so one descheduled
 // measurement on a shared runner cannot fail (or mask) a regression; the
 // median is robust where the mean is not.
+//
+// With -server the tool switches to the serving-layer load mode instead:
+//
+//	silbench -server [-clients 8] [-requests 200] [-zipf 1.2] [-cache 256]
+//	         [-ctx 0] [-out BENCH_server.json]
+//
+// It starts an in-process silserver (internal/service), drives it with N
+// concurrent HTTP clients issuing a Zipf-skewed corpus mix, and reports
+// cold (cache-miss) vs warm (cache-hit) latency percentiles, the hit rate,
+// and the server's /stats counters — a non-gating measurement artifact.
 package main
 
 import (
@@ -34,7 +44,6 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/analysis"
@@ -132,7 +141,22 @@ func main() {
 	reset := flag.Bool("reset", false, "reset the path.Space after measuring and record the post-reset counters")
 	baseline := flag.String("baseline", "", "baseline BENCH_analysis.json to gate regressions against")
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed total ns/op regression vs -baseline (fraction)")
+	server := flag.Bool("server", false, "server load mode: drive an in-process silserver with concurrent clients over a Zipf-skewed corpus mix")
+	clients := flag.Int("clients", 8, "server mode: concurrent clients")
+	requests := flag.Int("requests", 200, "server mode: requests per client")
+	zipfS := flag.Float64("zipf", 1.2, "server mode: Zipf skew parameter s (>1; larger = more skewed)")
+	cacheCap := flag.Int("cache", 256, "server mode: result-cache capacity (negative disables)")
 	flag.Parse()
+
+	if *server {
+		if err := runServerLoad(serverLoadConfig{
+			Out: *out, Clients: *clients, Requests: *requests, ZipfS: *zipfS,
+			Cache: *cacheCap, Workers: *workers, MaxContexts: *ctx,
+		}); err != nil {
+			log.Fatalf("server load mode: %v", err)
+		}
+		return
+	}
 
 	modeOpts := analysis.Options{Workers: *workers, MaxContexts: *ctx}
 	mode := "context"
@@ -188,98 +212,11 @@ func main() {
 			*out, rep.TotalNsPerOp/1e6, len(rep.Corpus))
 	}
 	if *baseline != "" {
-		if err := gateRegression(rep, *baseline, *maxRegress); err != nil {
+		if err := gateRegression(os.Stderr, rep, *baseline, *maxRegress); err != nil {
 			log.Fatalf("benchmark regression gate: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "regression gate passed (limit %.0f%%)\n", *maxRegress*100)
 	}
-}
-
-// median returns the middle value (mean of the middle two for even
-// lengths) of an unsorted sample set.
-func median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if len(s)%2 == 1 {
-		return s[len(s)/2]
-	}
-	return (s[len(s)/2-1] + s[len(s)/2]) / 2
-}
-
-// gateRegression compares the fresh report against a stored baseline and
-// returns an error when the corpus regressed beyond the allowed fraction.
-// Per-program checks use twice the total budget — individual programs are
-// noisier than the corpus sum.
-func gateRegression(fresh report, baselineFile string, maxRegress float64) error {
-	data, err := os.ReadFile(baselineFile)
-	if err != nil {
-		return fmt.Errorf("read baseline: %w", err)
-	}
-	var base report
-	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("parse baseline: %w", err)
-	}
-	if base.TotalNsPerOp <= 0 {
-		return fmt.Errorf("baseline has no total_ns_per_op")
-	}
-	// Totals are compared over the corpus INTERSECTION: a baseline from an
-	// older binary may lack programs added since (and, in principle, vice
-	// versa), and comparing totals over different corpus compositions
-	// would gate on the corpus diff, not on a regression. Programs outside
-	// the intersection are reported, never silently dropped.
-	baseByName := make(map[string]float64, len(base.Corpus))
-	for _, r := range base.Corpus {
-		baseByName[r.Name] = r.NsPerOp
-	}
-	freshNames := make(map[string]bool, len(fresh.Corpus))
-	var freshTotal, baseTotal float64
-	for _, r := range fresh.Corpus {
-		freshNames[r.Name] = true
-		if b, ok := baseByName[r.Name]; ok {
-			freshTotal += r.NsPerOp
-			baseTotal += b
-		} else {
-			fmt.Fprintf(os.Stderr, "gate: %s missing from baseline; excluded from the total\n", r.Name)
-		}
-	}
-	for _, r := range base.Corpus {
-		if !freshNames[r.Name] {
-			fmt.Fprintf(os.Stderr, "gate: %s missing from fresh report; excluded from the total\n", r.Name)
-		}
-	}
-	if baseTotal <= 0 {
-		return fmt.Errorf("baseline shares no programs with the fresh report")
-	}
-	var failures []string
-	if r := freshTotal/baseTotal - 1; r > maxRegress {
-		failures = append(failures, fmt.Sprintf(
-			"total: %.2fms -> %.2fms (+%.1f%%, limit %.0f%%)",
-			baseTotal/1e6, freshTotal/1e6, r*100, maxRegress*100))
-	}
-	for _, r := range fresh.Corpus {
-		b, ok := baseByName[r.Name]
-		if !ok || b < 1e6 {
-			// New program, or one measured in microseconds — per-program
-			// timings below ~1ms are dominated by scheduler/GC noise; the
-			// total still covers them.
-			continue
-		}
-		if reg := r.NsPerOp/b - 1; reg > 2*maxRegress {
-			failures = append(failures, fmt.Sprintf(
-				"%s: %.0fns -> %.0fns (+%.1f%%, limit %.0f%%)",
-				r.Name, b, r.NsPerOp, reg*100, 2*maxRegress*100))
-		}
-	}
-	if len(failures) > 0 {
-		for _, f := range failures {
-			fmt.Fprintln(os.Stderr, "REGRESSION "+f)
-		}
-		return fmt.Errorf("%d regression(s) vs %s", len(failures), baselineFile)
-	}
-	return nil
 }
 
 // benchOne measures one corpus program end to end (compile once, then

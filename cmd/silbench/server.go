@@ -1,0 +1,257 @@
+package main
+
+// The -server load mode: silbench starts an in-process silserver (the same
+// internal/service handler the daemon mounts), drives it with N concurrent
+// HTTP clients issuing a Zipf-skewed mix of corpus programs — the
+// popularity skew real caching layers are evaluated under — and reports
+// cold (cache-miss) vs warm (cache-hit) latency percentiles, the hit rate,
+// and the final /stats document. The report is a measurement artifact, not
+// a gated trajectory: latency through a loopback HTTP stack is far noisier
+// than the in-process analysis benchmarks the -baseline gate guards.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/progs"
+	"repro/internal/service"
+)
+
+type serverLoadConfig struct {
+	Out         string
+	Clients     int
+	Requests    int
+	ZipfS       float64
+	Cache       int
+	Workers     int
+	MaxContexts int
+}
+
+// latencySummary is the percentile rendering of one request class.
+type latencySummary struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+func summarize(durs []time.Duration) latencySummary {
+	if len(durs) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(durs)-1))
+		return float64(durs[i].Nanoseconds()) / 1e6
+	}
+	return latencySummary{
+		Count: len(durs),
+		P50Ms: pct(0.50),
+		P90Ms: pct(0.90),
+		P99Ms: pct(0.99),
+		MaxMs: float64(durs[len(durs)-1].Nanoseconds()) / 1e6,
+	}
+}
+
+// programLoad is the per-program slice of the load report.
+type programLoad struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	Hits     int     `json:"hits"`
+	ColdMs   float64 `json:"cold_ms"` // median cache-miss latency
+	WarmMs   float64 `json:"warm_ms"` // median cache-hit latency
+}
+
+// serverReport is the whole BENCH_server.json document.
+type serverReport struct {
+	Schema    string    `json:"schema"`
+	Timestamp time.Time `json:"timestamp"`
+	GoVersion string    `json:"go_version"`
+	NumCPU    int       `json:"num_cpu"`
+
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests_per_client"`
+	ZipfS    float64 `json:"zipf_s"`
+	Mode     string  `json:"mode"`
+
+	Total   int            `json:"total_requests"`
+	Errors  int            `json:"errors"`
+	HitRate float64        `json:"hit_rate"`
+	Warm    latencySummary `json:"warm"`
+	Cold    latencySummary `json:"cold"`
+	// ColdWarmMedianRatio is cold p50 / warm p50 — the headline number for
+	// what the cache buys under this mix.
+	ColdWarmMedianRatio float64 `json:"cold_warm_median_ratio"`
+
+	Programs []programLoad  `json:"programs"`
+	Stats    *service.Stats `json:"server_stats,omitempty"`
+}
+
+type sample struct {
+	prog string
+	dur  time.Duration
+	hit  bool
+	err  bool
+}
+
+func runServerLoad(cfg serverLoadConfig) error {
+	if cfg.Clients < 1 || cfg.Requests < 1 {
+		return fmt.Errorf("need at least one client and one request")
+	}
+	if cfg.ZipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1")
+	}
+	svc := service.New(service.Options{
+		Analysis:      analysis.Options{Workers: cfg.Workers, MaxContexts: cfg.MaxContexts},
+		CacheCapacity: cfg.Cache,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Pre-marshal the request bodies; popularity rank = catalog order.
+	catalog := progs.Catalog
+	bodies := make([][]byte, len(catalog))
+	for i, e := range catalog {
+		bodies[i], err = json.Marshal(service.Request{Name: e.Name, Source: e.Source, Roots: e.Roots})
+		if err != nil {
+			return err
+		}
+	}
+
+	results := make([][]sample, cfg.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(catalog)-1))
+			client := &http.Client{}
+			out := make([]sample, 0, cfg.Requests)
+			for i := 0; i < cfg.Requests; i++ {
+				idx := int(zipf.Uint64())
+				start := time.Now()
+				resp, err := client.Post(base+"/analyze", "application/json", bytes.NewReader(bodies[idx]))
+				dur := time.Since(start)
+				s := sample{prog: catalog[idx].Name, dur: dur}
+				if err != nil || resp.StatusCode != http.StatusOK {
+					s.err = true
+				} else {
+					s.hit = resp.Header.Get(service.CacheHeader) == "hit"
+				}
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				out = append(out, s)
+			}
+			results[c] = out
+		}(c)
+	}
+	wg.Wait()
+
+	mode := "context"
+	if !(analysis.Options{MaxContexts: cfg.MaxContexts}).ContextSensitive() {
+		mode = "merged"
+	}
+	rep := serverReport{
+		Schema:    "sil-bench-server/v1",
+		Timestamp: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Clients:   cfg.Clients,
+		Requests:  cfg.Requests,
+		ZipfS:     cfg.ZipfS,
+		Mode:      mode,
+	}
+	var warm, cold []time.Duration
+	perProg := map[string]*programLoad{}
+	var progWarm, progCold = map[string][]float64{}, map[string][]float64{}
+	for _, rs := range results {
+		for _, s := range rs {
+			rep.Total++
+			if s.err {
+				rep.Errors++
+				continue
+			}
+			pl := perProg[s.prog]
+			if pl == nil {
+				pl = &programLoad{Name: s.prog}
+				perProg[s.prog] = pl
+			}
+			pl.Requests++
+			ms := float64(s.dur.Nanoseconds()) / 1e6
+			if s.hit {
+				pl.Hits++
+				warm = append(warm, s.dur)
+				progWarm[s.prog] = append(progWarm[s.prog], ms)
+			} else {
+				cold = append(cold, s.dur)
+				progCold[s.prog] = append(progCold[s.prog], ms)
+			}
+		}
+	}
+	if n := len(warm) + len(cold); n > 0 {
+		rep.HitRate = float64(len(warm)) / float64(n)
+	}
+	rep.Warm = summarize(warm)
+	rep.Cold = summarize(cold)
+	if rep.Warm.P50Ms > 0 {
+		rep.ColdWarmMedianRatio = rep.Cold.P50Ms / rep.Warm.P50Ms
+	}
+	var names []string
+	for n := range perProg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pl := perProg[n]
+		pl.ColdMs = median(progCold[n])
+		pl.WarmMs = median(progWarm[n])
+		rep.Programs = append(rep.Programs, *pl)
+	}
+	st := svc.Stats()
+	rep.Stats = &st
+
+	fmt.Fprintf(os.Stderr, "server load: %d requests (%d clients x %d), hit rate %.3f, errors %d\n",
+		rep.Total, cfg.Clients, cfg.Requests, rep.HitRate, rep.Errors)
+	fmt.Fprintf(os.Stderr, "  cold p50 %.3fms p90 %.3fms | warm p50 %.3fms p90 %.3fms | cold/warm %.1fx\n",
+		rep.Cold.P50Ms, rep.Cold.P90Ms, rep.Warm.P50Ms, rep.Warm.P90Ms, rep.ColdWarmMedianRatio)
+	fmt.Fprintf(os.Stderr, "  server: %s\n", st)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if cfg.Out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(cfg.Out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", cfg.Out)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d request(s) failed", rep.Errors)
+	}
+	return nil
+}

@@ -89,7 +89,20 @@ func (a *analyzer) call(m *matrix.Matrix, name string, args []ast.Expr, dst *mat
 		}
 	}
 	ent := a.buildEntry(m, callee, actuals, nilArg)
-	sum := a.eng.summaryFor(callee)
+	var sum *Summary
+	if a.st != nil {
+		sum = a.eng.summaryFor(callee)
+	} else {
+		// Recording pass and Replay run against a quiescent Info that may be
+		// shared by concurrent readers: they must not create summaries (the
+		// old summaryFor call here mutated Info.Summaries, a data race under
+		// concurrent Replay). A missing summary means the fixpoint never
+		// analyzed any call to this procedure — the call site is unreachable
+		// in the converged approximation, so the point after it is bottom.
+		if sum = a.eng.summary(name); sum == nil {
+			return nil
+		}
+	}
 	// Same-SCC calls (self or mutual recursion) bind the merged fallback
 	// context: recursion is summarized, as in the paper's pB (context.go).
 	recursive := a.eng.sameSCC(a.cur.Name, name)

@@ -1,0 +1,260 @@
+package analysis
+
+// Regression tests for the quiescent-Info contract that the serving layer
+// (internal/service) depends on: Replay must resolve call contexts against
+// the converged tables read-only — binding the merged fallback for entries
+// whose exact context was LRU-evicted — and a shared *Info must tolerate
+// concurrent readers (ProcOf/Shape/DiagStrings/Replay) without any
+// mutation-after-Analyze.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/progs"
+	"repro/internal/sil/ast"
+)
+
+// callStmtsTo returns main's call statements to the named procedure, in
+// source order.
+func callStmtsTo(prog *ast.Program, name string) []*ast.CallStmt {
+	var out []*ast.CallStmt
+	walkStmts(prog.Proc("main").Body, func(s ast.Stmt) {
+		if c, ok := s.(*ast.CallStmt); ok && c.Name == name {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// TestReplayBindsFallbackAfterEviction drives the context table of ctxpair
+// past its cap (MaxContexts=1): the aliased-roots call's exact context is
+// LRU-evicted into the merged fallback when the fresh-pair call is
+// admitted. A later Replay that re-presents the evicted entry must bind
+// the fallback (whose widened entry absorbs every context ever presented),
+// not a stale exact context — and certainly not bottom.
+func TestReplayBindsFallbackAfterEviction(t *testing.T) {
+	prog, err := progs.Compile(progs.CtxPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := []string{"ra", "rb"}
+	info, err := Analyze(prog, Options{ExternalRoots: roots, MaxContexts: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := info.Summaries["bump"]
+	exact, hasMerged, evictions := sum.ContextStats()
+	if evictions == 0 || !hasMerged || exact != 1 {
+		t.Fatalf("precondition: cap 1 must evict into the fallback (exact=%d merged=%v evictions=%d)",
+			exact, hasMerged, evictions)
+	}
+
+	// Replay main's whole body with the same machinery Info.Replay uses,
+	// plus an onCall probe capturing which context every call site binds.
+	main := prog.Proc("main")
+	p0 := entryForMain(main, info.Opts)
+	a := &analyzer{
+		eng:       newEngine(info.Prog, info.Opts, info),
+		recording: true,
+		mute:      true,
+		sink:      map[ast.Stmt]*matrix.Matrix{},
+		cur:       main,
+	}
+	bound := map[*ast.CallStmt]*ProcContext{}
+	m := p0.Copy()
+	for _, s := range main.Body.Stmts {
+		if c, ok := s.(*ast.CallStmt); ok && c.Name == "bump" {
+			// Capture the binding exactly as a.call resolves it.
+			prev := m.Copy()
+			m = a.stmt(m, s)
+			bound[c] = replayBinding(t, a, sum, prev, c)
+			continue
+		}
+		m = a.stmt(m, s)
+	}
+	if m == nil {
+		t.Fatal("replay of main must not end in bottom")
+	}
+	calls := callStmtsTo(prog, "bump")
+	if len(calls) != 2 {
+		t.Fatalf("ctxpair main should call bump twice, found %d", len(calls))
+	}
+	evictedBinding, survivorBinding := bound[calls[0]], bound[calls[1]]
+	if evictedBinding == nil || survivorBinding == nil {
+		t.Fatal("replay did not resolve both bump call sites")
+	}
+	if !evictedBinding.IsMerged() {
+		t.Errorf("evicted entry must bind the merged fallback, got exact context (entry %v)",
+			evictedBinding.Entry().Handles())
+	}
+	if survivorBinding.IsMerged() {
+		t.Error("surviving exact context must still resolve exactly, got the fallback")
+	}
+	if evictedBinding.Exit() == nil {
+		t.Error("fallback bound by the replay must have a materialized exit")
+	}
+	// The fallback's widened entry must cover the surviving exact entry —
+	// it absorbed every context ever presented, which is what makes it a
+	// sound stand-in for the evicted one.
+	if !entryCoveredBy(survivorBinding.Entry(), evictedBinding.Entry()) {
+		t.Error("fallback entry does not cover the surviving exact entry — not the widened join")
+	}
+
+	// The public API agrees: Replay over the same sequence is non-bottom
+	// and records a matrix before every statement it visited.
+	mats, final := info.Replay("main", p0, []ast.Stmt{calls[0]})
+	if final == nil {
+		t.Fatal("Info.Replay of the evicted-context call returned bottom")
+	}
+	if len(mats) == 0 {
+		t.Error("Info.Replay recorded no before-matrices")
+	}
+}
+
+// replayBinding resolves the context a replayed call site binds, using the
+// same read-only lookup a.call performs (the staged matrix prev is the
+// state immediately before the call).
+func replayBinding(t *testing.T, a *analyzer, sum *Summary, prev *matrix.Matrix, c *ast.CallStmt) *ProcContext {
+	t.Helper()
+	callee := a.eng.prog.Proc(c.Name)
+	hIdx := handleParams(callee)
+	actuals := make([]matrix.Handle, len(hIdx))
+	nilArg := make([]bool, len(hIdx))
+	for k, pi := range hIdx {
+		switch v := c.Args[pi].(type) {
+		case *ast.VarRef:
+			actuals[k] = matrix.Handle(v.Name)
+		case *ast.NilLit:
+			nilArg[k] = true
+		}
+	}
+	ent := a.buildEntry(prev, callee, actuals, nilArg)
+	return sum.lookupContext(ent, a.eng.sameSCC(a.cur.Name, c.Name))
+}
+
+// TestReplayDeadCodeCallStaysQuiescent: a call only reachable after a
+// non-returning call is never analyzed, so its callee has no summary.
+// Replaying that statement must return bottom WITHOUT creating a summary —
+// the old code materialized one in the shared Info.Summaries map, a data
+// race under concurrent Replay.
+func TestReplayDeadCodeCallStaysQuiescent(t *testing.T) {
+	src := `
+program deadcall
+procedure main()
+  x: handle
+begin
+  x := new();
+  spin(x);
+  touch(x)
+end;
+procedure spin(h: handle)
+begin
+  spin(h)
+end;
+procedure touch(h: handle)
+begin
+  h.value := 1
+end;
+`
+	prog, err := progs.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := info.Summaries["touch"]; ok {
+		t.Fatal("precondition: touch must be unreachable (no summary)")
+	}
+	call := callStmtsTo(prog, "touch")[0]
+	p0 := matrix.New()
+	p0.Add("x", matrix.Attr{Nil: matrix.NonNil, Indeg: matrix.Root})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, final := info.Replay("main", p0, []ast.Stmt{call}); final != nil {
+					t.Error("replay of a dead-code call must be bottom")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, ok := info.Summaries["touch"]; ok {
+		t.Error("Replay mutated Info.Summaries (created a summary for touch)")
+	}
+}
+
+// TestSharedInfoConcurrentReaders hammers one shared Info from 8
+// goroutines mixing every read surface the serving layer uses — ProcOf,
+// Shape, ExitShape, DiagStrings, ContextTableStats, summary accessors, and
+// full-body Replay. Run under -race this pins the immutability-after-
+// Analyze contract.
+func TestSharedInfoConcurrentReaders(t *testing.T) {
+	for _, tc := range []struct {
+		name, src string
+		roots     []string
+		ctx       int
+	}{
+		{"add_and_reverse", progs.AddAndReverse, nil, 0},
+		{"ctxpair-cap1", progs.CtxPair, []string{"ra", "rb"}, 1},
+		{"mutualwalk", progs.MutualWalk, []string{"root"}, 0},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := progs.Compile(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := Analyze(prog, Options{ExternalRoots: tc.roots, MaxContexts: tc.ctx})
+			if err != nil {
+				t.Fatal(err)
+			}
+			main := prog.Proc("main")
+			p0 := entryForMain(main, info.Opts)
+			want := fmt.Sprintf("%v|%v|%v", info.Shape(), info.ExitShape(), info.DiagStrings())
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 10; i++ {
+						got := fmt.Sprintf("%v|%v|%v", info.Shape(), info.ExitShape(), info.DiagStrings())
+						if got != want {
+							t.Errorf("concurrent read diverged: %s != %s", got, want)
+							return
+						}
+						for s := range info.Before {
+							if _, ok := info.ProcOf(s); !ok {
+								t.Error("ProcOf lost a statement")
+								return
+							}
+						}
+						_ = info.ContextTableStats()
+						for _, sum := range info.Summaries {
+							_ = sum.ReadOnlyParam(0)
+							_ = sum.MergedEntry()
+							_ = sum.MergedExit()
+							for _, c := range sum.Contexts() {
+								_, _ = c.Entry(), c.Exit()
+							}
+						}
+						if _, final := info.Replay("main", p0, main.Body.Stmts); final == nil {
+							t.Error("replay of main went to bottom")
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

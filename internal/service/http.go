@@ -1,0 +1,167 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// HTTP transport for the service, shared by cmd/silserver and the silbench
+// -server load mode.
+//
+//	POST /analyze  {"source": "...", "roots": [...]}            single
+//	POST /analyze  {"programs": [{...}, {...}]}                 batch
+//	GET  /stats    service counters + Space tables
+//	GET  /healthz  liveness + current epoch
+//
+// Responses for /analyze carry the canonical result document(s) as the
+// body. Cache status is reported OUT OF BAND in the X-Sil-Cache header
+// ("hit" / "miss", comma-joined for batches), so a cached response body is
+// byte-identical to the fresh one — the property the e2e smoke test pins.
+// Parse/type errors return 400 with the diagnostics in the body; internal
+// analysis failures return 500.
+
+// CacheHeader is the response header carrying per-program cache verdicts.
+const CacheHeader = "X-Sil-Cache"
+
+// FingerprintHeader carries the canonical program fingerprint(s).
+const FingerprintHeader = "X-Sil-Fingerprint"
+
+type analyzeRequest struct {
+	Programs []Request `json:"programs"`
+	Request            // single-program shorthand: fields inline
+}
+
+type errorDoc struct {
+	Name   string   `json:"name,omitempty"`
+	Status int      `json:"status"`
+	Msg    string   `json:"error"`
+	Diags  []string `json:"diagnostics,omitempty"`
+}
+
+// NewHandler builds the HTTP API around a Service.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, `{"error":"POST required"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		var req analyzeRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Status: 400, Msg: "bad request body: " + err.Error()})
+			return
+		}
+		single := len(req.Programs) == 0
+		reqs := req.Programs
+		if single {
+			if strings.TrimSpace(req.Source) == "" {
+				writeJSON(w, http.StatusBadRequest, errorDoc{Status: 400, Msg: "no source and no programs in request"})
+				return
+			}
+			reqs = []Request{req.Request}
+		}
+		resps := s.AnalyzeBatch(reqs)
+
+		status := http.StatusOK
+		var errs []errorDoc
+		cacheVerdicts := make([]string, len(resps))
+		fps := make([]string, len(resps))
+		for i, resp := range resps {
+			cacheVerdicts[i] = verdict(resp)
+			fps[i] = resp.Fingerprint
+			if resp.Err != nil {
+				errs = append(errs, errorDoc{
+					Name: resp.Name, Status: resp.Err.Status,
+					Msg: resp.Err.Msg, Diags: resp.Err.Diags,
+				})
+				if resp.Err.Status > status {
+					status = resp.Err.Status
+				}
+			}
+		}
+		w.Header().Set(CacheHeader, strings.Join(cacheVerdicts, ","))
+		w.Header().Set(FingerprintHeader, strings.Join(fps, ","))
+		if single && len(errs) > 0 {
+			writeJSON(w, status, errs[0])
+			return
+		}
+		if single {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(resps[0].Body)
+			w.Write([]byte("\n"))
+			return
+		}
+		// Batch envelope: the per-program documents verbatim, in request
+		// order (null for a failed program) — still deterministic bytes for
+		// a deterministic batch. A partial failure keeps the successful
+		// results: the clean programs were analyzed and cached, so the body
+		// carries them alongside the errors array rather than making the
+		// client strip the bad program and pay for the batch again.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write([]byte(`{"results":[`))
+		for i, resp := range resps {
+			if i > 0 {
+				w.Write([]byte(","))
+			}
+			if resp.Err != nil {
+				w.Write([]byte("null"))
+			} else {
+				w.Write(resp.Body)
+			}
+		}
+		w.Write([]byte("]"))
+		if len(errs) > 0 {
+			if data, err := json.Marshal(errs); err == nil {
+				w.Write([]byte(`,"errors":`))
+				w.Write(data)
+			}
+		}
+		w.Write([]byte("}\n"))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, `{"error":"GET required"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, `{"error":"GET required"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+			Epoch  uint64 `json:"epoch"`
+		}{"ok", s.Stats().Epoch})
+	})
+	return mux
+}
+
+func verdict(r Response) string {
+	if r.Err != nil {
+		return "error"
+	}
+	if r.Cached {
+		return "hit"
+	}
+	return "miss"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(v)
+	if err != nil {
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Write(data)
+	w.Write([]byte("\n"))
+}

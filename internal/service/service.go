@@ -1,0 +1,487 @@
+// Package service is the analysis-as-a-service layer: it turns the one-shot
+// Analyze pipeline into a long-lived serving subsystem with
+//
+//   - a bounded SESSION POOL that reuses analysis workspaces across
+//     requests and owns the path.Space epoch lifecycle (the path/matrix
+//     intern and memo tables are process-wide by design, so the pool
+//     serializes Space.Reset against in-flight analyses and triggers it
+//     between requests once the tables outgrow their budget — the
+//     long-lived consumer the PR 2 epoch machinery was built for);
+//   - a bounded LRU RESULT CACHE keyed by a canonical 128-bit program
+//     fingerprint (the printed canonical AST plus the semantics-affecting
+//     options, hashed with the same two-lane mixing the matrix/set
+//     fingerprints use), with hit/miss/eviction counters. Cached entries
+//     hold the RENDERED response bytes, not live analysis objects, so they
+//     are epoch-independent: a Space reset never invalidates the cache,
+//     and a cache hit is byte-identical to the fresh response by
+//     construction;
+//   - BATCHED requests: a multi-program request analyzes its independent
+//     programs in parallel under one worker budget (the session pool);
+//     per-program results come back in request order.
+//
+// The determinism this leans on is load-bearing and separately tested: the
+// analysis is bit-identical across worker-pool sizes (the round-based
+// engine), Info is immutable after Analyze (replay_test.go), and
+// Parse(Print(p)) is structurally equal to p (roundtrip_test.go), which
+// is what makes the canonical-print fingerprint a sound cache key.
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/par"
+	"repro/internal/path"
+	"repro/internal/progs"
+	"repro/internal/sil/printer"
+)
+
+// Options tunes a Service.
+type Options struct {
+	// Analysis is the default analysis configuration; per-request overrides
+	// (Roots, MaxContexts) apply on top. Workers is per-analysis and does
+	// not affect results (the engine is bit-identical across pool sizes),
+	// so it is excluded from cache keys.
+	Analysis analysis.Options
+	// Par configures the parallelizer pass (zero value: par.DefaultOptions).
+	Par par.Options
+	// CacheCapacity bounds the result cache (entries). 0 picks 256;
+	// negative disables caching.
+	CacheCapacity int
+	// Sessions bounds the session pool — the worker budget: at most this
+	// many analyses run concurrently; further requests queue. 0 picks
+	// min(NumCPU, 8).
+	Sessions int
+	// ResetInternedPaths is the epoch policy: after a request completes,
+	// if the process Space holds more interned path expressions than this,
+	// the pool quiesces and resets the Space (dropping the intern/memo/
+	// residue tables and, via the reset hook, the matrix handle table).
+	// 0 picks 1<<20; negative disables epoch resets.
+	ResetInternedPaths int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Par == (par.Options{}) {
+		o.Par = par.DefaultOptions
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 256
+	}
+	if o.Sessions == 0 {
+		o.Sessions = runtime.NumCPU()
+		if o.Sessions > 8 {
+			o.Sessions = 8
+		}
+	}
+	if o.Sessions < 1 {
+		o.Sessions = 1
+	}
+	if o.ResetInternedPaths == 0 {
+		o.ResetInternedPaths = 1 << 20
+	}
+	return o
+}
+
+// Request is one program to analyze.
+type Request struct {
+	// Name labels the program in responses (defaults to the program's own
+	// name from the source).
+	Name string `json:"name,omitempty"`
+	// Source is the SIL program text.
+	Source string `json:"source"`
+	// Roots names main locals bound to externally built structures
+	// (analysis.Options.ExternalRoots).
+	Roots []string `json:"roots,omitempty"`
+	// MaxContexts overrides the context-table cap when non-zero (negative
+	// = merged mode), mirroring silbench -ctx.
+	MaxContexts int `json:"max_contexts,omitempty"`
+}
+
+// RequestError describes a per-program failure.
+type RequestError struct {
+	// Status is the suggested HTTP status: 400 for parse/type errors, 500
+	// for internal analysis failures.
+	Status int `json:"status"`
+	// Msg is the error rendering.
+	Msg string `json:"error"`
+	// Diags carries the compile diagnostics behind a 400.
+	Diags []string `json:"diagnostics,omitempty"`
+}
+
+func (e *RequestError) Error() string { return e.Msg }
+
+// Response is the outcome for one Request.
+type Response struct {
+	// Name echoes the request (or the program's declared name).
+	Name string
+	// Fingerprint is the canonical 128-bit program fingerprint (hex).
+	Fingerprint string
+	// Cached reports whether Body came from the result cache. It is
+	// deliberately NOT part of Body: cached and fresh bodies are
+	// byte-identical (transport layers surface it out of band).
+	Cached bool
+	// Body is the canonical JSON result document.
+	Body []byte
+	// Err is set instead of Body when the program failed.
+	Err *RequestError
+}
+
+// epochGate serializes Space.Reset (writer) against in-flight analyses
+// (readers): the epoch contract forbids resetting concurrently with path
+// operations. It is PACKAGE-level, not per-Service, because the resource
+// it guards — the path/matrix intern and memo tables — is process-global:
+// two Services in one process share the same Space, so one Service's
+// reset must also exclude the other's analyses.
+var epochGate sync.RWMutex
+
+// Service is a concurrent analysis server: session pool, result cache,
+// epoch management. Safe for use from many goroutines.
+type Service struct {
+	opts  Options
+	space *path.Space
+
+	// sessions is the pool; every analysis checks a session out and back
+	// in, so pool size == worker budget. sessionList holds the same
+	// sessions permanently for Stats to read their counters.
+	sessions    chan *Session
+	sessionList []*Session
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recent; values are *cacheEntry
+	cache map[Fp]*list.Element
+	// inflight coalesces concurrent cold misses per fingerprint: the first
+	// requester analyzes, the rest wait for its rendered bytes instead of
+	// burning sessions on byte-identical work (the Zipf-skewed mixes the
+	// load mode serves make simultaneous same-program misses the common
+	// cold-start case).
+	inflight map[Fp]*flight
+
+	served    atomic.Uint64
+	analyses  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+	resets    atomic.Uint64
+	errors    atomic.Uint64
+}
+
+// flight is one in-progress analysis other requests may wait on.
+type flight struct {
+	done chan struct{}
+	body []byte // nil if the analysis failed (waiters then run their own)
+}
+
+// Session is one pooled analysis workspace. The heavyweight state it
+// represents — the interned path expressions, memoized verdicts and handle
+// table a request's matrices are built from — lives in the shared process
+// path.Space; the session is the checkout token that bounds how many
+// analyses use that Space concurrently, plus per-session accounting
+// (surfaced as Stats.SessionLoads).
+type Session struct {
+	id     int
+	served atomic.Uint64
+}
+
+type cacheEntry struct {
+	key  Fp
+	name string
+	body []byte
+}
+
+// New builds a Service.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:     opts,
+		space:    path.DefaultSpace(),
+		sessions: make(chan *Session, opts.Sessions),
+		lru:      list.New(),
+		cache:    map[Fp]*list.Element{},
+		inflight: map[Fp]*flight{},
+	}
+	for i := 0; i < opts.Sessions; i++ {
+		sess := &Session{id: i + 1}
+		s.sessionList = append(s.sessionList, sess)
+		s.sessions <- sess
+	}
+	return s
+}
+
+// Analyze serves one program: cache lookup by canonical fingerprint, then
+// a pooled fresh analysis on a miss.
+func (s *Service) Analyze(req Request) Response {
+	s.served.Add(1)
+	prog, err := progs.Compile(req.Source)
+	if err != nil {
+		s.errors.Add(1)
+		return Response{Name: req.Name, Err: &RequestError{
+			Status: 400,
+			Msg:    err.Error(),
+			Diags:  []string{err.Error()},
+		}}
+	}
+	name := req.Name
+	if name == "" {
+		name = prog.Name
+	}
+	opts := s.requestOptions(req)
+	canon := printer.Print(prog)
+	fp := ProgramFingerprint(canon, opts)
+	if body, ok := s.cacheGet(fp); ok {
+		s.hits.Add(1)
+		return Response{Name: name, Fingerprint: fp.String(), Cached: true, Body: body}
+	}
+	if s.opts.CacheCapacity >= 0 {
+		// Coalesce concurrent misses on the same program: claim leadership
+		// of this fingerprint's flight, or wait for the current leader's
+		// rendered bytes instead of repeating its analysis. If a leader
+		// fails (nil body), the waiter loops and claims leadership itself.
+		var fl *flight
+		for fl == nil {
+			s.mu.Lock()
+			if cur := s.inflight[fp]; cur != nil {
+				s.mu.Unlock()
+				<-cur.done
+				if cur.body != nil {
+					s.coalesced.Add(1)
+					return Response{Name: name, Fingerprint: fp.String(), Cached: true, Body: cur.body}
+				}
+				continue
+			}
+			fl = &flight{done: make(chan struct{})}
+			s.inflight[fp] = fl
+			s.mu.Unlock()
+		}
+		defer func() {
+			if body, ok := s.cacheGet(fp); ok {
+				fl.body = body
+			}
+			s.mu.Lock()
+			delete(s.inflight, fp)
+			s.mu.Unlock()
+			close(fl.done)
+		}()
+	}
+	s.misses.Add(1)
+
+	sess := <-s.sessions
+	epochGate.RLock()
+	info, aerr := analysis.Analyze(prog, opts)
+	var parRes *par.Result
+	if aerr == nil {
+		parRes = par.Parallelize(info, s.opts.Par)
+	}
+	epochGate.RUnlock()
+	sess.served.Add(1)
+	s.sessions <- sess
+	s.maybeReset()
+
+	if aerr != nil {
+		s.errors.Add(1)
+		return Response{Name: name, Fingerprint: fp.String(), Err: &RequestError{
+			Status: 500,
+			Msg:    aerr.Error(),
+		}}
+	}
+	s.analyses.Add(1)
+	// The document is rendered under the program's DECLARED name — a pure
+	// function of the canonical source, like everything else in the body —
+	// so a cache hit is correct for every requester regardless of the
+	// request label they chose (Response.Name carries the label).
+	body, rerr := renderResult(prog.Name, fp, info, parRes)
+	if rerr != nil {
+		s.errors.Add(1)
+		return Response{Name: name, Fingerprint: fp.String(), Err: &RequestError{
+			Status: 500,
+			Msg:    rerr.Error(),
+		}}
+	}
+	s.cachePut(fp, name, body)
+	return Response{Name: name, Fingerprint: fp.String(), Body: body}
+}
+
+// AnalyzeBatch serves a multi-program request: the programs are analyzed
+// in parallel under the session-pool budget, and the responses come back
+// in request order. The pool bounds the whole per-program pipeline —
+// compile, fingerprint, cache probe, analysis — not just the analysis, so
+// an arbitrarily large batch runs at most Sessions programs (and spawns
+// at most Sessions goroutines) at a time.
+func (s *Service) AnalyzeBatch(reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 1 {
+		out[0] = s.Analyze(reqs[0])
+		return out
+	}
+	workers := s.opts.Sessions
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i] = s.Analyze(reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// requestOptions merges a request's overrides into the service defaults.
+func (s *Service) requestOptions(req Request) analysis.Options {
+	opts := s.opts.Analysis
+	if len(req.Roots) > 0 {
+		roots := append([]string(nil), req.Roots...)
+		sort.Strings(roots)
+		opts.ExternalRoots = roots
+	}
+	if req.MaxContexts != 0 {
+		opts.MaxContexts = req.MaxContexts
+	}
+	return opts
+}
+
+func (s *Service) cacheGet(fp Fp) ([]byte, bool) {
+	if s.opts.CacheCapacity < 0 {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.cache[fp]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+func (s *Service) cachePut(fp Fp, name string, body []byte) {
+	if s.opts.CacheCapacity < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.cache[fp]; ok {
+		// A concurrent miss on the same program raced us here; both bodies
+		// are byte-identical (deterministic render), keep the incumbent.
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.cache[fp] = s.lru.PushFront(&cacheEntry{key: fp, name: name, body: body})
+	for s.lru.Len() > s.opts.CacheCapacity {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.cache, oldest.Value.(*cacheEntry).key)
+		s.evictions.Add(1)
+	}
+}
+
+// FlushCache drops every cached result (test and operations hook).
+func (s *Service) FlushCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lru.Init()
+	s.cache = map[Fp]*list.Element{}
+}
+
+// maybeReset starts a new Space epoch when the intern table has outgrown
+// its budget. It takes the epoch gate exclusively, so it waits for the
+// in-flight analyses to finish and blocks new ones for the duration —
+// resets must never run concurrently with path operations. Cached results
+// survive: they hold rendered bytes, not epoch-bound objects.
+func (s *Service) maybeReset() {
+	if s.opts.ResetInternedPaths < 0 {
+		return
+	}
+	if s.space.Stats().InternedPaths <= s.opts.ResetInternedPaths {
+		return
+	}
+	epochGate.Lock()
+	defer epochGate.Unlock()
+	if s.space.Stats().InternedPaths <= s.opts.ResetInternedPaths {
+		return // another goroutine reset while we waited
+	}
+	s.space.Reset()
+	s.resets.Add(1)
+}
+
+// Stats is the monitoring snapshot (the /stats document).
+type Stats struct {
+	Served   uint64 `json:"served"`
+	Analyses uint64 `json:"analyses"`
+	Errors   uint64 `json:"errors"`
+
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheSize      int     `json:"cache_size"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	HitRate        float64 `json:"hit_rate"`
+	// Coalesced counts misses served from another request's in-flight
+	// analysis of the same program (cold-start thundering herd absorbed).
+	Coalesced uint64 `json:"coalesced"`
+
+	Sessions uint64 `json:"sessions"`
+	// SessionLoads is each pooled session's checkout count, in session
+	// order — the balance of the worker budget over the pool.
+	SessionLoads []uint64 `json:"session_loads"`
+
+	Epoch         uint64  `json:"epoch"`
+	EpochResets   uint64  `json:"epoch_resets"`
+	InternedPaths int     `json:"interned_paths"`
+	MemoVerdicts  int     `json:"memo_verdicts"`
+	MemoHitRate   float64 `json:"memo_hit_rate"`
+}
+
+// Stats snapshots the service counters and the underlying Space tables.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	size := s.lru.Len()
+	s.mu.Unlock()
+	sp := s.space.Stats()
+	st := Stats{
+		Served:         s.served.Load(),
+		Analyses:       s.analyses.Load(),
+		Errors:         s.errors.Load(),
+		CacheHits:      s.hits.Load(),
+		CacheMisses:    s.misses.Load(),
+		CacheEvictions: s.evictions.Load(),
+		CacheSize:      size,
+		CacheCapacity:  s.opts.CacheCapacity,
+		Coalesced:      s.coalesced.Load(),
+		Sessions:       uint64(s.opts.Sessions),
+		Epoch:          sp.Epoch,
+		EpochResets:    s.resets.Load(),
+		InternedPaths:  sp.InternedPaths,
+		MemoVerdicts:   sp.Verdicts(),
+		MemoHitRate:    sp.HitRate(),
+	}
+	for _, sess := range s.sessionList {
+		st.SessionLoads = append(st.SessionLoads, sess.served.Load())
+	}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(total)
+	}
+	return st
+}
+
+// String renders the stats compactly (logging hook).
+func (st Stats) String() string {
+	return fmt.Sprintf("served=%d analyses=%d hits=%d misses=%d coalesced=%d evictions=%d size=%d/%d epoch=%d resets=%d paths=%d",
+		st.Served, st.Analyses, st.CacheHits, st.CacheMisses, st.Coalesced, st.CacheEvictions,
+		st.CacheSize, st.CacheCapacity, st.Epoch, st.EpochResets, st.InternedPaths)
+}

@@ -1,0 +1,185 @@
+package ast
+
+// Structural equality over SIL ASTs, ignoring token positions. This is the
+// relation the printer/parser round-trip property is stated in — and, by
+// extension, what makes the canonical-print program fingerprint of the
+// serving layer trustworthy: Parse(Print(p)) must be EqualPrograms to p,
+// so equal programs (however formatted on the wire) print identically and
+// hash to the same fingerprint.
+
+// EqualPrograms reports position-independent structural equality of two
+// programs.
+func EqualPrograms(a, b *Program) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || len(a.Decls) != len(b.Decls) {
+		return false
+	}
+	for i := range a.Decls {
+		if !EqualDecls(a.Decls[i], b.Decls[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualDecls compares two procedure/function declarations.
+func EqualDecls(a, b *ProcDecl) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.Result != b.Result || a.ReturnVar != b.ReturnVar {
+		return false
+	}
+	if !equalVars(a.Params, b.Params) || !equalVars(a.Locals, b.Locals) {
+		return false
+	}
+	return EqualStmts(a.Body, b.Body)
+}
+
+func equalVars(a, b []*VarDecl) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Type != b[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// unwrapBlock strips single-statement blocks: "begin s end" and bare "s"
+// sequence identically, and the printer inserts such blocks to
+// disambiguate (a dangling else, an if/while as a "||" branch), so
+// structural equality must see through them or Parse(Print(p)) would
+// differ from p exactly where the printer had to add braces.
+func unwrapBlock(s Stmt) Stmt {
+	for {
+		b, ok := s.(*Block)
+		if !ok || len(b.Stmts) != 1 {
+			return s
+		}
+		s = b.Stmts[0]
+	}
+}
+
+// EqualStmts compares two statements structurally, treating a
+// single-statement block as equal to its one statement (see unwrapBlock).
+func EqualStmts(a, b Stmt) bool {
+	if a != nil {
+		a = unwrapBlock(a)
+	}
+	if b != nil {
+		b = unwrapBlock(b)
+	}
+	switch a := a.(type) {
+	case nil:
+		return b == nil
+	case *Block:
+		b, ok := b.(*Block)
+		if !ok || len(a.Stmts) != len(b.Stmts) {
+			return false
+		}
+		for i := range a.Stmts {
+			if !EqualStmts(a.Stmts[i], b.Stmts[i]) {
+				return false
+			}
+		}
+		return true
+	case *Assign:
+		b, ok := b.(*Assign)
+		return ok && equalLValues(a.Lhs, b.Lhs) && EqualExprs(a.Rhs, b.Rhs)
+	case *If:
+		b, ok := b.(*If)
+		return ok && EqualExprs(a.Cond, b.Cond) && EqualStmts(a.Then, b.Then) && EqualStmts(a.Else, b.Else)
+	case *While:
+		b, ok := b.(*While)
+		return ok && EqualExprs(a.Cond, b.Cond) && EqualStmts(a.Body, b.Body)
+	case *CallStmt:
+		b, ok := b.(*CallStmt)
+		return ok && a.Name == b.Name && equalExprList(a.Args, b.Args)
+	case *Par:
+		b, ok := b.(*Par)
+		if !ok || len(a.Branches) != len(b.Branches) {
+			return false
+		}
+		for i := range a.Branches {
+			if !EqualStmts(a.Branches[i], b.Branches[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func equalLValues(a, b LValue) bool {
+	switch a := a.(type) {
+	case *VarLV:
+		b, ok := b.(*VarLV)
+		return ok && a.Name == b.Name
+	case *FieldLV:
+		b, ok := b.(*FieldLV)
+		return ok && a.Base == b.Base && a.Field == b.Field && equalFields(a.Chain, b.Chain)
+	}
+	return false
+}
+
+func equalFields(a, b []Field) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalExprList(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !EqualExprs(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualExprs compares two expressions structurally.
+func EqualExprs(a, b Expr) bool {
+	switch a := a.(type) {
+	case nil:
+		return b == nil
+	case *IntLit:
+		b, ok := b.(*IntLit)
+		return ok && a.Val == b.Val
+	case *VarRef:
+		b, ok := b.(*VarRef)
+		return ok && a.Name == b.Name
+	case *NilLit:
+		_, ok := b.(*NilLit)
+		return ok
+	case *NewExpr:
+		_, ok := b.(*NewExpr)
+		return ok
+	case *FieldRef:
+		b, ok := b.(*FieldRef)
+		return ok && a.Base == b.Base && a.Field == b.Field && equalFields(a.Chain, b.Chain)
+	case *CallExpr:
+		b, ok := b.(*CallExpr)
+		return ok && a.Name == b.Name && equalExprList(a.Args, b.Args)
+	case *Unary:
+		b, ok := b.(*Unary)
+		return ok && a.Op == b.Op && EqualExprs(a.X, b.X)
+	case *Binary:
+		b, ok := b.(*Binary)
+		return ok && a.Op == b.Op && EqualExprs(a.X, b.X) && EqualExprs(a.Y, b.Y)
+	}
+	return false
+}

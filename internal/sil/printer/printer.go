@@ -102,7 +102,14 @@ func printStmt(b *strings.Builder, s ast.Stmt, indent int) {
 	case *ast.If:
 		ind(b, indent)
 		fmt.Fprintf(b, "if %s then\n", exprString(s.Cond, 0))
-		printStmt(b, s.Then, indent+1)
+		then := s.Then
+		if s.Else != nil && endsInOpenIf(then) {
+			// Dangling else: a then-branch whose rightmost statement is an
+			// if without an else would capture OUR else on reparse; close it
+			// with an explicit block.
+			then = &ast.Block{Stmts: []ast.Stmt{then}}
+		}
+		printStmt(b, then, indent+1)
 		if s.Else != nil {
 			b.WriteString("\n")
 			ind(b, indent)
@@ -141,6 +148,15 @@ func printStmt(b *strings.Builder, s ast.Stmt, indent int) {
 				b.WriteString("\n")
 				ind(b, indent)
 				b.WriteString("||\n")
+			}
+			switch br.(type) {
+			case *ast.Assign, *ast.CallStmt, *ast.Block:
+				// Self-delimiting: safe to print bare.
+			default:
+				// An if/while branch would swallow a following "||" into its
+				// own body on reparse, and a nested Par would flatten; close
+				// such branches with an explicit block.
+				br = &ast.Block{Stmts: []ast.Stmt{br}}
 			}
 			printStmt(b, br, indent)
 		}
@@ -236,11 +252,49 @@ func exprString(e ast.Expr, outer int) string {
 	case *ast.Binary:
 		p := opPrec(e.Op)
 		// Left-associative: right operand needs parens at equal precedence.
-		s := fmt.Sprintf("%s %s %s", exprString(e.X, p), e.Op, exprString(e.Y, p+1))
+		// Comparisons are NON-associative (the parser consumes at most one),
+		// so a nested comparison needs parens on the left side too.
+		xp := p
+		if isComparison(e.Op) {
+			xp = p + 1
+		}
+		s := fmt.Sprintf("%s %s %s", exprString(e.X, xp), e.Op, exprString(e.Y, p+1))
 		if p < outer {
 			return "(" + s + ")"
 		}
 		return s
 	}
 	return "?"
+}
+
+// isComparison reports whether op is one of the non-associative comparison
+// operators.
+func isComparison(op ast.Op) bool {
+	switch op {
+	case ast.Eq, ast.Neq, ast.Lt, ast.Gt, ast.Leq, ast.Geq:
+		return true
+	}
+	return false
+}
+
+// endsInOpenIf reports whether the rightmost statement reachable from s —
+// the one a following "else" token would attach to on reparse — is an if
+// without an else. Blocks close the spine (their "end" stops the parser's
+// else-capture); Par branches end the spine at their last branch.
+func endsInOpenIf(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.If:
+		if s.Else == nil {
+			return true
+		}
+		return endsInOpenIf(s.Else)
+	case *ast.While:
+		return endsInOpenIf(s.Body)
+	case *ast.Par:
+		if len(s.Branches) == 0 {
+			return false
+		}
+		return endsInOpenIf(s.Branches[len(s.Branches)-1])
+	}
+	return false
 }

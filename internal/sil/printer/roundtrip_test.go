@@ -1,0 +1,235 @@
+package printer_test
+
+// The printer/parser round-trip property: Parse(Print(p)) is structurally
+// equal to p (positions aside) over the corpus, normalized variants, and a
+// batch of random programs. The serving layer's program fingerprint hashes
+// the canonical print of the normalized AST, so this property is what
+// makes cache keys trustworthy: two structurally equal programs — however
+// formatted on the wire — print identically.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/progs"
+	"repro/internal/sil/ast"
+	"repro/internal/sil/parser"
+	"repro/internal/sil/printer"
+	"repro/internal/sil/types"
+)
+
+// roundTrip asserts Parse(Print(p)) == p structurally, and that printing
+// is idempotent (the reparse prints byte-identically).
+func roundTrip(t *testing.T, name string, p *ast.Program) {
+	t.Helper()
+	src := printer.Print(p)
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Errorf("%s: reparse of printed program failed: %v\nprinted:\n%s", name, err, src)
+		return
+	}
+	if !ast.EqualPrograms(p, q) {
+		t.Errorf("%s: Parse(Print(p)) is not structurally equal to p\nprinted:\n%s", name, src)
+		return
+	}
+	if again := printer.Print(q); again != src {
+		t.Errorf("%s: printing is not idempotent\n--- first\n%s\n--- second\n%s", name, src, again)
+	}
+}
+
+func TestRoundTripCorpus(t *testing.T) {
+	for _, e := range progs.Catalog {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			raw, err := parser.Parse(e.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, e.Name+"/raw", raw)
+			norm, err := progs.Compile(e.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			roundTrip(t, e.Name+"/normalized", norm)
+		})
+	}
+}
+
+func TestRoundTripRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		src := progs.RandomProgram(seed)
+		name := fmt.Sprintf("random-%d", seed)
+		raw, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		roundTrip(t, name+"/raw", raw)
+		norm, err := progs.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		roundTrip(t, name+"/normalized", norm)
+	}
+}
+
+// TestRoundTripParallelized runs the corpus through the full pipeline the
+// paper's figures use — analyze, then parallelize — and round-trips the
+// rewritten program, which is where "||" statements actually appear.
+// (Kept in the printer package via the text interface only: the printed
+// parallel program must reparse to the same structure.)
+func TestRoundTripParallelizedFigure8(t *testing.T) {
+	// Figure 8's layout, with both inline and block parallel branches.
+	src := `
+program fig8
+procedure main()
+  a, b: handle; x, y: int
+begin
+  a := new() || b := new();
+  x := 1 || y := 2;
+  begin
+    a.value := x
+  end
+  ||
+  begin
+    b.value := y
+  end
+end;
+`
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, "fig8", p)
+}
+
+// TestRoundTripDanglingElse pins the printer's disambiguation of an AST
+// the parser itself can never produce: an if whose then-branch ends in an
+// open if, with an else of its own. The printer must close the then-branch
+// so the else re-attaches to the OUTER if; without the guard, the reparse
+// silently rebinds the else to the inner if — a structural (and semantic)
+// divergence.
+func TestRoundTripDanglingElse(t *testing.T) {
+	inner := &ast.If{
+		Cond: &ast.Binary{Op: ast.Neq, X: &ast.VarRef{Name: "a"}, Y: &ast.NilLit{}},
+		Then: &ast.Assign{Lhs: &ast.VarLV{Name: "x"}, Rhs: &ast.IntLit{Val: 1}},
+	}
+	outer := &ast.If{
+		Cond: &ast.Binary{Op: ast.Neq, X: &ast.VarRef{Name: "b"}, Y: &ast.NilLit{}},
+		Then: inner,
+		Else: &ast.Assign{Lhs: &ast.VarLV{Name: "x"}, Rhs: &ast.IntLit{Val: 2}},
+	}
+	p := &ast.Program{
+		Name: "dangling",
+		Decls: []*ast.ProcDecl{{
+			Name: "main",
+			Locals: []*ast.VarDecl{
+				{Name: "a", Type: ast.HandleT},
+				{Name: "b", Type: ast.HandleT},
+				{Name: "x", Type: ast.IntT},
+			},
+			Body: &ast.Block{Stmts: []ast.Stmt{outer}},
+		}},
+	}
+	src := printer.Print(p)
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nprinted:\n%s", err, src)
+	}
+	got, ok := q.Decls[0].Body.Stmts[0].(*ast.If)
+	if !ok {
+		t.Fatalf("reparse lost the outer if\nprinted:\n%s", src)
+	}
+	if got.Else == nil {
+		t.Fatalf("else rebound to the inner if on reparse\nprinted:\n%s", src)
+	}
+	if gotInner, ok := firstStmt(got.Then).(*ast.If); !ok || gotInner.Else != nil {
+		t.Fatalf("inner if gained an else (or vanished) on reparse\nprinted:\n%s", src)
+	}
+	// The disambiguated print must itself round-trip exactly.
+	roundTrip(t, "dangling/printed", q)
+}
+
+// firstStmt unwraps the disambiguation block the printer may add.
+func firstStmt(s ast.Stmt) ast.Stmt {
+	if b, ok := s.(*ast.Block); ok && len(b.Stmts) == 1 {
+		return b.Stmts[0]
+	}
+	return s
+}
+
+// TestRoundTripIfAsParBranch: the parser CAN produce an if (or while) as a
+// "||" branch — "x := 1 || if x = 1 then y := 2" — and printing such a
+// branch bare would let the reparse swallow a following "||" into the
+// branch's own body. The printer closes those branches with a block;
+// equality sees through the single-statement wrapper (ast.unwrapBlock),
+// so the round-trip property holds on this shape too.
+func TestRoundTripIfAsParBranch(t *testing.T) {
+	src := `
+program parbranch
+procedure main()
+  x, y, z: int
+begin
+  x := 1 || if x = 1 then y := 2 || z := 3;
+  while x > 0 do x := x - 1 || y := 0
+end;
+`
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the second branch really is a bare if (whose then-branch in
+	// turn swallowed the trailing "|| z := 3" — the very ambiguity the
+	// printer's block-wrapping has to respect on the way back out).
+	par := p.Decls[0].Body.Stmts[0].(*ast.Par)
+	if len(par.Branches) != 2 {
+		t.Fatalf("first statement should have 2 branches, got %d", len(par.Branches))
+	}
+	innerIf, ok := par.Branches[1].(*ast.If)
+	if !ok {
+		t.Fatalf("branch 2 should be an if, got %T", par.Branches[1])
+	}
+	if _, ok := innerIf.Then.(*ast.Par); !ok {
+		t.Fatalf("the if's then-branch should be a par, got %T", innerIf.Then)
+	}
+	roundTrip(t, "parbranch", p)
+}
+
+// TestRoundTripNestedComparison pins the non-associative comparison fix:
+// (x = y) = z is only constructible programmatically, but the printer must
+// still parenthesize the left operand — without parens the reparse fails.
+func TestRoundTripNestedComparison(t *testing.T) {
+	e := &ast.Binary{
+		Op: ast.Eq,
+		X:  &ast.Binary{Op: ast.Eq, X: &ast.VarRef{Name: "x"}, Y: &ast.VarRef{Name: "y"}},
+		Y:  &ast.VarRef{Name: "z"},
+	}
+	s := printer.PrintExpr(e)
+	if s != "(x = y) = z" {
+		t.Errorf("nested comparison printed as %q, want %q", s, "(x = y) = z")
+	}
+}
+
+// TestNormalizePreservesRoundTrip: the normalized corpus, printed and
+// recompiled, must normalize to a structurally equal program — printing is
+// a faithful wire format for the analysis pipeline, which is exactly how
+// the serving layer uses it (canonical print of the normalized AST as the
+// cache key).
+func TestNormalizePreservesRoundTrip(t *testing.T) {
+	for _, e := range progs.Catalog {
+		norm, err := progs.Compile(e.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := parser.Parse(printer.Print(norm))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if err := types.Check(reparsed); err != nil {
+			t.Fatalf("%s: printed normalized program fails the checker: %v", e.Name, err)
+		}
+		types.Normalize(reparsed)
+		if !ast.EqualPrograms(norm, reparsed) {
+			t.Errorf("%s: normalize(parse(print(normalized))) diverged", e.Name)
+		}
+	}
+}

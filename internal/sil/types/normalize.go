@@ -224,15 +224,19 @@ func (n *normalizer) normAssign(s *ast.Assign) []ast.Stmt {
 			rhs := n.normHandleRHS(s.Rhs, &pre)
 			return append(pre, &ast.Assign{Lhs: lhs, Rhs: rhs})
 		}
-		rhs := n.normIntExpr(s.Rhs, &pre)
 		if call, ok := s.Rhs.(*ast.CallExpr); ok {
 			// Keep x := f(args) as one basic statement instead of routing
-			// the result through a temp.
+			// the result through a temp. (This must be decided BEFORE
+			// normIntExpr sees the expression: it would hoist the call into
+			// a fresh temp whose declaration leaked into the locals even
+			// though the hoisted statement was discarded — the bug that made
+			// Normalize non-idempotent, growing t-locals on every pass.)
 			var inner []ast.Stmt
 			callee := n.prog.Proc(call.Name)
 			args := n.normArgs(callee, call.Args, &inner)
 			return append(inner, &ast.Assign{Lhs: lhs, Rhs: &ast.CallExpr{Name: call.Name, Args: args, NamePos: call.NamePos}})
 		}
+		rhs := n.normIntExpr(s.Rhs, &pre)
 		return append(pre, &ast.Assign{Lhs: lhs, Rhs: rhs})
 	case *ast.FieldLV:
 		base := lhs.Base
