@@ -29,12 +29,15 @@
 // With -server the tool switches to the serving-layer load mode instead:
 //
 //	silbench -server [-clients 8] [-requests 200] [-zipf 1.2] [-cache 256]
-//	         [-ctx 0] [-out BENCH_server.json]
+//	         [-shards 1] [-ctx 0] [-out BENCH_server.json]
 //
 // It starts an in-process silserver (internal/service), drives it with N
 // concurrent HTTP clients issuing a Zipf-skewed corpus mix, and reports
 // cold (cache-miss) vs warm (cache-hit) latency percentiles, the hit rate,
 // and the server's /stats counters — a non-gating measurement artifact.
+// -shards mirrors silserver -shards (fingerprint-sharded serving); the
+// report then carries per-shard counters alongside the aggregate, so the
+// sharded and single-shard artifacts compare directly.
 package main
 
 import (
@@ -146,12 +149,13 @@ func main() {
 	requests := flag.Int("requests", 200, "server mode: requests per client")
 	zipfS := flag.Float64("zipf", 1.2, "server mode: Zipf skew parameter s (>1; larger = more skewed)")
 	cacheCap := flag.Int("cache", 256, "server mode: result-cache capacity (negative disables)")
+	shards := flag.Int("shards", 1, "server mode: fingerprint shards (silserver -shards)")
 	flag.Parse()
 
 	if *server {
 		if err := runServerLoad(serverLoadConfig{
 			Out: *out, Clients: *clients, Requests: *requests, ZipfS: *zipfS,
-			Cache: *cacheCap, Workers: *workers, MaxContexts: *ctx,
+			Cache: *cacheCap, Workers: *workers, MaxContexts: *ctx, Shards: *shards,
 		}); err != nil {
 			log.Fatalf("server load mode: %v", err)
 		}

@@ -36,6 +36,9 @@ type serverLoadConfig struct {
 	Cache       int
 	Workers     int
 	MaxContexts int
+	// Shards is the fingerprint-shard count (silserver -shards); 1 (or 0)
+	// serves everything from a single Service.
+	Shards int
 }
 
 // latencySummary is the percentile rendering of one request class.
@@ -85,6 +88,7 @@ type serverReport struct {
 	Requests int     `json:"requests_per_client"`
 	ZipfS    float64 `json:"zipf_s"`
 	Mode     string  `json:"mode"`
+	Shards   int     `json:"shards"`
 
 	Total   int            `json:"total_requests"`
 	Errors  int            `json:"errors"`
@@ -97,6 +101,9 @@ type serverReport struct {
 
 	Programs []programLoad  `json:"programs"`
 	Stats    *service.Stats `json:"server_stats,omitempty"`
+	// PerShard carries each shard's own counters when Shards > 1 (Stats is
+	// then the cross-shard aggregate).
+	PerShard []service.Stats `json:"per_shard_stats,omitempty"`
 }
 
 type sample struct {
@@ -113,7 +120,11 @@ func runServerLoad(cfg serverLoadConfig) error {
 	if cfg.ZipfS <= 1 {
 		return fmt.Errorf("-zipf must be > 1")
 	}
-	svc := service.New(service.Options{
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	router := service.NewRouter(shards, service.Options{
 		Analysis:      analysis.Options{Workers: cfg.Workers, MaxContexts: cfg.MaxContexts},
 		CacheCapacity: cfg.Cache,
 	})
@@ -121,7 +132,7 @@ func runServerLoad(cfg serverLoadConfig) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: service.NewHandler(svc)}
+	srv := &http.Server{Handler: service.NewRouterHandler(router)}
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
@@ -181,6 +192,7 @@ func runServerLoad(cfg serverLoadConfig) error {
 		Requests:  cfg.Requests,
 		ZipfS:     cfg.ZipfS,
 		Mode:      mode,
+		Shards:    shards,
 	}
 	var warm, cold []time.Duration
 	perProg := map[string]*programLoad{}
@@ -228,11 +240,15 @@ func runServerLoad(cfg serverLoadConfig) error {
 		pl.WarmMs = median(progWarm[n])
 		rep.Programs = append(rep.Programs, *pl)
 	}
-	st := svc.Stats()
-	rep.Stats = &st
+	rst := router.Stats()
+	rep.Stats = &rst.Total
+	if shards > 1 {
+		rep.PerShard = rst.PerShard
+	}
+	st := rst.Total
 
-	fmt.Fprintf(os.Stderr, "server load: %d requests (%d clients x %d), hit rate %.3f, errors %d\n",
-		rep.Total, cfg.Clients, cfg.Requests, rep.HitRate, rep.Errors)
+	fmt.Fprintf(os.Stderr, "server load: %d requests (%d clients x %d, %d shard(s)), hit rate %.3f, errors %d\n",
+		rep.Total, cfg.Clients, cfg.Requests, shards, rep.HitRate, rep.Errors)
 	fmt.Fprintf(os.Stderr, "  cold p50 %.3fms p90 %.3fms | warm p50 %.3fms p90 %.3fms | cold/warm %.1fx\n",
 		rep.Cold.P50Ms, rep.Cold.P90Ms, rep.Warm.P50Ms, rep.Warm.P90Ms, rep.ColdWarmMedianRatio)
 	fmt.Fprintf(os.Stderr, "  server: %s\n", st)

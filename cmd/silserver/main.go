@@ -1,23 +1,27 @@
 // Command silserver is the analysis-as-a-service daemon: an HTTP/JSON
 // front end over internal/service, serving the Hendren–Nicolau analysis
-// with a pooled path.Space, a fingerprint-keyed result cache, and batched
-// parallel analysis.
+// with pooled sessions (each owning a private path.Space), a
+// fingerprint-keyed result cache, batched parallel analysis, and optional
+// fingerprint sharding.
 //
 // Usage:
 //
-//	silserver [-addr :8080] [-cache 256] [-sessions 0] [-ctx 0]
-//	          [-reset-paths 1048576] [-workers 0]
+//	silserver [-addr :8080] [-cache 256] [-sessions 0] [-shards 1]
+//	          [-ctx 0] [-reset-paths 1048576] [-workers 0]
 //
 // Endpoints:
 //
 //	POST /analyze  {"source":"program p ...","roots":["root"]}
 //	POST /analyze  {"programs":[{"name":"a","source":"..."}, ...]}
-//	GET  /stats
+//	GET  /stats    (?shard=N for one shard's snapshot when -shards > 1)
 //	GET  /healthz
 //
-// A cached response is byte-identical to the fresh one; the X-Sil-Cache
-// header reports "hit" or "miss" per program. Parse/type errors return 400
-// with diagnostics in the body.
+// With -shards N the canonical program fingerprint is consistent-hashed
+// across N independent shards, each with its own session pool, Spaces,
+// and result cache; responses are byte-identical whatever N is. A cached
+// response is byte-identical to the fresh one; the X-Sil-Cache header
+// reports "hit" or "miss" per program. Parse/type errors return 400 with
+// diagnostics in the body.
 package main
 
 import (
@@ -37,10 +41,11 @@ func main() {
 	sessions := flag.Int("sessions", 0, "session pool size / worker budget (0 = default)")
 	workers := flag.Int("workers", 0, "per-analysis worker pool size (0 = default; does not affect results)")
 	ctx := flag.Int("ctx", 0, "context-table cap: 0 = default, >0 = override, <0 = merged mode")
-	resetPaths := flag.Int("reset-paths", 1<<20, "interned-path budget before an epoch reset (negative disables)")
+	resetPaths := flag.Int("reset-paths", 1<<20, "per-session interned-path budget before an epoch reset (negative disables)")
+	shards := flag.Int("shards", 1, "fingerprint shards; each shard has its own session pool and result cache")
 	flag.Parse()
 
-	svc := service.New(service.Options{
+	router := service.NewRouter(*shards, service.Options{
 		Analysis:           analysis.Options{Workers: *workers, MaxContexts: *ctx},
 		CacheCapacity:      *cache,
 		Sessions:           *sessions,
@@ -48,11 +53,11 @@ func main() {
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           service.NewRouterHandler(router),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("silserver listening on %s (cache=%d sessions=%d ctx=%d reset-paths=%d)",
-		*addr, *cache, *sessions, *ctx, *resetPaths)
+	log.Printf("silserver listening on %s (shards=%d cache=%d sessions=%d ctx=%d reset-paths=%d)",
+		*addr, *shards, *cache, *sessions, *ctx, *resetPaths)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}

@@ -66,9 +66,19 @@ type Options struct {
 	// start possibly-non-nil with unknown indegree, and — since the
 	// builder may have aliased them — pairwise possibly related.
 	ExternalRoots []string
+	// Space selects the matrix/path Space the analysis interns into; nil
+	// picks matrix.DefaultSpace(), the process-wide tables one-shot CLI
+	// runs share. Long-lived services give each session worker its own
+	// Space so epoch resets stay worker-local. The choice of Space never
+	// affects results (matrices render content-based), so it is no part of
+	// any result-cache key.
+	Space *matrix.Space
 }
 
 func (o Options) withDefaults() Options {
+	if o.Space == nil {
+		o.Space = matrix.DefaultSpace()
+	}
 	if o.Limits == (path.Limits{}) {
 		o.Limits = path.DefaultLimits
 	}
@@ -213,6 +223,16 @@ type Info struct {
 func (in *Info) ProcOf(s ast.Stmt) (string, bool) {
 	name, ok := in.stmtProc[s]
 	return name, ok
+}
+
+// PathSpace returns the path.Space this analysis interned into — consumers
+// building fresh path expressions against the Info's matrices (e.g. the
+// interference analysis) must intern there.
+func (in *Info) PathSpace() *path.Space {
+	if in.Opts.Space != nil {
+		return in.Opts.Space.Paths()
+	}
+	return path.DefaultSpace()
 }
 
 // Shape returns the worst structure estimate over every program point of
@@ -386,6 +406,10 @@ type engine struct {
 	prog *ast.Program
 	opts Options
 	info *Info
+	// msp/psp are the run's interning Spaces (opts.Space and its path
+	// Space), resolved once so transfer functions don't re-derive them.
+	msp *matrix.Space
+	psp *path.Space
 
 	mu sync.Mutex
 	// procDeps maps a callee name to its caller items: when the callee's
@@ -709,10 +733,16 @@ func callGraphSCC(prog *ast.Program) map[string]int {
 }
 
 func newEngine(prog *ast.Program, opts Options, info *Info) *engine {
+	msp := opts.Space
+	if msp == nil {
+		msp = matrix.DefaultSpace()
+	}
 	e := &engine{
 		prog:     prog,
 		opts:     opts,
 		info:     info,
+		msp:      msp,
+		psp:      msp.Paths(),
 		procDeps: map[string]map[item]bool{},
 		ctxDeps:  map[*ProcContext]map[item]bool{},
 		deferred: map[item]bool{},
@@ -937,7 +967,11 @@ func entryForMain(main *ast.ProcDecl, opts Options) *matrix.Matrix {
 	for _, r := range opts.ExternalRoots {
 		ext[r] = true
 	}
-	m := matrix.New()
+	sp := opts.Space
+	if sp == nil {
+		sp = matrix.DefaultSpace()
+	}
+	m := matrix.NewIn(sp)
 	var roots []matrix.Handle
 	for _, v := range main.Locals {
 		if v.Type != ast.HandleT {
@@ -951,7 +985,7 @@ func entryForMain(main *ast.ProcDecl, opts Options) *matrix.Matrix {
 			m.Add(matrix.Handle(v.Name), matrix.Attr{Nil: matrix.DefNil, Indeg: matrix.Root})
 		}
 	}
-	maybeAnywhere := path.NewSet(path.SamePossible(), path.NewPossible(path.Plus(path.DownD)))
+	maybeAnywhere := path.NewSet(path.SamePossible(), sp.Paths().NewPossible(path.Plus(path.DownD)))
 	for _, a := range roots {
 		for _, b := range roots {
 			if a != b {

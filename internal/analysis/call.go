@@ -157,7 +157,7 @@ func (a *analyzer) call(m *matrix.Matrix, name string, args []ast.Expr, dst *mat
 
 // buildEntry constructs the callee entry matrix from the caller's matrix.
 func (a *analyzer) buildEntry(m *matrix.Matrix, callee *ast.ProcDecl, actuals []matrix.Handle, nilArg []bool) *matrix.Matrix {
-	ent := matrix.New()
+	ent := matrix.NewIn(a.eng.msp)
 	ent.ResetShape(m.Shape())
 	hIdx := handleParams(callee)
 	formals := make([]matrix.Handle, len(hIdx))
@@ -356,7 +356,7 @@ func (a *analyzer) regionHavoc(m *matrix.Matrix, hIdx []int, mr modref, actuals 
 			}
 		}
 	}
-	down := path.NewSet(path.NewPossible(path.Plus(path.DownD)))
+	down := path.NewSet(a.eng.psp.NewPossible(path.Plus(path.DownD)))
 	for y := range affected {
 		// Old paths to and from y are in doubt.
 		for _, x := range m.Handles() {

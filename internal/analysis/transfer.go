@@ -223,9 +223,11 @@ func (a *analyzer) loadField(m *matrix.Matrix, dst, src matrix.Handle, f path.Di
 		if x == dst {
 			continue
 		}
-		// Ancestors and aliases of src: x→dst = (x→src)·f.
+		// Ancestors and aliases of src: x→dst = (x→src)·f. The set may
+		// contain S (aliases of src), so the extension names the engine's
+		// Space explicitly.
 		if !r.toSrc.IsEmpty() {
-			m.Put(x, dst, r.toSrc.ExtendAll(f))
+			m.Put(x, dst, a.eng.psp.ExtendAll(r.toSrc, f))
 		}
 		// Handles below src: dst→x = residue of (src→x) by f.
 		if !r.fromSrc.IsEmpty() {
@@ -245,7 +247,7 @@ func (a *analyzer) loadField(m *matrix.Matrix, dst, src matrix.Handle, f path.Di
 	if dst != src {
 		// src→dst is exactly one f edge (Figure 2(b): d := a.right gives
 		// a→d = R1, definite).
-		m.Put(src, dst, m.Get(src, dst).Union(path.NewSet(path.New(path.Exact(f, 1)))))
+		m.Put(src, dst, m.Get(src, dst).Union(path.NewSet(a.eng.psp.New(path.Exact(f, 1)))))
 	}
 	// When dst == src (Figure 3's l := l.left) the old identity dies with
 	// the kill; the ancestor extensions above already used the snapshot.
@@ -347,7 +349,7 @@ func (a *analyzer) update(m *matrix.Matrix, base matrix.Handle, f path.Dir, rhs 
 	a.markAttach(m, src)
 
 	// Gen: the new edge and its closure.
-	edge := path.New(path.Exact(f, 1))
+	edge := a.eng.psp.New(path.Exact(f, 1))
 	if maybeNil {
 		edge = edge.AsPossible()
 	}
@@ -420,7 +422,7 @@ func (a *analyzer) killThroughEdge(m *matrix.Matrix, base matrix.Handle, f path.
 					return false
 				}
 				for _, pre := range prefixes {
-					if path.MayRouteThrough(q, pre, f) {
+					if a.eng.psp.MayRouteThrough(q, pre, f) {
 						return true
 					}
 				}

@@ -119,7 +119,7 @@ func relReadWrite(prog *ast.Program, info *analysis.Info, s ast.Stmt, p *matrix.
 // each update argument contributes it as writes, across all three fields.
 func relCall(prog *ast.Program, info *analysis.Info, p *matrix.Matrix, live map[string]bool,
 	name string, args []ast.Expr, useReadOnly bool) (r, w RelSet) {
-	star := path.NewSet(path.SamePossible(), path.NewPossible(path.Plus(path.DownD)))
+	star := path.NewSet(path.SamePossible(), info.PathSpace().NewPossible(path.Plus(path.DownD)))
 	handleArgs := callHandleArgs(prog, name, args)
 	updateArgs := map[string]bool{}
 	for _, u := range callUpdateArgs(prog, info, name, args, useReadOnly) {

@@ -40,9 +40,10 @@ func fpLanes(x, seed uint64) Fp {
 // stickyFP is the contribution of the sticky shape verdict.
 func stickyFP(s Shape) Fp { return fpLanes(uint64(s)+1, fpStickySeed) }
 
-// attrFP is the contribution of one live handle's attribute record.
-func attrFP(h Handle, a Attr) Fp {
-	x := uint64(idOf(h))<<16 | uint64(a.Nil)<<8 | uint64(a.Indeg)
+// attrFP is the contribution of one live handle's attribute record, keyed
+// by the handle's ID in the matrix's Space.
+func attrFP(sp *Space, h Handle, a Attr) Fp {
+	x := uint64(sp.idOf(h))<<16 | uint64(a.Nil)<<8 | uint64(a.Indeg)
 	return fpLanes(x, fpAttrSeed)
 }
 
@@ -64,7 +65,7 @@ func (m *Matrix) fpSub(d Fp) { m.fp.Hi -= d.Hi; m.fp.Lo -= d.Lo }
 func (m *Matrix) recomputeFP() Fp {
 	fp := stickyFP(m.sticky)
 	for h, a := range m.attrs {
-		f := attrFP(h, a)
+		f := attrFP(m.sp, h, a)
 		fp.Hi += f.Hi
 		fp.Lo += f.Lo
 	}

@@ -151,6 +151,9 @@ func (s Shape) DefinitelyAcyclic() bool { return s <= ShapeDAG }
 // intermediate step in swapping some nodes") verify as TREE again once the
 // swap completes.
 type Matrix struct {
+	// sp is the Space whose handle table keys the entries; derived matrices
+	// (Copy, Merge, Rename, Project) inherit it.
+	sp      *Space
 	order   []Handle // insertion order, for paper-layout printing
 	entries map[entryKey]path.Set
 	attrs   map[Handle]Attr
@@ -162,18 +165,28 @@ type Matrix struct {
 	fp Fp
 }
 
-// New returns an empty matrix describing a TREE store with no live handles.
-func New() *Matrix {
+// New returns an empty matrix describing a TREE store with no live
+// handles, interning in the default Space (one-shot CLI/test convenience;
+// long-lived consumers use NewIn).
+func New() *Matrix { return NewIn(DefaultSpace()) }
+
+// NewIn returns an empty TREE matrix whose handles intern into sp.
+func NewIn(sp *Space) *Matrix {
 	return &Matrix{
+		sp:      sp,
 		entries: make(map[entryKey]path.Set),
 		attrs:   make(map[Handle]Attr),
 		fp:      stickyFP(ShapeTree),
 	}
 }
 
-// Copy returns a deep copy.
+// Space returns the matrix's owning Space.
+func (m *Matrix) Space() *Space { return m.sp }
+
+// Copy returns a deep copy (in the same Space).
 func (m *Matrix) Copy() *Matrix {
 	c := &Matrix{
+		sp:      m.sp,
 		order:   append([]Handle(nil), m.order...),
 		entries: make(map[entryKey]path.Set, len(m.entries)),
 		attrs:   make(map[Handle]Attr, len(m.attrs)),
@@ -207,15 +220,15 @@ func (m *Matrix) putAttr(h Handle, a Attr) {
 		if old == a {
 			return
 		}
-		m.fpSub(attrFP(h, old))
+		m.fpSub(attrFP(m.sp, h, old))
 	}
 	m.attrs[h] = a
-	m.fpAdd(attrFP(h, a))
+	m.fpAdd(attrFP(m.sp, h, a))
 }
 
 func (m *Matrix) dropAttr(h Handle) {
 	if old, ok := m.attrs[h]; ok {
-		m.fpSub(attrFP(h, old))
+		m.fpSub(attrFP(m.sp, h, old))
 		delete(m.attrs, h)
 	}
 }
@@ -310,9 +323,9 @@ func (m *Matrix) Add(h Handle, a Attr) {
 	}
 	m.putAttr(h, a)
 	if a.Nil != DefNil {
-		m.setEntry(ek(h, h), path.NewSet(path.Same()))
+		m.setEntry(m.sp.ek(h, h), path.NewSet(path.Same()))
 	} else {
-		m.setEntry(ek(h, h), path.EmptySet())
+		m.setEntry(m.sp.ek(h, h), path.EmptySet())
 	}
 }
 
@@ -331,7 +344,7 @@ func (m *Matrix) Remove(h Handle) {
 		}
 	}
 	m.dropAttr(h)
-	hid := idOf(h)
+	hid := m.sp.idOf(h)
 	for k, v := range m.entries {
 		if uint32(k>>32) == hid || uint32(k) == hid {
 			m.fpSub(entryFP(k, v))
@@ -342,7 +355,7 @@ func (m *Matrix) Remove(h Handle) {
 
 // Get returns the entry p[a,b] (empty set when absent or handles unknown).
 func (m *Matrix) Get(a, b Handle) path.Set {
-	return m.entries[ek(a, b)]
+	return m.entries[m.sp.ek(a, b)]
 }
 
 // Put sets the entry p[a,b]; an empty set deletes it.
@@ -350,7 +363,7 @@ func (m *Matrix) Put(a, b Handle, s path.Set) {
 	if !m.Has(a) || !m.Has(b) {
 		return
 	}
-	m.setEntry(ek(a, b), s)
+	m.setEntry(m.sp.ek(a, b), s)
 }
 
 // AddPaths unions extra paths into p[a,b].
@@ -436,7 +449,7 @@ func mergeShape(a, b Shape) Shape {
 // attributes join in their lattices, sticky shape joins with one-sided
 // weakening.
 func (m *Matrix) Merge(o *Matrix) *Matrix {
-	out := New()
+	out := NewIn(m.sp)
 	out.setSticky(mergeShape(m.sticky, o.sticky))
 	// Preserve m's ordering first, then o's extras. A node shared on only
 	// one side is possibly shared: the Indegree lattice has no value for
@@ -464,7 +477,7 @@ func (m *Matrix) Merge(o *Matrix) *Matrix {
 	seen := make(map[entryKey]bool, len(m.entries)+len(o.entries))
 	for k, v := range m.entries {
 		seen[k] = true
-		row, col := k.handles()
+		row, col := m.sp.keyHandles(k)
 		merged := v.MergeJoin(o.entries[k])
 		if k.diagonal() && out.attrs[row].Nil != DefNil {
 			// Keep the definite S diagonal for handles live on both sides.
@@ -476,7 +489,7 @@ func (m *Matrix) Merge(o *Matrix) *Matrix {
 		if seen[k] {
 			continue
 		}
-		row, col := k.handles()
+		row, col := m.sp.keyHandles(k)
 		merged := path.EmptySet().MergeJoin(v)
 		if k.diagonal() && out.attrs[row].Nil != DefNil {
 			merged = merged.Add(path.Same())
@@ -506,7 +519,7 @@ func (m *Matrix) Rename(sub map[Handle]Handle) *Matrix {
 		}
 		return h
 	}
-	out := New()
+	out := NewIn(m.sp)
 	out.setSticky(m.sticky)
 	for _, h := range m.order {
 		n, a := name(h), m.attrs[h]
@@ -517,7 +530,7 @@ func (m *Matrix) Rename(sub map[Handle]Handle) *Matrix {
 		out.Add(n, a)
 	}
 	for k, v := range m.entries {
-		row, col := k.handles()
+		row, col := m.sp.keyHandles(k)
 		out.AddPaths(name(row), name(col), v)
 	}
 	return out
@@ -529,7 +542,7 @@ func (m *Matrix) Project(keep []Handle) *Matrix {
 	for _, h := range keep {
 		want[h] = true
 	}
-	out := New()
+	out := NewIn(m.sp)
 	out.setSticky(m.sticky)
 	for _, h := range m.order {
 		if want[h] {
@@ -539,7 +552,7 @@ func (m *Matrix) Project(keep []Handle) *Matrix {
 		}
 	}
 	for k, v := range m.entries {
-		row, col := k.handles()
+		row, col := m.sp.keyHandles(k)
 		if want[row] && want[col] {
 			out.Put(row, col, v)
 		}

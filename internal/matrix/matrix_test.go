@@ -449,17 +449,52 @@ func TestShapeStrings(t *testing.T) {
 // must never collide with a fresh handle's ID and silently resolve to the
 // wrong entry (the benign-failure clause of the epoch contract).
 func TestHandleIDsNotReusedAcrossEpochs(t *testing.T) {
-	a := idOf("epoch-probe-a")
+	sp := DefaultSpace()
+	a := sp.idOf("epoch-probe-a")
 	path.DefaultSpace().Reset()
 	if got := InternedHandles(); got != 0 {
 		t.Fatalf("reset must empty the handle table, have %d", got)
 	}
-	b := idOf("epoch-probe-b")
+	b := sp.idOf("epoch-probe-b")
 	if b <= a {
 		t.Errorf("handle ID %d reused/regressed across epochs (previous %d)", b, a)
 	}
-	if nameOf(b) != "epoch-probe-b" {
-		t.Errorf("nameOf(%d) = %q", b, nameOf(b))
+	if sp.nameOf(b) != "epoch-probe-b" {
+		t.Errorf("nameOf(%d) = %q", b, sp.nameOf(b))
+	}
+}
+
+// TestSpacesIsolated: two matrix Spaces are fully independent — interning
+// in one never shows up in the other, and resetting one leaves the other's
+// tables (and in-flight matrices) intact. This is the property the
+// per-session service Spaces rely on.
+func TestSpacesIsolated(t *testing.T) {
+	spA := NewSpace(path.NewSpace())
+	spB := NewSpace(path.NewSpace())
+	mA, mB := NewIn(spA), NewIn(spB)
+	mA.Add("x", Attr{Nil: NonNil, Indeg: Root})
+	mA.Add("y", Attr{Nil: NonNil, Indeg: Root})
+	mA.AddPaths("x", "y", path.NewSet(spA.Paths().New(path.Exact(path.LeftD, 1))))
+	mB.Add("x", Attr{Nil: NonNil, Indeg: Root})
+	if got := spB.InternedHandles(); got != 1 {
+		t.Fatalf("space B saw %d handles, want its own 1", got)
+	}
+	if got := spA.InternedHandles(); got != 2 {
+		t.Fatalf("space A saw %d handles, want 2", got)
+	}
+	epochA := spA.Paths().Epoch()
+	spB.Paths().Reset()
+	if spA.Paths().Epoch() != epochA {
+		t.Fatalf("resetting space B bumped space A's epoch")
+	}
+	if got := spA.InternedHandles(); got != 2 {
+		t.Fatalf("resetting space B dropped space A's handles (%d left)", got)
+	}
+	if got := mA.Get("x", "y").String(); got != "L1" {
+		t.Fatalf("space A matrix entry damaged by space B reset: %q", got)
+	}
+	if got := spB.InternedHandles(); got != 0 {
+		t.Fatalf("space B reset left %d handles", got)
 	}
 }
 

@@ -97,8 +97,9 @@ func (t *memoTable) reset() {
 	}
 }
 
-// MemoizedVerdicts reports how many subsumption/overlap/prefix verdicts the
-// current epoch holds (monitoring hook for silbench).
+// MemoizedVerdicts reports how many subsumption/overlap/prefix verdicts
+// the process-default Space's current epoch holds (monitoring hook for
+// silbench).
 func MemoizedVerdicts() int {
 	sp := procSpace
 	return sp.subsume.size() + sp.overlap.size() + sp.prefix.size()
@@ -112,8 +113,10 @@ type residueTable struct {
 	m  map[uint64][]Path
 }
 
+// residueMemo caches in the node's owning Space, so residues of a private
+// Space's expressions never touch another Space's tables.
 func residueMemo(n *pnode, f Dir) []Path {
-	t := &procSpace.residue
+	t := &n.sp.residue
 	key := uint64(n.id)<<2 | uint64(f)
 	t.mu.RLock()
 	r, ok := t.m[key]

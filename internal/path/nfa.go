@@ -86,7 +86,8 @@ func productReach(a, b nfa, ok func(ka, kb int) bool) bool {
 // concrete edge sequence — i.e. whether, starting from a common node, the
 // two paths can land on the same node. Definiteness flags are ignored; this
 // is a may-question. S overlaps only with paths that can be empty (only S).
-// Verdicts are memoized on the interned (ID, ID) pair; see memo.go.
+// Verdicts are memoized on the interned (ID, ID) pair in the operands'
+// owning Space; see memo.go.
 func MayOverlap(p, q Path) bool {
 	if p.node == q.node {
 		return true // every path expression denotes at least one word
@@ -95,7 +96,7 @@ func MayOverlap(p, q Path) bool {
 		return false // S denotes only the empty word; non-S paths never do
 	}
 	key := overlapKey(p.node.id, q.node.id)
-	memo := &procSpace.overlap
+	memo := &p.node.sp.overlap
 	if v, ok := memo.lookup(key); ok {
 		return v
 	}
@@ -121,7 +122,7 @@ func MayStrictPrefix(p, q Path) bool {
 		return true // the empty word prefixes every non-empty word
 	}
 	key := pairKey(p.node.id, q.node.id)
-	memo := &procSpace.prefix
+	memo := &p.node.sp.prefix
 	if v, ok := memo.lookup(key); ok {
 		return v
 	}
@@ -182,9 +183,17 @@ func mayStrictPrefixSlow(ps, qs []Seg) bool {
 // f-edge out of a node reached from x by pa (x→a). It decides
 // L(pa · f · Σ*) ∩ L(pxy) ≠ ∅ and is the kill-test used by the transfer
 // function for the update a.f := b: any x→y path that may route through
-// a's old f edge can no longer be considered definite.
+// a's old f edge can no longer be considered definite. The pa·f prefix
+// interns into the operands' Space (pa may be S, so pxy's Space breaks the
+// tie; the process default only when both are S).
 func MayRouteThrough(pxy, pa Path, f Dir) bool {
-	prefix := pa.Extend(f)
+	return spaceOf(procSpace, pa, pxy).MayRouteThrough(pxy, pa, f)
+}
+
+// MayRouteThrough is the explicit-Space form: the pa·f prefix interns into
+// sp (required when both operands may be S).
+func (sp *Space) MayRouteThrough(pxy, pa Path, f Dir) bool {
+	prefix := sp.Extend(pa, f)
 	if MayOverlap(prefix, pxy) {
 		return true
 	}
@@ -215,7 +224,7 @@ func Subsumes(p, q Path) bool {
 		return false
 	}
 	key := pairKey(p.node.id, q.node.id)
-	memo := &procSpace.subsume
+	memo := &p.node.sp.subsume
 	if v, ok := memo.lookup(key); ok {
 		return v
 	}

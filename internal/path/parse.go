@@ -5,11 +5,14 @@ import (
 	"strings"
 )
 
-// Parse parses a single path in the notation produced by Path.String:
-// "S", "S?", "L1", "L+", "L2+", "R1D+?", and so on. A "^" between the
-// direction letter and the count is accepted, so the paper's spelling
-// "L^1L+L^2" parses too.
-func Parse(src string) (Path, error) {
+// Parse parses a single path in the notation produced by Path.String into
+// the process-default Space: "S", "S?", "L1", "L+", "L2+", "R1D+?", and so
+// on. A "^" between the direction letter and the count is accepted, so the
+// paper's spelling "L^1L+L^2" parses too.
+func Parse(src string) (Path, error) { return procSpace.Parse(src) }
+
+// Parse parses a single path into a Path owned by sp.
+func (sp *Space) Parse(src string) (Path, error) {
 	orig := src
 	src = strings.ReplaceAll(strings.TrimSpace(src), "^", "")
 	possible := false
@@ -67,7 +70,7 @@ func Parse(src string) (Path, error) {
 	if len(segs) == 0 {
 		return Path{}, fmt.Errorf("path: parse %q: empty path (use S)", orig)
 	}
-	return newPath(segs, possible), nil
+	return newPathIn(sp, segs, possible), nil
 }
 
 // MustParse is Parse for test fixtures and package examples; it panics on

@@ -98,12 +98,20 @@ func Same() Path { return Path{} }
 // SamePossible is S?: the two handles may refer to the same node.
 func SamePossible() Path { return Path{possible: true} }
 
-// New builds a definite path from the given segments, canonicalizing them.
-// New() with no segments is Same().
-func New(segs ...Seg) Path { return newPath(segs, false) }
+// New builds a definite path from the given segments, canonicalizing them
+// and interning into the process-default Space. New() with no segments is
+// Same().
+func New(segs ...Seg) Path { return newPathIn(procSpace, segs, false) }
 
-// NewPossible builds a possible path from the given segments.
-func NewPossible(segs ...Seg) Path { return newPath(segs, true) }
+// NewPossible builds a possible path from the given segments, interning
+// into the process-default Space.
+func NewPossible(segs ...Seg) Path { return newPathIn(procSpace, segs, true) }
+
+// New builds a definite path owned by sp.
+func (sp *Space) New(segs ...Seg) Path { return newPathIn(sp, segs, false) }
+
+// NewPossible builds a possible path owned by sp.
+func (sp *Space) NewPossible(segs ...Seg) Path { return newPathIn(sp, segs, true) }
 
 // Exact is shorthand for the segment Dir^n.
 func Exact(d Dir, n int) Seg { return Seg{Dir: d, Min: n} }
@@ -237,28 +245,42 @@ func (p Path) IsExactEdge(d Dir) bool {
 
 // Extend returns the path p followed by one extra edge in direction d
 // (the operation used by the transfer function for a := b.f: every ancestor
-// of b gains a path ancestor→a = path(ancestor→b)·f).
+// of b gains a path ancestor→a = path(ancestor→b)·f). The result stays in
+// p's Space; extending S interns into the process default — callers whose
+// operand may be S in a private Space use Space.Extend.
 func (p Path) Extend(d Dir) Path {
-	return p.ExtendN(d, 1)
+	return extendN(spaceOf(procSpace, p), p, d, 1)
 }
 
-// ExtendN appends n >= 1 edges in direction d.
+// ExtendN appends n >= 1 edges in direction d (Space derivation as Extend).
 func (p Path) ExtendN(d Dir, n int) Path {
+	return extendN(spaceOf(procSpace, p), p, d, n)
+}
+
+// Extend returns p followed by one extra edge in direction d, interned in
+// sp (required when p may be S, which carries no owning Space).
+func (sp *Space) Extend(p Path, d Dir) Path { return extendN(sp, p, d, 1) }
+
+// ExtendN appends n >= 1 edges in direction d, interned in sp.
+func (sp *Space) ExtendN(p Path, d Dir, n int) Path { return extendN(sp, p, d, n) }
+
+func extendN(sp *Space, p Path, d Dir, n int) Path {
 	ps := p.segs()
 	segs := make([]Seg, len(ps), len(ps)+1)
 	copy(segs, ps)
 	segs = append(segs, Exact(d, n))
-	return newPath(segs, p.possible)
+	return newPathIn(sp, segs, p.possible)
 }
 
 // Concat returns p followed by q. The result is definite only when both
-// parts are definite.
+// parts are definite; it stays in the operands' Space (when both are S the
+// result is S-shaped and needs no Space at all).
 func (p Path) Concat(q Path) Path {
 	ps, qs := p.segs(), q.segs()
 	segs := make([]Seg, 0, len(ps)+len(qs))
 	segs = append(segs, ps...)
 	segs = append(segs, qs...)
-	return newPath(segs, p.possible || q.possible)
+	return newPathIn(spaceOf(procSpace, p, q), segs, p.possible || q.possible)
 }
 
 // Residue computes the relationship between b.f and x, given that the
@@ -270,7 +292,7 @@ func (p Path) Concat(q Path) Path {
 // by left is {S?, D+?} — e and c may be the same node, or c may be one or
 // more edges below e.
 //
-// The returned slice may alias the process-wide residue memo cache and
+// The returned slice may alias the owning Space's residue memo cache and
 // must not be modified by the caller.
 func (p Path) Residue(f Dir) []Path {
 	if p.IsSame() {
@@ -299,7 +321,7 @@ func residueCompute(n *pnode, f Dir) []Path {
 		segs := make([]Seg, 0, len(extra)+len(rest))
 		segs = append(segs, extra...)
 		segs = append(segs, rest...)
-		return newPath(segs, false)
+		return newPathIn(n.sp, segs, false)
 	}
 	switch first.Dir {
 	case f:

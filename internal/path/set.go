@@ -58,7 +58,7 @@ func widenPath(p Path, lim Limits) Path {
 		// existence; but the expression is weaker. Existence is what the
 		// flag asserts, so keep it.
 	}
-	return newPath(segs, p.possible)
+	return newPathIn(spaceOf(procSpace, p), segs, p.possible)
 }
 
 // Set is a canonical set of paths: the estimate of the relationship between
@@ -200,11 +200,23 @@ func (s Set) Filter(keep func(Path) bool) Set {
 	return out
 }
 
-// ExtendAll appends one edge in direction d to every member.
+// ExtendAll appends one edge in direction d to every member. Results stay
+// in each member's Space; an S member extends into the process default —
+// callers whose sets may contain S in a private Space use Space.ExtendAll.
 func (s Set) ExtendAll(d Dir) Set {
 	var out Set
 	for _, p := range s.ps {
 		out = out.Add(p.Extend(d))
+	}
+	return out
+}
+
+// ExtendAll appends one edge in direction d to every member, interning the
+// results in sp (required when the set may contain S).
+func (sp *Space) ExtendAll(s Set, d Dir) Set {
+	var out Set
+	for _, p := range s.ps {
+		out = out.Add(sp.Extend(p, d))
 	}
 	return out
 }
@@ -249,9 +261,12 @@ func (s Set) Widen(lim Limits) Set {
 		return out
 	}
 	// Too wide: keep an S member if present, fold the rest into one
-	// possible D^{>=m} covering every collapsed path.
+	// possible D^{>=m} covering every collapsed path. The fold interns into
+	// the folded members' Space (min >= 0 implies a non-S member, so the
+	// owner is always derivable).
 	var collapsed Set
 	min := -1
+	var own *Space
 	hadSame := false
 	samePossible := true
 	for _, p := range out.ps {
@@ -259,6 +274,9 @@ func (s Set) Widen(lim Limits) Set {
 			hadSame = true
 			samePossible = samePossible && p.Possible()
 			continue
+		}
+		if own == nil {
+			own = p.node.sp
 		}
 		if m := p.MinLen(); min < 0 || m < min {
 			min = m
@@ -275,7 +293,7 @@ func (s Set) Widen(lim Limits) Set {
 		if min < 1 {
 			min = 1
 		}
-		collapsed = collapsed.Add(NewPossible(AtLeast(DownD, min)))
+		collapsed = collapsed.Add(newPathIn(own, []Seg{AtLeast(DownD, min)}, true))
 	}
 	return collapsed
 }
@@ -355,7 +373,7 @@ func (s Set) collapseBySignature() Set {
 				}
 			}
 		}
-		out = out.Add(newPath(segs, !definite))
+		out = out.Add(newPathIn(spaceOf(procSpace, first), segs, !definite))
 	}
 	return out
 }
@@ -437,18 +455,22 @@ func (s Set) String() string {
 	return strings.Join(parts, ", ")
 }
 
-// ParseSet parses the String form back into a set; it accepts the notation
-// used throughout the paper's figures ("S", "L1L+", "R1D+?", comma
-// separated). It is the test helper that lets figure-replay tests state
-// expected matrices in the paper's own syntax.
-func ParseSet(src string) (Set, error) {
+// ParseSet parses the String form back into a set interned in the
+// process-default Space; it accepts the notation used throughout the
+// paper's figures ("S", "L1L+", "R1D+?", comma separated). It is the test
+// helper that lets figure-replay tests state expected matrices in the
+// paper's own syntax.
+func ParseSet(src string) (Set, error) { return procSpace.ParseSet(src) }
+
+// ParseSet parses the String form back into a set owned by sp.
+func (sp *Space) ParseSet(src string) (Set, error) {
 	src = strings.TrimSpace(src)
 	if src == "" || src == "{}" {
 		return EmptySet(), nil
 	}
 	var out Set
 	for _, part := range strings.Split(src, ",") {
-		p, err := Parse(strings.TrimSpace(part))
+		p, err := sp.Parse(strings.TrimSpace(part))
 		if err != nil {
 			return Set{}, err
 		}

@@ -5,29 +5,37 @@ import (
 	"sync/atomic"
 )
 
-// A Space owns every process-wide table behind the path-expression algebra:
-// the sharded intern table that canonicalizes expressions to unique nodes,
-// the memoized verdict shards for the language questions (Subsumes,
-// MayOverlap, MayStrictPrefix), and the residue cache. PR 1 made these
-// tables process-global and append-only — the degenerate no-eviction cache
-// policy. A Space makes the epoch explicit so a long-lived service can
-// return the memory between analysis batches:
+// A Space owns every table behind the path-expression algebra: the sharded
+// intern table that canonicalizes expressions to unique nodes, the memoized
+// verdict shards for the language questions (Subsumes, MayOverlap,
+// MayStrictPrefix), and the residue cache. PR 1 made these tables
+// process-global and append-only — the degenerate no-eviction cache policy.
+// A Space makes the epoch explicit so a long-lived service can return the
+// memory between analysis batches, and NewSpace lets that service give
+// each worker its own independent table set:
 //
-//	stats := path.DefaultSpace().Stats() // table sizes + memo hit rate
-//	path.DefaultSpace().Reset()          // drop every table, start an epoch
+//	sp := path.NewSpace()  // a private Space with its own epoch lifecycle
+//	stats := sp.Stats()    // table sizes + memo hit rate
+//	sp.Reset()             // drop every table, start an epoch
 //
-// Epoch contract: Reset must not run concurrently with path operations, and
-// Path, Set, or matrix values created before a Reset must not be mixed into
-// values built after it — the old interned nodes are no longer in the
-// table, so a re-interned equal expression would compare unequal. Node IDs
-// are monotonic and never reused across epochs, which keeps the failure
-// mode of a violated contract benign: a stale value can at worst miss the
-// fresh caches, never collide with a fresh ID and corrupt a verdict.
+// Every interned node remembers its owning Space, so derived operations
+// (Extend, Concat, Residue, Widen, the verdict questions) stay inside the
+// operands' Space automatically; only operations that create a non-empty
+// expression from nothing — New, NewPossible, Parse, and extending S —
+// need the explicit *Space-receiver forms. The package-level forms use the
+// process-default Space, a convenience for one-shot CLI runs and tests.
+//
+// Epoch contract: Reset must not run concurrently with operations on the
+// same Space, and Path, Set, or matrix values created before a Reset must
+// not be mixed into values built after it — the old interned nodes are no
+// longer in the table, so a re-interned equal expression would compare
+// unequal. Node IDs are allocated from one process-wide monotonic counter
+// and never reused across epochs or Spaces, which keeps the failure mode
+// of a violated contract benign: a stale value (from an old epoch or a
+// foreign Space) can at worst miss the fresh caches, never collide with a
+// live ID and corrupt a verdict.
 type Space struct {
 	shards [internShards]internShard
-	// nextID allocates node IDs; ID 0 is reserved for S. It deliberately
-	// survives Reset so IDs are unique across epochs.
-	nextID atomic.Uint32
 	// interned counts the nodes in the current epoch's table.
 	interned atomic.Int64
 	epoch    atomic.Uint64
@@ -50,10 +58,17 @@ func newSpace() *Space {
 	return sp
 }
 
+// NewSpace builds an independent Space with its own intern, memo, and
+// residue tables and its own epoch lifecycle. Resetting one Space never
+// touches another, which is what lets a sharded service give every session
+// worker a private Space and keep epoch resets worker-local.
+func NewSpace() *Space { return newSpace() }
+
 // procSpace is the process default every package-level path operation uses.
 var procSpace = newSpace()
 
-// DefaultSpace returns the process-wide Space.
+// DefaultSpace returns the process-wide default Space (the convenience for
+// one-shot CLI runs; long-lived services construct their own via NewSpace).
 func DefaultSpace() *Space { return procSpace }
 
 // Epoch returns the number of Resets this Space has seen.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -12,7 +13,7 @@ import (
 //
 //	POST /analyze  {"source": "...", "roots": [...]}            single
 //	POST /analyze  {"programs": [{...}, {...}]}                 batch
-//	GET  /stats    service counters + Space tables
+//	GET  /stats    service counters + Space tables (?shard=N when sharded)
 //	GET  /healthz  liveness + current epoch
 //
 // Responses for /analyze carry the canonical result document(s) as the
@@ -28,6 +29,14 @@ const CacheHeader = "X-Sil-Cache"
 // FingerprintHeader carries the canonical program fingerprint(s).
 const FingerprintHeader = "X-Sil-Fingerprint"
 
+// Analyzer is the serving surface the HTTP transport needs; *Service and
+// *Router both implement it, so one handler covers the single and sharded
+// configurations.
+type Analyzer interface {
+	Analyze(Request) Response
+	AnalyzeBatch([]Request) []Response
+}
+
 type analyzeRequest struct {
 	Programs []Request `json:"programs"`
 	Request            // single-program shorthand: fields inline
@@ -42,6 +51,37 @@ type errorDoc struct {
 
 // NewHandler builds the HTTP API around a Service.
 func NewHandler(s *Service) http.Handler {
+	return newMux(s,
+		func(r *http.Request) (any, error) { return s.Stats(), nil },
+		func() uint64 { return s.Stats().Epoch })
+}
+
+// NewRouterHandler builds the HTTP API around a shard Router. With one
+// shard it is exactly NewHandler over that shard — same /stats document —
+// so a -shards 1 server is indistinguishable from an unsharded one. With
+// more, /stats serves the RouterStats aggregate, or one shard's snapshot
+// with ?shard=N.
+func NewRouterHandler(r *Router) http.Handler {
+	if r.NumShards() == 1 {
+		return NewHandler(r.Shard(0))
+	}
+	return newMux(r,
+		func(req *http.Request) (any, error) {
+			if q := req.URL.Query().Get("shard"); q != "" {
+				i, err := strconv.Atoi(q)
+				if err != nil || i < 0 || i >= r.NumShards() {
+					return nil, fmt.Errorf("shard must be in [0,%d)", r.NumShards())
+				}
+				return r.Shard(i).Stats(), nil
+			}
+			return r.Stats(), nil
+		},
+		func() uint64 { return r.Stats().Total.Epoch })
+}
+
+// newMux wires the three routes around any Analyzer; the stats and epoch
+// closures abstract the single/sharded difference.
+func newMux(a Analyzer, stats func(*http.Request) (any, error), epoch func() uint64) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -64,7 +104,7 @@ func NewHandler(s *Service) http.Handler {
 			}
 			reqs = []Request{req.Request}
 		}
-		resps := s.AnalyzeBatch(reqs)
+		resps := a.AnalyzeBatch(reqs)
 
 		status := http.StatusOK
 		var errs []errorDoc
@@ -129,7 +169,12 @@ func NewHandler(s *Service) http.Handler {
 			http.Error(w, `{"error":"GET required"}`, http.StatusMethodNotAllowed)
 			return
 		}
-		writeJSON(w, http.StatusOK, s.Stats())
+		doc, err := stats(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Status: 400, Msg: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, doc)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -139,7 +184,7 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, struct {
 			Status string `json:"status"`
 			Epoch  uint64 `json:"epoch"`
-		}{"ok", s.Stats().Epoch})
+		}{"ok", epoch()})
 	})
 	return mux
 }

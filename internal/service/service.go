@@ -2,11 +2,11 @@
 // Analyze pipeline into a long-lived serving subsystem with
 //
 //   - a bounded SESSION POOL that reuses analysis workspaces across
-//     requests and owns the path.Space epoch lifecycle (the path/matrix
-//     intern and memo tables are process-wide by design, so the pool
-//     serializes Space.Reset against in-flight analyses and triggers it
-//     between requests once the tables outgrow their budget — the
-//     long-lived consumer the PR 2 epoch machinery was built for);
+//     requests, where every session owns a PRIVATE path/matrix Space with
+//     its own epoch lifecycle: a session's intern, memo, and residue
+//     tables are touched only by the request that has the session checked
+//     out, so epoch resets are worker-local — no gate, no quiescing, and a
+//     reset on one session never blocks a sibling's in-flight analysis;
 //   - a bounded LRU RESULT CACHE keyed by a canonical 128-bit program
 //     fingerprint (the printed canonical AST plus the semantics-affecting
 //     options, hashed with the same two-lane mixing the matrix/set
@@ -17,13 +17,19 @@
 //     construction;
 //   - BATCHED requests: a multi-program request analyzes its independent
 //     programs in parallel under one worker budget (the session pool);
-//     per-program results come back in request order.
+//     per-program results come back in request order;
+//   - a SHARD ROUTER (shard.go) that consistent-hashes the canonical
+//     program fingerprint across N independent Services, each with its own
+//     sessions, Spaces, and result cache.
 //
 // The determinism this leans on is load-bearing and separately tested: the
 // analysis is bit-identical across worker-pool sizes (the round-based
 // engine), Info is immutable after Analyze (replay_test.go), and
 // Parse(Print(p)) is structurally equal to p (roundtrip_test.go), which
-// is what makes the canonical-print fingerprint a sound cache key.
+// is what makes the canonical-print fingerprint a sound cache key. Because
+// rendered bodies are pure functions of the canonical source and options —
+// never of intern IDs or Space identity — they are also byte-identical
+// across shard counts, which is what the shard-equivalence suite pins.
 package service
 
 import (
@@ -35,9 +41,11 @@ import (
 	"sync/atomic"
 
 	"repro/internal/analysis"
+	"repro/internal/matrix"
 	"repro/internal/par"
 	"repro/internal/path"
 	"repro/internal/progs"
+	"repro/internal/sil/ast"
 	"repro/internal/sil/printer"
 )
 
@@ -46,7 +54,8 @@ type Options struct {
 	// Analysis is the default analysis configuration; per-request overrides
 	// (Roots, MaxContexts) apply on top. Workers is per-analysis and does
 	// not affect results (the engine is bit-identical across pool sizes),
-	// so it is excluded from cache keys.
+	// so it is excluded from cache keys. Analysis.Space is ignored: every
+	// pooled session substitutes its own private Space.
 	Analysis analysis.Options
 	// Par configures the parallelizer pass (zero value: par.DefaultOptions).
 	Par par.Options
@@ -57,11 +66,12 @@ type Options struct {
 	// many analyses run concurrently; further requests queue. 0 picks
 	// min(NumCPU, 8).
 	Sessions int
-	// ResetInternedPaths is the epoch policy: after a request completes,
-	// if the process Space holds more interned path expressions than this,
-	// the pool quiesces and resets the Space (dropping the intern/memo/
-	// residue tables and, via the reset hook, the matrix handle table).
-	// 0 picks 1<<20; negative disables epoch resets.
+	// ResetInternedPaths is the per-session epoch policy: after a request
+	// completes, if the session's private Space holds more interned path
+	// expressions than this, that Space is reset while the session is still
+	// exclusively checked out (dropping its intern/memo/residue tables and,
+	// via the reset hook, its matrix handle table). Other sessions are
+	// never involved. 0 picks 1<<20; negative disables epoch resets.
 	ResetInternedPaths int
 }
 
@@ -131,23 +141,14 @@ type Response struct {
 	Err *RequestError
 }
 
-// epochGate serializes Space.Reset (writer) against in-flight analyses
-// (readers): the epoch contract forbids resetting concurrently with path
-// operations. It is PACKAGE-level, not per-Service, because the resource
-// it guards — the path/matrix intern and memo tables — is process-global:
-// two Services in one process share the same Space, so one Service's
-// reset must also exclude the other's analyses.
-var epochGate sync.RWMutex
-
 // Service is a concurrent analysis server: session pool, result cache,
-// epoch management. Safe for use from many goroutines.
+// per-session epoch management. Safe for use from many goroutines.
 type Service struct {
-	opts  Options
-	space *path.Space
+	opts Options
 
 	// sessions is the pool; every analysis checks a session out and back
 	// in, so pool size == worker budget. sessionList holds the same
-	// sessions permanently for Stats to read their counters.
+	// sessions permanently for Stats to read their counters and Spaces.
 	sessions    chan *Session
 	sessionList []*Session
 
@@ -177,14 +178,16 @@ type flight struct {
 	body []byte // nil if the analysis failed (waiters then run their own)
 }
 
-// Session is one pooled analysis workspace. The heavyweight state it
-// represents — the interned path expressions, memoized verdicts and handle
-// table a request's matrices are built from — lives in the shared process
-// path.Space; the session is the checkout token that bounds how many
-// analyses use that Space concurrently, plus per-session accounting
-// (surfaced as Stats.SessionLoads).
+// Session is one pooled analysis workspace. It owns a private matrix/path
+// Space — the interned path expressions, memoized verdicts, and handle
+// table a request's matrices are built from — so the heavyweight state is
+// per-session, not process-wide. A session is exclusively checked out for
+// the whole request pipeline (analyze, parallelize, render, epoch check),
+// which is what makes its Space single-threaded by construction: resets
+// happen between checkouts with no locking at all.
 type Session struct {
 	id     int
+	space  *matrix.Space
 	served atomic.Uint64
 }
 
@@ -199,28 +202,38 @@ func New(opts Options) *Service {
 	opts = opts.withDefaults()
 	s := &Service{
 		opts:     opts,
-		space:    path.DefaultSpace(),
 		sessions: make(chan *Session, opts.Sessions),
 		lru:      list.New(),
 		cache:    map[Fp]*list.Element{},
 		inflight: map[Fp]*flight{},
 	}
 	for i := 0; i < opts.Sessions; i++ {
-		sess := &Session{id: i + 1}
+		sess := &Session{id: i + 1, space: matrix.NewSpace(path.NewSpace())}
 		s.sessionList = append(s.sessionList, sess)
 		s.sessions <- sess
 	}
 	return s
 }
 
-// Analyze serves one program: cache lookup by canonical fingerprint, then
-// a pooled fresh analysis on a miss.
-func (s *Service) Analyze(req Request) Response {
-	s.served.Add(1)
+// prepared is a compiled, fingerprinted request ready to be served — the
+// routing unit: prepare is side-effect-free on the service counters, so a
+// shard router can prepare once, pick the owning shard by fingerprint, and
+// hand the prepared request to that shard's analyzePrepared.
+type prepared struct {
+	name string
+	prog *ast.Program
+	opts analysis.Options
+	fp   Fp
+	err  *RequestError // compile failure; fp is zero and prog is nil
+}
+
+// prepare compiles and fingerprints a request. It touches no counters and
+// no session state, so any Service instance built from the same Options
+// prepares identically.
+func (s *Service) prepare(req Request) prepared {
 	prog, err := progs.Compile(req.Source)
 	if err != nil {
-		s.errors.Add(1)
-		return Response{Name: req.Name, Err: &RequestError{
+		return prepared{name: req.Name, err: &RequestError{
 			Status: 400,
 			Msg:    err.Error(),
 			Diags:  []string{err.Error()},
@@ -232,10 +245,26 @@ func (s *Service) Analyze(req Request) Response {
 	}
 	opts := s.requestOptions(req)
 	canon := printer.Print(prog)
-	fp := ProgramFingerprint(canon, opts)
-	if body, ok := s.cacheGet(fp); ok {
+	return prepared{name: name, prog: prog, opts: opts, fp: ProgramFingerprint(canon, opts)}
+}
+
+// Analyze serves one program: cache lookup by canonical fingerprint, then
+// a pooled fresh analysis on a miss.
+func (s *Service) Analyze(req Request) Response {
+	return s.analyzePrepared(s.prepare(req))
+}
+
+// analyzePrepared serves a prepared request on this Service's own cache
+// and session pool.
+func (s *Service) analyzePrepared(p prepared) Response {
+	s.served.Add(1)
+	if p.err != nil {
+		s.errors.Add(1)
+		return Response{Name: p.name, Err: p.err}
+	}
+	if body, ok := s.cacheGet(p.fp); ok {
 		s.hits.Add(1)
-		return Response{Name: name, Fingerprint: fp.String(), Cached: true, Body: body}
+		return Response{Name: p.name, Fingerprint: p.fp.String(), Cached: true, Body: body}
 	}
 	if s.opts.CacheCapacity >= 0 {
 		// Coalesce concurrent misses on the same program: claim leadership
@@ -245,65 +274,73 @@ func (s *Service) Analyze(req Request) Response {
 		var fl *flight
 		for fl == nil {
 			s.mu.Lock()
-			if cur := s.inflight[fp]; cur != nil {
+			if cur := s.inflight[p.fp]; cur != nil {
 				s.mu.Unlock()
 				<-cur.done
 				if cur.body != nil {
 					s.coalesced.Add(1)
-					return Response{Name: name, Fingerprint: fp.String(), Cached: true, Body: cur.body}
+					return Response{Name: p.name, Fingerprint: p.fp.String(), Cached: true, Body: cur.body}
 				}
 				continue
 			}
 			fl = &flight{done: make(chan struct{})}
-			s.inflight[fp] = fl
+			s.inflight[p.fp] = fl
 			s.mu.Unlock()
 		}
 		defer func() {
-			if body, ok := s.cacheGet(fp); ok {
+			if body, ok := s.cacheGet(p.fp); ok {
 				fl.body = body
 			}
 			s.mu.Lock()
-			delete(s.inflight, fp)
+			delete(s.inflight, p.fp)
 			s.mu.Unlock()
 			close(fl.done)
 		}()
 	}
 	s.misses.Add(1)
 
+	// The session is held for the whole pipeline: the analysis interns into
+	// the session's private Space, and the render below reads path sets
+	// that live there, so the session (and with it exclusive ownership of
+	// the Space) must not return to the pool until the bytes are final.
 	sess := <-s.sessions
-	epochGate.RLock()
-	info, aerr := analysis.Analyze(prog, opts)
+	opts := p.opts
+	opts.Space = sess.space
+	info, aerr := analysis.Analyze(p.prog, opts)
 	var parRes *par.Result
+	var body []byte
+	var rerr error
 	if aerr == nil {
 		parRes = par.Parallelize(info, s.opts.Par)
+		// The document is rendered under the program's DECLARED name — a
+		// pure function of the canonical source, like everything else in
+		// the body — so a cache hit is correct for every requester
+		// regardless of the request label (Response.Name carries the
+		// label), and the bytes are identical whichever session (or shard)
+		// produced them.
+		body, rerr = renderResult(p.prog.Name, p.fp, info, parRes)
 	}
-	epochGate.RUnlock()
 	sess.served.Add(1)
+	s.maybeReset(sess)
 	s.sessions <- sess
-	s.maybeReset()
 
 	if aerr != nil {
 		s.errors.Add(1)
-		return Response{Name: name, Fingerprint: fp.String(), Err: &RequestError{
+		return Response{Name: p.name, Fingerprint: p.fp.String(), Err: &RequestError{
 			Status: 500,
 			Msg:    aerr.Error(),
 		}}
 	}
-	s.analyses.Add(1)
-	// The document is rendered under the program's DECLARED name — a pure
-	// function of the canonical source, like everything else in the body —
-	// so a cache hit is correct for every requester regardless of the
-	// request label they chose (Response.Name carries the label).
-	body, rerr := renderResult(prog.Name, fp, info, parRes)
 	if rerr != nil {
 		s.errors.Add(1)
-		return Response{Name: name, Fingerprint: fp.String(), Err: &RequestError{
+		return Response{Name: p.name, Fingerprint: p.fp.String(), Err: &RequestError{
 			Status: 500,
 			Msg:    rerr.Error(),
 		}}
 	}
-	s.cachePut(fp, name, body)
-	return Response{Name: name, Fingerprint: fp.String(), Body: body}
+	s.analyses.Add(1)
+	s.cachePut(p.fp, p.name, body)
+	return Response{Name: p.name, Fingerprint: p.fp.String(), Body: body}
 }
 
 // AnalyzeBatch serves a multi-program request: the programs are analyzed
@@ -344,6 +381,7 @@ func (s *Service) AnalyzeBatch(reqs []Request) []Response {
 // requestOptions merges a request's overrides into the service defaults.
 func (s *Service) requestOptions(req Request) analysis.Options {
 	opts := s.opts.Analysis
+	opts.Space = nil // per-session Spaces are substituted at analysis time
 	if len(req.Roots) > 0 {
 		roots := append([]string(nil), req.Roots...)
 		sort.Strings(roots)
@@ -398,24 +436,20 @@ func (s *Service) FlushCache() {
 	s.cache = map[Fp]*list.Element{}
 }
 
-// maybeReset starts a new Space epoch when the intern table has outgrown
-// its budget. It takes the epoch gate exclusively, so it waits for the
-// in-flight analyses to finish and blocks new ones for the duration —
-// resets must never run concurrently with path operations. Cached results
-// survive: they hold rendered bytes, not epoch-bound objects.
-func (s *Service) maybeReset() {
+// maybeReset starts a new epoch on the session's private Space when its
+// intern table has outgrown the budget. The caller still holds the session
+// exclusively, so no other goroutine can be touching this Space — the
+// reset needs no gate and never waits for (or blocks) sibling sessions.
+// Cached results survive: they hold rendered bytes, not epoch-bound
+// objects.
+func (s *Service) maybeReset(sess *Session) {
 	if s.opts.ResetInternedPaths < 0 {
 		return
 	}
-	if s.space.Stats().InternedPaths <= s.opts.ResetInternedPaths {
+	if sess.space.Paths().InternedCount() <= s.opts.ResetInternedPaths {
 		return
 	}
-	epochGate.Lock()
-	defer epochGate.Unlock()
-	if s.space.Stats().InternedPaths <= s.opts.ResetInternedPaths {
-		return // another goroutine reset while we waited
-	}
-	s.space.Reset()
+	sess.space.Paths().Reset()
 	s.resets.Add(1)
 }
 
@@ -439,6 +473,9 @@ type Stats struct {
 	// SessionLoads is each pooled session's checkout count, in session
 	// order — the balance of the worker budget over the pool.
 	SessionLoads []uint64 `json:"session_loads"`
+	// SessionEpochs is each pooled session's private-Space epoch, in
+	// session order; Epoch is their sum.
+	SessionEpochs []uint64 `json:"session_epochs"`
 
 	Epoch         uint64  `json:"epoch"`
 	EpochResets   uint64  `json:"epoch_resets"`
@@ -447,12 +484,13 @@ type Stats struct {
 	MemoHitRate   float64 `json:"memo_hit_rate"`
 }
 
-// Stats snapshots the service counters and the underlying Space tables.
+// Stats snapshots the service counters and the per-session Space tables.
+// Epoch, InternedPaths, and MemoVerdicts aggregate (sum) across the
+// sessions' private Spaces; per-session epochs are in SessionEpochs.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	size := s.lru.Len()
 	s.mu.Unlock()
-	sp := s.space.Stats()
 	st := Stats{
 		Served:         s.served.Load(),
 		Analyses:       s.analyses.Load(),
@@ -464,14 +502,21 @@ func (s *Service) Stats() Stats {
 		CacheCapacity:  s.opts.CacheCapacity,
 		Coalesced:      s.coalesced.Load(),
 		Sessions:       uint64(s.opts.Sessions),
-		Epoch:          sp.Epoch,
 		EpochResets:    s.resets.Load(),
-		InternedPaths:  sp.InternedPaths,
-		MemoVerdicts:   sp.Verdicts(),
-		MemoHitRate:    sp.HitRate(),
 	}
+	var memoHits, memoMisses uint64
 	for _, sess := range s.sessionList {
 		st.SessionLoads = append(st.SessionLoads, sess.served.Load())
+		sp := sess.space.Paths().Stats()
+		st.SessionEpochs = append(st.SessionEpochs, sp.Epoch)
+		st.Epoch += sp.Epoch
+		st.InternedPaths += sp.InternedPaths
+		st.MemoVerdicts += sp.Verdicts()
+		memoHits += sp.MemoHits
+		memoMisses += sp.MemoMisses
+	}
+	if total := memoHits + memoMisses; total > 0 {
+		st.MemoHitRate = float64(memoHits) / float64(total)
 	}
 	if total := st.CacheHits + st.CacheMisses; total > 0 {
 		st.HitRate = float64(st.CacheHits) / float64(total)

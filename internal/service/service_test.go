@@ -9,7 +9,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/path"
 	"repro/internal/progs"
 )
 
@@ -69,10 +68,16 @@ func TestResponsesStableAcrossEpochReset(t *testing.T) {
 		}
 		reference[req.Name] = resp.Body
 	}
-	epoch := path.DefaultSpace().Epoch()
-	path.DefaultSpace().Reset()
-	if path.DefaultSpace().Epoch() == epoch {
-		t.Fatal("reset did not advance the epoch")
+	// Force a new epoch on every session's PRIVATE Space — the Spaces the
+	// analyses above actually interned into. The sessions are all idle
+	// between requests in this single-threaded test, so resetting directly
+	// respects the epoch contract.
+	epoch := svc.Stats().Epoch
+	for _, sess := range svc.sessionList {
+		sess.space.Paths().Reset()
+	}
+	if got := svc.Stats().Epoch; got != epoch+uint64(len(svc.sessionList)) {
+		t.Fatalf("resets did not advance the session epochs: %d -> %d", epoch, got)
 	}
 	for _, req := range corpusRequests() {
 		resp := svc.Analyze(req)
@@ -160,7 +165,8 @@ func TestBatchMatchesSequential(t *testing.T) {
 // goroutines with a cache too small for the corpus (forcing evictions) and
 // an interned-path budget low enough to force epoch resets mid-load. Every
 // response must still match the single-threaded reference bytes. Run under
-// -race this also pins the session-pool/epoch-gate synchronization.
+// -race this also pins the session-pool checkout discipline that makes the
+// per-session Space resets lock-free.
 func TestConcurrentLoadWithEvictionsAndResets(t *testing.T) {
 	ref := New(Options{})
 	reqs := corpusRequests()

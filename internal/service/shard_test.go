@@ -1,0 +1,240 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/progs"
+)
+
+// shardTestRequests is the equivalence corpus: every catalog program plus
+// deterministic random programs (fresh fingerprints the catalog never
+// exercises) plus programs that fail to compile (diagnostics must be
+// shard-count-invariant too).
+func shardTestRequests() []Request {
+	reqs := corpusRequests()
+	for seed := int64(1); seed <= 12; seed++ {
+		reqs = append(reqs, Request{
+			Name:   fmt.Sprintf("rnd%d", seed),
+			Source: progs.RandomProgram(seed),
+		})
+	}
+	reqs = append(reqs,
+		Request{Name: "bad-syntax", Source: "program broken\nprocedure main()\nbegin\n  x := \nend;"},
+		Request{Name: "bad-type", Source: "program broken\nprocedure main()\n  x: int\nbegin\n  x := new()\nend;"},
+	)
+	return reqs
+}
+
+// TestShardCountEquivalence is the tentpole acceptance test: the same
+// request stream against 1, 2, and 8 shards must produce byte-identical
+// rendered bodies and identical diagnostics for every program. Shard count
+// is a capacity knob, never a semantics knob. Each stream runs twice so
+// cache hits (which must also be byte-identical) are exercised on every
+// shard count.
+func TestShardCountEquivalence(t *testing.T) {
+	reqs := shardTestRequests()
+	ref := New(Options{})
+	want := make([]Response, len(reqs))
+	for i, req := range reqs {
+		want[i] = ref.Analyze(req)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			r := NewRouter(shards, Options{Sessions: 2})
+			for pass := 0; pass < 2; pass++ {
+				got := r.AnalyzeBatch(reqs)
+				for i, resp := range got {
+					w := want[i]
+					if (resp.Err == nil) != (w.Err == nil) {
+						t.Fatalf("pass %d, %s: error presence diverged: %v vs %v",
+							pass, reqs[i].Name, resp.Err, w.Err)
+					}
+					if resp.Err != nil {
+						if resp.Err.Status != w.Err.Status || resp.Err.Msg != w.Err.Msg ||
+							!reflect.DeepEqual(resp.Err.Diags, w.Err.Diags) {
+							t.Errorf("pass %d, %s: diagnostics diverged across shard counts:\n%+v\nvs\n%+v",
+								pass, reqs[i].Name, resp.Err, w.Err)
+						}
+						continue
+					}
+					if resp.Fingerprint != w.Fingerprint {
+						t.Errorf("pass %d, %s: fingerprint diverged: %s vs %s",
+							pass, reqs[i].Name, resp.Fingerprint, w.Fingerprint)
+					}
+					if !bytes.Equal(resp.Body, w.Body) {
+						t.Errorf("pass %d, %s: body diverged across shard counts", pass, reqs[i].Name)
+					}
+				}
+			}
+			// Sanity: with several shards the corpus must actually spread —
+			// an all-on-one-shard split would make equivalence vacuous.
+			if shards > 1 {
+				busy := 0
+				for i := 0; i < r.NumShards(); i++ {
+					if r.Shard(i).Stats().Served > 0 {
+						busy++
+					}
+				}
+				if busy < 2 {
+					t.Errorf("corpus landed on %d of %d shards; routing is degenerate", busy, shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardCountFromEnv is the CI shard-matrix entry point: SIL_SHARDS
+// picks the router width (default 1), and the full equivalence corpus must
+// match the unsharded reference bytes. The workflow runs the service
+// package with SIL_SHARDS=1 and SIL_SHARDS=4 under -race.
+func TestShardCountFromEnv(t *testing.T) {
+	shards := 1
+	if v := os.Getenv("SIL_SHARDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SIL_SHARDS=%q", v)
+		}
+		shards = n
+	}
+	t.Logf("running with %d shard(s)", shards)
+	reqs := shardTestRequests()
+	ref := New(Options{})
+	r := NewRouter(shards, Options{Sessions: 2})
+	for _, req := range reqs {
+		want := ref.Analyze(req)
+		got := r.Analyze(req)
+		if (got.Err == nil) != (want.Err == nil) {
+			t.Fatalf("%s: error presence diverged", req.Name)
+		}
+		if got.Err == nil && !bytes.Equal(got.Body, want.Body) {
+			t.Errorf("%s: body diverged at %d shards", req.Name, shards)
+		}
+	}
+}
+
+// TestRouterDeterministicRouting pins the consistent-hash contract: two
+// routers of the same width route every fingerprint identically (routing
+// is a pure function of fingerprint and width, so a restarted server keeps
+// the same shard ownership), and the key space spreads over all shards.
+func TestRouterDeterministicRouting(t *testing.T) {
+	a := NewRouter(8, Options{})
+	b := NewRouter(8, Options{})
+	hit := make([]int, 8)
+	for i := 0; i < 1000; i++ {
+		fp := Fp{Hi: uint64(i) * 0x9e3779b97f4a7c15, Lo: uint64(i)}
+		sa, sb := a.shardFor(fp), b.shardFor(fp)
+		if sa != sb {
+			t.Fatalf("fp %v routed to %d and %d on identical routers", fp, sa, sb)
+		}
+		hit[sa]++
+	}
+	for i, n := range hit {
+		if n == 0 {
+			t.Errorf("shard %d owns none of 1000 keys; ring is degenerate", i)
+		}
+	}
+	// The zero fingerprint (compile failures) routes, deterministically.
+	if a.shardFor(Fp{}) != b.shardFor(Fp{}) {
+		t.Error("zero fingerprint routing is not deterministic")
+	}
+}
+
+// TestResetOnOneShardDoesNotStallAnother is the isolation stress test:
+// shard budgets small enough that epoch resets fire constantly, traffic
+// pinned so every shard is resetting while its siblings are mid-analysis.
+// Under the old process-wide epoch gate a reset quiesced EVERY in-flight
+// analysis; with per-session Spaces the only assertion that can fail is
+// correctness — the test completing (no deadlock) with byte-correct bodies
+// and nonzero resets on multiple shards is the proof, and -race checks the
+// no-locking claim.
+func TestResetOnOneShardDoesNotStallAnother(t *testing.T) {
+	reqs := corpusRequests()
+	ref := New(Options{})
+	want := map[string][]byte{}
+	for _, req := range reqs {
+		resp := ref.Analyze(req)
+		if resp.Err != nil {
+			t.Fatalf("%s: %v", req.Name, resp.Err)
+		}
+		want[req.Name] = resp.Body
+	}
+	r := NewRouter(4, Options{
+		Sessions:           2,
+		CacheCapacity:      -1, // every request analyzes: maximum reset pressure
+		ResetInternedPaths: 40, // far below any program's working set: reset after ~every request
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2*len(reqs); i++ {
+				req := reqs[(g+i)%len(reqs)]
+				resp := r.Analyze(req)
+				if resp.Err != nil {
+					t.Errorf("%s: %v", req.Name, resp.Err)
+					return
+				}
+				if !bytes.Equal(resp.Body, want[req.Name]) {
+					t.Errorf("%s: response diverged under concurrent resets", req.Name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Total.EpochResets == 0 {
+		t.Fatal("load must have forced epoch resets")
+	}
+	resetting := 0
+	for _, ps := range st.PerShard {
+		if ps.EpochResets > 0 {
+			resetting++
+		}
+	}
+	if resetting < 2 {
+		t.Errorf("only %d shard(s) reset; need concurrent resets on multiple shards to prove isolation", resetting)
+	}
+	t.Logf("total: %s; %d/%d shards reset", st.Total.String(), resetting, st.Shards)
+}
+
+// TestRouterStatsAggregation checks the sharded monitoring surface: Total
+// sums the per-shard counters and the per-shard snapshots are individually
+// consistent.
+func TestRouterStatsAggregation(t *testing.T) {
+	r := NewRouter(3, Options{})
+	reqs := corpusRequests()
+	for pass := 0; pass < 2; pass++ {
+		for _, req := range reqs {
+			if resp := r.Analyze(req); resp.Err != nil {
+				t.Fatalf("%s: %v", req.Name, resp.Err)
+			}
+		}
+	}
+	st := r.Stats()
+	if st.Shards != 3 || len(st.PerShard) != 3 {
+		t.Fatalf("stats shape: shards=%d per_shard=%d", st.Shards, len(st.PerShard))
+	}
+	var served, hits uint64
+	for _, ps := range st.PerShard {
+		served += ps.Served
+		hits += ps.CacheHits
+	}
+	if st.Total.Served != served || st.Total.CacheHits != hits {
+		t.Errorf("totals disagree with per-shard sums: %+v", st.Total)
+	}
+	if st.Total.Served != uint64(2*len(reqs)) {
+		t.Errorf("served = %d, want %d", st.Total.Served, 2*len(reqs))
+	}
+	// Pass 2 was all warm: every program hit its owning shard's cache.
+	if st.Total.CacheHits < uint64(len(reqs)) {
+		t.Errorf("cache hits = %d, want >= %d (second pass must be warm)", st.Total.CacheHits, len(reqs))
+	}
+}
