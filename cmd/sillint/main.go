@@ -1,0 +1,77 @@
+// Command sillint is the repo's custom static-analysis suite: a
+// multichecker over the lintkit analyzers that enforce the invariants the
+// dynamic suites only sample — Space discipline (no process-global Space
+// fallbacks in library code), determinism (no wall-clock/randomness or
+// map-iteration-order leaks in the bit-identical packages), interned
+// equality (== for interned nodes, Equal for content types), and lock
+// scope (no callouts under a sync lock in the serving layer).
+//
+// Usage:
+//
+//	go run ./cmd/sillint ./...
+//
+// Exits 1 when any analyzer reports a finding, 2 on load errors. Findings
+// can be suppressed case by case with a trailing
+// "//sillint:allow <analyzer> <reason>" comment on the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/internedeq"
+	"repro/internal/lint/lintkit"
+	"repro/internal/lint/lockscope"
+	"repro/internal/lint/spacediscipline"
+)
+
+var analyzers = []*lintkit.Analyzer{
+	spacediscipline.Analyzer,
+	determinism.Analyzer,
+	internedeq.Analyzer,
+	lockscope.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sillint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lintkit.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sillint:", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lintkit.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sillint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "sillint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

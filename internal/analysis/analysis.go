@@ -75,10 +75,11 @@ type Options struct {
 	Space *matrix.Space
 }
 
+// withDefaults fills the scalar knobs. It deliberately leaves Space alone:
+// the process-global fallback is bound in exactly one place (Analyze), so
+// reading ContextSensitive/EffectiveWorkers off an Options value never
+// materializes the global Space as a side effect.
 func (o Options) withDefaults() Options {
-	if o.Space == nil {
-		o.Space = matrix.DefaultSpace()
-	}
 	if o.Limits == (path.Limits{}) {
 		o.Limits = path.DefaultLimits
 	}
@@ -229,10 +230,9 @@ func (in *Info) ProcOf(s ast.Stmt) (string, bool) {
 // building fresh path expressions against the Info's matrices (e.g. the
 // interference analysis) must intern there.
 func (in *Info) PathSpace() *path.Space {
-	if in.Opts.Space != nil {
-		return in.Opts.Space.Paths()
-	}
-	return path.DefaultSpace()
+	// Analyze binds Opts.Space before constructing the Info, so a real
+	// Info always carries its Space; no global fallback.
+	return in.Opts.Space.Paths()
 }
 
 // Shape returns the worst structure estimate over every program point of
@@ -309,6 +309,14 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 		return nil, fmt.Errorf("analysis: no main procedure")
 	}
 	opts = opts.withDefaults()
+	if opts.Space == nil {
+		// The one sanctioned global-Space binding: Analyze is the library's
+		// entry point, and a nil Options.Space is the documented "one-shot
+		// process-wide tables" contract for CLI runs and tests. Everything
+		// downstream (engine, entry matrices, Info.PathSpace) reads the
+		// Space from the defaulted Options and never falls back again.
+		opts.Space = matrix.DefaultSpace() //sillint:allow spacediscipline documented nil-Space contract, bound only here
+	}
 	eng := newEngine(prog, opts, &Info{
 		Prog:      prog,
 		Opts:      opts,
@@ -733,10 +741,7 @@ func callGraphSCC(prog *ast.Program) map[string]int {
 }
 
 func newEngine(prog *ast.Program, opts Options, info *Info) *engine {
-	msp := opts.Space
-	if msp == nil {
-		msp = matrix.DefaultSpace()
-	}
+	msp := opts.Space // non-nil: every caller passes Analyze-defaulted Options
 	e := &engine{
 		prog:     prog,
 		opts:     opts,
@@ -967,11 +972,7 @@ func entryForMain(main *ast.ProcDecl, opts Options) *matrix.Matrix {
 	for _, r := range opts.ExternalRoots {
 		ext[r] = true
 	}
-	sp := opts.Space
-	if sp == nil {
-		sp = matrix.DefaultSpace()
-	}
-	m := matrix.NewIn(sp)
+	m := matrix.NewIn(opts.Space)
 	var roots []matrix.Handle
 	for _, v := range main.Locals {
 		if v.Type != ast.HandleT {
@@ -985,7 +986,7 @@ func entryForMain(main *ast.ProcDecl, opts Options) *matrix.Matrix {
 			m.Add(matrix.Handle(v.Name), matrix.Attr{Nil: matrix.DefNil, Indeg: matrix.Root})
 		}
 	}
-	maybeAnywhere := path.NewSet(path.SamePossible(), sp.Paths().NewPossible(path.Plus(path.DownD)))
+	maybeAnywhere := path.NewSet(path.SamePossible(), opts.Space.Paths().NewPossible(path.Plus(path.DownD)))
 	for _, a := range roots {
 		for _, b := range roots {
 			if a != b {

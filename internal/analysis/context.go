@@ -478,12 +478,15 @@ func (s *Summary) foldMergedLocked(ent *matrix.Matrix, lim path.Limits) (grew bo
 	if s.merged == nil {
 		seed := ent
 		for _, c := range s.lru {
-			if c.entry == ent {
+			if c.entry == ent { //sillint:allow internedeq identity on purpose: skip folding ent into itself
 				continue
 			}
 			seed = seed.Merge(c.entry)
 		}
-		if seed != ent {
+		// Identity, not content: Merge returns a fresh matrix iff the loop
+		// folded anything, and only a fresh (unshared) one may be widened
+		// in place.
+		if seed != ent { //sillint:allow internedeq
 			seed.Widen(lim)
 		}
 		s.merged = &ProcContext{entry: seed, merged: true, seq: s.nextSeq()}

@@ -22,7 +22,7 @@ func newTestAnalyzer() *analyzer {
 		Summaries: map[string]*Summary{},
 	}
 	return &analyzer{
-		eng: newEngine(nil, Options{}.withDefaults(), info),
+		eng: newEngine(nil, Options{Space: matrix.DefaultSpace()}.withDefaults(), info),
 		cur: &ast.ProcDecl{Name: "test"},
 	}
 }

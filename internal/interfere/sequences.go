@@ -55,12 +55,25 @@ func (s *RelSet) add(l RelLocation) {
 	*s = append(*s, l)
 }
 
+// sortedRoots returns live's keys in canonical (sorted) order. RelSets
+// are built root by root, so building them in map iteration order would
+// leak process history into their member order; every iteration over the
+// live-root set goes through here.
+func sortedRoots(live map[string]bool) []string {
+	roots := make([]string, 0, len(live))
+	for l := range live {
+		roots = append(roots, l)
+	}
+	sort.Strings(roots)
+	return roots
+}
+
 // RelAlias is the paper's A^r(h, f, L, p): the relative locations possibly
 // aliased to h.f, expressed from the live roots. When h itself is live,
 // the diagonal S entry contributes (h, f, S) automatically.
 func RelAlias(h string, f LocKind, live map[string]bool, p *matrix.Matrix) RelSet {
 	var out RelSet
-	for l := range live {
+	for _, l := range sortedRoots(live) {
 		rel := p.Get(matrix.Handle(l), matrix.Handle(h))
 		if !rel.IsEmpty() {
 			out.add(RelLocation{Root: l, Kind: f, Paths: rel})
@@ -133,7 +146,7 @@ func relCall(prog *ast.Program, info *analysis.Info, p *matrix.Matrix, live map[
 	}
 	fields := []LocKind{LeftLoc, RightLoc, ValueLoc}
 	for _, h := range handleArgs {
-		for l := range live {
+		for _, l := range sortedRoots(live) {
 			rel := p.Get(matrix.Handle(l), matrix.Handle(h))
 			if rel.IsEmpty() {
 				continue
@@ -316,25 +329,51 @@ func SequencesInterfere(info *analysis.Info, procName string, p0 *matrix.Matrix,
 		mats, _ := info.Replay(procName, p0, seq)
 		var rAll, wAll RelSet
 		bad := false
-		for s, m := range mats {
-			switch s.(type) {
-			case *ast.Assign, *ast.CallStmt:
-				r, w, ok := relReadWrite(info.Prog, info, s, m, live, useReadOnly)
-				if !ok {
-					bad = true
-					continue
+		// Visit the replayed statements in program order, not in the
+		// order mats happens to iterate: the RelSets' member order is
+		// part of the deterministic verdict pipeline.
+		var visit func(s ast.Stmt)
+		visit = func(s ast.Stmt) {
+			if m := mats[s]; m != nil {
+				switch s := s.(type) {
+				case *ast.Assign, *ast.CallStmt:
+					r, w, ok := relReadWrite(info.Prog, info, s, m, live, useReadOnly)
+					if !ok {
+						bad = true
+						break
+					}
+					rAll = append(rAll, r...)
+					wAll = append(wAll, w...)
+				case *ast.If:
+					var rs RelSet
+					relExprReads(s.Cond, m, live, &rs)
+					rAll = append(rAll, rs...)
+				case *ast.While:
+					var rs RelSet
+					relExprReads(s.Cond, m, live, &rs)
+					rAll = append(rAll, rs...)
 				}
-				rAll = append(rAll, r...)
-				wAll = append(wAll, w...)
-			case *ast.If:
-				var rs RelSet
-				relExprReads(s.(*ast.If).Cond, m, live, &rs)
-				rAll = append(rAll, rs...)
-			case *ast.While:
-				var rs RelSet
-				relExprReads(s.(*ast.While).Cond, m, live, &rs)
-				rAll = append(rAll, rs...)
 			}
+			switch s := s.(type) {
+			case *ast.Block:
+				for _, st := range s.Stmts {
+					visit(st)
+				}
+			case *ast.Par:
+				for _, st := range s.Branches {
+					visit(st)
+				}
+			case *ast.If:
+				visit(s.Then)
+				if s.Else != nil {
+					visit(s.Else)
+				}
+			case *ast.While:
+				visit(s.Body)
+			}
+		}
+		for _, s := range seq {
+			visit(s)
 		}
 		if bad {
 			return nil, nil, fmt.Errorf("interfere: sequence contains non-analyzable statements")

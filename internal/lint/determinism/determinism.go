@@ -1,0 +1,280 @@
+// Package determinism enforces the bit-identical-results invariant: the
+// analysis core (internal/analysis, internal/path, internal/matrix, and the
+// interference layer that renders its verdicts) must produce the same bytes
+// for the same program regardless of worker count, shard count, or process
+// history. Two rule families:
+//
+//  1. Wall-clock and randomness are banned outright in the scoped packages
+//     (time.Now/Since/Until, math/rand): any value derived from them would
+//     leak schedule or process history into results.
+//
+//  2. Ranging over a map is unordered, so a map-range loop body must not
+//     leak iteration order: appending to a slice declared outside the loop
+//     (directly, or through a pointer-receiver method on a slice-typed
+//     value — the RelSet.add shape), or printing, is flagged unless the
+//     slice is sorted by a sort./slices. call later in the same function
+//     (the repo's collect-then-sort idiom). Writes keyed by the loop
+//     variable into maps, and commutative scalar accumulation (fingerprint
+//     mixing), stay legal.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+
+	"repro/internal/lint/lintkit"
+)
+
+// Scope lists the packages the bit-identical property covers. The
+// equivalence suites pin exactly these: analysis results (analysis, path,
+// matrix) and the interference verdicts rendered from them.
+var Scope = []string{
+	"repro/internal/analysis",
+	"repro/internal/path",
+	"repro/internal/matrix",
+	"repro/internal/interfere",
+}
+
+// bannedTimeFuncs are the wall-clock reads; time.Duration arithmetic and
+// constants stay legal.
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var bannedImports = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// printFuncs are agent-visible output calls that must not run in map
+// iteration order (the pure Sprint* family stays legal: its result is a
+// value, and the rules below catch the value escaping unordered).
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// Analyzer is the determinism check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "determinism",
+	Doc: "in the bit-identical packages, forbid wall-clock/randomness and " +
+		"map-iteration-order leaks (appends to escaping slices or printing " +
+		"inside a map range without a later sort)",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !slices.Contains(Scope, pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		checkImports(pass, f)
+		checkTimeCalls(pass, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkImports(pass *lintkit.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path := imp.Path.Value
+		if bannedImports[path[1:len(path)-1]] {
+			pass.Reportf(imp.Pos(),
+				"import of %s in a bit-identical package: randomness would make results depend on process history",
+				path)
+		}
+	}
+}
+
+func checkTimeCalls(pass *lintkit.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := usedPackage(pass, sel); pkg == "time" && bannedTimeFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(),
+				"time.%s in a bit-identical package: wall-clock reads leak schedule into results",
+				sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// usedPackage returns the import path of the package a selector's base
+// identifier names, or "" when the base is not a package name.
+func usedPackage(pass *lintkit.Pass, sel *ast.SelectorExpr) string {
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Path()
+}
+
+func checkMapRanges(pass *lintkit.Pass, fn *ast.FuncDecl) {
+	reported := map[token.Pos]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(pass, rs.X) {
+			return true
+		}
+		checkMapRangeBody(pass, fn, rs, reported)
+		return true
+	})
+}
+
+func isMapType(pass *lintkit.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkMapRangeBody(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, reported map[token.Pos]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isAppendCall(pass, rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				if obj := slicelikeTarget(pass, n.Lhs[i]); obj != nil && declaredOutside(obj, rs) {
+					reportOrderLeak(pass, fn, rs, n.Pos(), obj, reported,
+						"append to %q (declared outside this map range) leaks map iteration order", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			checkCallInMapRange(pass, fn, rs, n, reported)
+		}
+		return true
+	})
+}
+
+func checkCallInMapRange(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, call *ast.CallExpr, reported map[token.Pos]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Printing under map iteration emits in map order.
+	if pkg := usedPackage(pass, sel); pkg == "fmt" && printFuncs[sel.Sel.Name] {
+		if !reported[call.Pos()] {
+			reported[call.Pos()] = true
+			pass.Reportf(call.Pos(), "fmt.%s inside a map range emits in map iteration order", sel.Sel.Name)
+		}
+		return
+	}
+	// A pointer-receiver method on a slice-typed value declared outside the
+	// loop is the RelSet.add shape: an append in map order, one call away.
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(recv)
+	if obj == nil || !declaredOutside(obj, rs) {
+		return
+	}
+	if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+		return
+	}
+	sig, ok := selection.Obj().Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if _, ptrRecv := sig.Recv().Type().(*types.Pointer); !ptrRecv {
+		return
+	}
+	reportOrderLeak(pass, fn, rs, call.Pos(), obj, reported,
+		"mutating slice %q through a pointer-receiver method inside a map range leaks iteration order", obj.Name())
+}
+
+func reportOrderLeak(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, pos token.Pos, obj types.Object, reported map[token.Pos]bool, format, name string) {
+	if reported[pos] || sortedAfter(pass, fn, rs, obj) {
+		return
+	}
+	reported[pos] = true
+	pass.Reportf(pos, format+" (sort it after the loop, or iterate sorted keys)", name)
+}
+
+func isAppendCall(pass *lintkit.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// slicelikeTarget resolves `x` or `*x` assignment targets to their object.
+func slicelikeTarget(pass *lintkit.Pass, lhs ast.Expr) types.Object {
+	if star, ok := lhs.(*ast.StarExpr); ok {
+		lhs = star.X
+	}
+	ident, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(ident)
+}
+
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// sortedAfter reports whether a sort./slices. call after the range loop in
+// the same function mentions obj — the repo's collect-then-sort idiom,
+// which restores a canonical order before the slice can escape.
+func sortedAfter(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := usedPackage(pass, sel); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsObject(pass *lintkit.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(ident) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,54 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/lintest"
+	"repro/internal/lint/lintkit"
+)
+
+func loadDet(t *testing.T) *lintkit.Package {
+	t.Helper()
+	pkg, err := lintkit.NewLoader().LoadDir("testdata/det", "testdata/src/det", true)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	return pkg
+}
+
+func runAnalyzer(t *testing.T, pkg *lintkit.Package) []lintkit.Diagnostic {
+	t.Helper()
+	diags, err := lintkit.RunAnalyzers(pkg, []*lintkit.Analyzer{determinism.Analyzer})
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+	return diags
+}
+
+// TestMapOrderAndClockRules seeds every positive pattern (map-order
+// appends, pointer-receiver slice mutation, printing in map ranges,
+// time.Now/Since, math/rand imports) and the negative idioms
+// (collect-then-sort, map-to-map transfer, commutative accumulation,
+// loop-local slices), plus the _test.go exemption and the
+// //sillint:allow escape hatch.
+func TestMapOrderAndClockRules(t *testing.T) {
+	orig := determinism.Scope
+	determinism.Scope = append([]string{"testdata/det"}, orig...)
+	defer func() { determinism.Scope = orig }()
+	lintest.Run(t, determinism.Analyzer, "testdata/src/det")
+}
+
+// TestOutOfScopePackagesPass proves the analyzer only covers the
+// bit-identical packages: the same seeded patterns produce zero findings
+// when the package is not in Scope.
+func TestOutOfScopePackagesPass(t *testing.T) {
+	orig := determinism.Scope
+	determinism.Scope = []string{"repro/internal/analysis"}
+	defer func() { determinism.Scope = orig }()
+	pkg := loadDet(t)
+	diags := runAnalyzer(t, pkg)
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package produced findings: %v", diags)
+	}
+}

@@ -1,0 +1,136 @@
+// Package det is determinism testdata: map-iteration-order leaks and
+// wall-clock/randomness reads in a bit-identical package.
+package det
+
+import (
+	"fmt"
+	"math/rand" // want `import of "math/rand" in a bit-identical package`
+	"os"
+	"sort"
+	"time"
+)
+
+func clock() time.Duration {
+	start := time.Now()   // want `time\.Now in a bit-identical package`
+	_ = time.Since(start) // want `time\.Since in a bit-identical package`
+	_ = rand.Int()
+	return 5 * time.Millisecond // duration arithmetic stays legal
+}
+
+// leakAppend appends to an escaping slice in map order: finding.
+func leakAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" .* leaks map iteration order`
+	}
+	return out
+}
+
+// collectThenSort is the repo's idiom: the later sort restores canonical
+// order, so the append is clean.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSliceAlsoCounts recognizes sort.Slice with a comparator closure.
+func sortSliceAlsoCounts(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// localAppend appends to a slice declared inside the loop body: each
+// iteration gets its own, so no order leaks.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// mapWrites keyed by the loop variable are order-independent.
+func mapWrites(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// commutativeAccumulation (fingerprint mixing) stays legal.
+func commutativeAccumulation(m map[string]uint64) uint64 {
+	var sum uint64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// printing emits in map order: finding.
+func printing(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println inside a map range emits in map iteration order`
+	}
+	for k := range m {
+		fmt.Fprintf(os.Stderr, "%s\n", k) // want `fmt\.Fprintf inside a map range emits in map iteration order`
+	}
+}
+
+// sliceRange is not a map range: appending is fine.
+func sliceRange(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// addSet is the RelSet shape: a slice-backed set grown through a
+// pointer-receiver method.
+type addSet []string
+
+func (s *addSet) add(v string) { *s = append(*s, v) }
+
+// leakViaMethod mutates an outer slice through a pointer-receiver method
+// inside a map range: finding.
+func leakViaMethod(m map[string]bool) addSet {
+	var out addSet
+	for k := range m {
+		out.add(k) // want `mutating slice "out" through a pointer-receiver method inside a map range`
+	}
+	return out
+}
+
+// mapSet is a map-backed set: insertion is commutative, so the same shape
+// on a map type is clean.
+type mapSet map[string]bool
+
+func (s mapSet) add(v string) { s[v] = true }
+
+func setViaMethod(m map[string]bool) mapSet {
+	out := mapSet{}
+	for k := range m {
+		out.add(k)
+	}
+	return out
+}
+
+// suppressed demonstrates the audited escape hatch.
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //sillint:allow determinism consumer sorts; pinned by its own property test
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// _test.go files are exempt: randomized corpora and benchmark timing are
+// exactly what tests are for. No findings expected in this file.
+func seedHelpers() []string {
+	_ = time.Now()
+	r := rand.New(rand.NewSource(1))
+	m := map[string]int{"a": r.Int()}
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

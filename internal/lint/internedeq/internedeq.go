@@ -1,0 +1,171 @@
+// Package internedeq enforces the two halves of the repo's equality
+// discipline (PR 1's interning): interned values (path.Path and the nodes
+// behind it) are canonical, so they are compared with ==/EqualExpr —
+// reflect.DeepEqual on them is a slow re-derivation of pointer equality;
+// conversely, non-interned content types that define an Equal method
+// (*matrix.Matrix, path.Set) must be compared with Equal — == on a
+// *matrix.Matrix compares identity, not content, and reflect.DeepEqual on
+// one compares memo caches that differ between structurally equal values.
+package internedeq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/lintkit"
+)
+
+// internedTypes are the canonical-by-construction types: one node per
+// distinct value per Space, equality is pointer equality.
+var internedTypes = map[[2]string]string{
+	{"repro/internal/path", "Path"}: "path.Path is interned: compare with == / Equal / EqualExpr, not reflect.DeepEqual",
+}
+
+// Analyzer is the internedeq check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "internedeq",
+	Doc: "interned types are compared with ==; content types defining an " +
+		"Equal method are compared with Equal (never pointer == or " +
+		"reflect.DeepEqual)",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeepEqual(pass, n)
+			case *ast.BinaryExpr:
+				checkPointerCompare(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDeepEqual flags reflect.DeepEqual whose arguments are interned
+// values or content types with an Equal method.
+func checkDeepEqual(pass *lintkit.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "DeepEqual" {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "reflect" {
+		return
+	}
+	for _, arg := range call.Args {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		t := deref(tv.Type)
+		if msg, interned := internedTypeMessage(t); interned {
+			pass.Reportf(call.Pos(), "reflect.DeepEqual on interned type %s: %s", types.TypeString(t, nil), msg)
+			return
+		}
+		if hasEqualMethod(t) && declaredOutside(pass, t) {
+			pass.Reportf(call.Pos(),
+				"reflect.DeepEqual on %s compares unexported cache state; use its Equal method",
+				types.TypeString(t, nil))
+			return
+		}
+	}
+}
+
+// checkPointerCompare flags ==/!= between two pointers to a content type
+// that defines an Equal method: pointer identity is not content equality.
+// Comparisons against nil stay legal, as does the defining package itself
+// (it implements Equal and may legitimately compare identity).
+func checkPointerCompare(pass *lintkit.Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	if isNilLiteral(pass, bin.X) || isNilLiteral(pass, bin.Y) {
+		return
+	}
+	tx, ok := pass.TypesInfo.Types[bin.X]
+	if !ok || tx.Type == nil {
+		return
+	}
+	ptr, ok := tx.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return
+	}
+	if _, interned := internedTypeMessage(named); interned {
+		return // pointer identity IS equality for interned nodes
+	}
+	if !hasEqualMethod(named) || !declaredOutside(pass, named) {
+		return
+	}
+	pass.Reportf(bin.OpPos,
+		"%s on *%s compares pointer identity, not content; use Equal (or //sillint:allow internedeq when identity is intended)",
+		bin.Op, named.Obj().Name())
+}
+
+// deref strips one level of pointer indirection.
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+func internedTypeMessage(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	msg, ok := internedTypes[[2]string{named.Obj().Pkg().Path(), named.Obj().Name()}]
+	return msg, ok
+}
+
+// hasEqualMethod reports whether t (or *t) defines Equal(T) bool for some
+// parameter shape — the marker of a content type.
+func hasEqualMethod(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "Equal" {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+			types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool]) {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredOutside reports whether t is declared outside the package under
+// analysis — a package may pointer-compare or deep-walk its own values.
+func declaredOutside(pass *lintkit.Pass, t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != pass.Pkg.Path()
+}
+
+func isNilLiteral(pass *lintkit.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

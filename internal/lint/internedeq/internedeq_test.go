@@ -1,0 +1,16 @@
+package internedeq_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/internedeq"
+	"repro/internal/lint/lintest"
+)
+
+// TestEqualityDiscipline seeds both halves of the rule: DeepEqual on
+// interned/content types and pointer == on content types (positive), and
+// the blessed forms — == on interned values, Equal on content types, nil
+// checks, own-package identity, //sillint:allow — as negatives.
+func TestEqualityDiscipline(t *testing.T) {
+	lintest.Run(t, internedeq.Analyzer, "testdata/src/ieq")
+}

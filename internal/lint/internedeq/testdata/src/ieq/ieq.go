@@ -1,0 +1,70 @@
+// Package ieq is internedeq testdata: equality discipline for interned
+// values vs content types.
+package ieq
+
+import (
+	"reflect"
+
+	"repro/internal/matrix"
+	"repro/internal/path"
+)
+
+// deepEqualOnInterned re-derives pointer equality the slow way: finding.
+func deepEqualOnInterned(p, q path.Path) bool {
+	return reflect.DeepEqual(p, q) // want `reflect\.DeepEqual on interned type .*Path`
+}
+
+// internedCompares are the blessed forms.
+func internedCompares(p, q path.Path) bool {
+	return p == q || p.Equal(q) || p.EqualExpr(q)
+}
+
+// deepEqualOnContent walks unexported memo caches that differ between
+// structurally equal matrices: finding.
+func deepEqualOnContent(a, b *matrix.Matrix) bool {
+	return reflect.DeepEqual(a, b) // want `reflect\.DeepEqual on .*Matrix compares unexported cache state`
+}
+
+// deepEqualOnSet likewise: Set carries a fingerprint cache.
+func deepEqualOnSet(a, b path.Set) bool {
+	return reflect.DeepEqual(a, b) // want `reflect\.DeepEqual on .*Set compares unexported cache state`
+}
+
+// deepEqualOnPlainData has no Equal contract to violate: clean.
+func deepEqualOnPlainData(a, b []string) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// pointerCompareOnContent compares identity where content was meant:
+// finding.
+func pointerCompareOnContent(a, b *matrix.Matrix) bool {
+	if a == b { // want `== on \*Matrix compares pointer identity, not content`
+		return true
+	}
+	return a != b // want `!= on \*Matrix compares pointer identity, not content`
+}
+
+// contentCompares uses the Equal contract: clean.
+func contentCompares(a, b *matrix.Matrix) bool {
+	return a.Equal(b)
+}
+
+// nilChecks are not content comparisons: clean.
+func nilChecks(a *matrix.Matrix) bool {
+	return a == nil || nil != a
+}
+
+// identityIntended is the audited escape hatch for alias/sharing checks.
+func identityIntended(a, b *matrix.Matrix) bool {
+	return a == b //sillint:allow internedeq sharing check: exit aliasing is identity by design
+}
+
+// localContent is declared in this package: a package may pointer-compare
+// its own values, so this is clean.
+type localContent struct{ n int }
+
+func (c *localContent) Equal(o *localContent) bool { return c.n == o.n }
+
+func ownPackageIdentity(a, b *localContent) bool {
+	return a == b
+}

@@ -1,0 +1,98 @@
+// Package lintest is the analysistest counterpart for lintkit analyzers:
+// it loads a testdata package, collects the `// want "regexp"` expectations
+// from its comments, runs one analyzer, and diffs reported findings against
+// the expectations line by line.
+package lintest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/lintkit"
+)
+
+// wantRx matches one expectation: `// want "rx"` or `// want `+"`rx`"+“.
+// Multiple expectations may share one comment: // want "a" "b".
+var wantRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+// Run loads dir as one package (test files included, so analyzers'
+// _test.go exemptions are exercised), runs the analyzer, and reports any
+// mismatch between findings and `// want` expectations on t.
+func Run(t *testing.T, analyzer *lintkit.Analyzer, dir string) {
+	t.Helper()
+	loader := lintkit.NewLoader()
+	pkg, err := loader.LoadDir("testdata/"+filepath.Base(dir), dir, true)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	expects := collectExpectations(t, pkg)
+	diags, err := lintkit.RunAnalyzers(pkg, []*lintkit.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", analyzer.Name, dir, err)
+	}
+	for _, d := range diags {
+		if !matchExpectation(expects, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.rx)
+		}
+	}
+}
+
+func collectExpectations(t *testing.T, pkg *lintkit.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range wantRx.FindAllString(text[idx+len("// want "):], -1) {
+					var pat string
+					if lit[0] == '`' {
+						pat = lit[1 : len(lit)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+						}
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func matchExpectation(expects []*expectation, d lintkit.Diagnostic) bool {
+	for _, e := range expects {
+		if !e.met && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.rx.MatchString(d.Message) {
+			e.met = true
+			return true
+		}
+	}
+	return false
+}

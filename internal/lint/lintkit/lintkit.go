@@ -1,0 +1,148 @@
+// Package lintkit is a minimal, dependency-free analysis framework shaped
+// after golang.org/x/tools/go/analysis. The repo's invariants — per-Space
+// isolation of interned paths, bit-identical results across worker counts,
+// pointer-equality semantics for interned nodes — are enforced by custom
+// analyzers (internal/lint/...) driven by cmd/sillint; this package gives
+// them the Analyzer/Pass/Diagnostic shapes and the loader, built on the
+// standard library alone so the module keeps its zero-dependency go.mod.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //sillint:allow directives.
+	Name string
+	// Doc is the one-paragraph description printed by sillint -help.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags   []Diagnostic
+	allowed map[int]map[string]bool // file-position line -> analyzer names allowed
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding unless a //sillint:allow directive on the same
+// line (or the line above) allows this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. Several
+// analyzers exempt tests: tests legitimately exercise the process-global
+// convenience API and seed randomized corpora.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// allowDirective matches "//sillint:allow name[,name...] [reason]".
+var allowDirective = regexp.MustCompile(`^//sillint:allow\s+([a-zA-Z0-9_,-]+)`)
+
+// buildAllowed indexes every //sillint:allow directive by file line. A
+// directive suppresses findings on its own line and, when it stands alone,
+// on the following line.
+func (p *Pass) buildAllowed() {
+	p.allowed = map[int]map[string]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if p.allowed[line] == nil {
+							p.allowed[line] = map[string]bool{}
+						}
+						p.allowed[line][name] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (p *Pass) allowedAt(pos token.Position) bool {
+	if p.allowed == nil {
+		p.buildAllowed()
+	}
+	names := p.allowed[pos.Line]
+	return names[p.Analyzer.Name] || names["all"]
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package lintkit
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// flagCalls reports every call of the function named "bad".
+var flagCalls = &Analyzer{
+	Name: "flagcalls",
+	Doc:  "test analyzer: flag calls of bad()",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "bad" {
+					pass.Reportf(call.Pos(), "call of bad")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const directiveSrc = `package p
+
+func bad() {}
+
+func f() {
+	bad()
+	bad() //sillint:allow flagcalls audited
+	//sillint:allow flagcalls directive above the line
+	bad()
+	bad() //sillint:allow otherchecker wrong analyzer does not suppress
+	bad() //sillint:allow all blanket suppression
+}
+`
+
+// TestAllowDirectives pins the suppression contract: same-line and
+// line-above directives suppress the named analyzer (and "all"), while a
+// different analyzer's directive does not.
+func TestAllowDirectives(t *testing.T) {
+	dir := writePkg(t, directiveSrc)
+	pkg, err := NewLoader().LoadDir("p", dir, true)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{flagCalls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// Only the undirected call (line 6) and the wrongly-directed call
+	// (line 10) survive.
+	if len(lines) != 2 || lines[0] != 6 || lines[1] != 10 {
+		t.Errorf("diagnostic lines = %v, want [6 10]", lines)
+	}
+}
+
+// TestDiagnosticsSorted pins the deterministic output order across
+// analyzers (position first, then analyzer name).
+func TestDiagnosticsSorted(t *testing.T) {
+	dir := writePkg(t, "package p\n\nfunc bad() {}\n\nfunc g() { bad(); bad() }\n")
+	pkg, err := NewLoader().LoadDir("p", dir, true)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	second := &Analyzer{Name: "aaa", Doc: "alphabetically first", Run: flagCalls.Run}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{flagCalls, second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Column > b.Pos.Column || (a.Pos.Column == b.Pos.Column && a.Analyzer > b.Analyzer) {
+			t.Errorf("diagnostics out of order at %d: %s then %s", i, a, b)
+		}
+	}
+}
+
+// TestLoadResolvesModuleImports proves the source importer resolves both
+// standard-library and module-local imports offline.
+func TestLoadResolvesModuleImports(t *testing.T) {
+	pkgs, err := Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load ./... returned no packages")
+	}
+	for _, p := range pkgs {
+		if !strings.HasPrefix(p.Path, "repro/internal/lint") {
+			t.Errorf("unexpected package %s from ./... in internal/lint", p.Path)
+		}
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("%s: missing type info", p.Path)
+		}
+	}
+}
+
+// TestTestFileDetection pins the _test.go exemption helper.
+func TestTestFileDetection(t *testing.T) {
+	dir := t.TempDir()
+	for name, src := range map[string]string{
+		"p.go":      "package p\n\nfunc inLib() {}\n",
+		"p_test.go": "package p\n\nfunc inTest() {}\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := NewLoader().LoadDir("p", dir, true)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	pass := &Pass{Analyzer: flagCalls, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info}
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok {
+				seen[fn.Name.Name] = pass.InTestFile(fn.Pos())
+			}
+		}
+	}
+	if seen["inLib"] || !seen["inTest"] {
+		t.Errorf("InTestFile: inLib=%v inTest=%v, want false/true", seen["inLib"], seen["inTest"])
+	}
+}

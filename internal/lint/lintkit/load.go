@@ -1,0 +1,166 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("repro/internal/path", or synthetic for testdata)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages. Imports — both standard library
+// and this module's own packages — resolve through one shared
+// go/importer source importer, so dependencies are checked once and cached
+// across every target package of a sillint run. Source-importing keeps the
+// loader working offline with a zero-dependency go.mod (no export data,
+// no golang.org/x/tools).
+type Loader struct {
+	fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader returns a loader with a fresh file set and import cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// LoadFiles parses and type-checks the given files as one package named
+// path. Files must belong to a single package.
+func (l *Loader) LoadFiles(path, dir string, filenames []string) (*Package, error) {
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("lintkit: no Go files for %s", path)
+	}
+	sort.Strings(filenames)
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// LoadDir loads every .go file directly in dir (including _test.go files
+// when includeTests is set — the analyzers' test-file exemptions are
+// position-based, so the test harness loads them to exercise that path).
+// Files must all declare the same package.
+func (l *Loader) LoadDir(path, dir string, includeTests bool) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, m := range matches {
+		if !includeTests && isTestFile(m) {
+			continue
+		}
+		filenames = append(filenames, m)
+	}
+	return l.LoadFiles(path, dir, filenames)
+}
+
+func isTestFile(name string) bool {
+	base := filepath.Base(name)
+	return len(base) > len("_test.go") && base[len(base)-len("_test.go"):] == "_test.go"
+}
+
+// ListedPackage is the subset of `go list -json` output the driver needs.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// GoList expands package patterns (e.g. "./...") via the go command.
+func GoList(patterns ...string) ([]ListedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []ListedPackage
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists, parses, and type-checks the packages matching the patterns,
+// in deterministic import-path order.
+func Load(patterns ...string) ([]*Package, error) {
+	listed, err := GoList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+	l := NewLoader()
+	var pkgs []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, 0, len(lp.GoFiles))
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		p, err := l.LoadFiles(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,28 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintest"
+	"repro/internal/lint/lockscope"
+)
+
+// TestLockDiscipline seeds every callout/blocking shape under a held lock
+// (HTTP render, callbacks, channel ops, WaitGroup.Wait, the analysis
+// pipeline, self-deadlock) and the clean idioms (release-first,
+// check-unlock-early-return, lock-balanced closures, own-state work).
+func TestLockDiscipline(t *testing.T) {
+	orig := lockscope.Scope
+	lockscope.Scope = append([]string{"testdata/lock"}, orig...)
+	defer func() { lockscope.Scope = orig }()
+	lintest.Run(t, lockscope.Analyzer, "testdata/src/lock")
+}
+
+// TestOutOfScopePackagesPass proves the discipline is scoped to the
+// serving layer: the same seeded patterns are silent out of scope.
+func TestOutOfScopePackagesPass(t *testing.T) {
+	orig := lockscope.Scope
+	lockscope.Scope = []string{"repro/internal/service"}
+	defer func() { lockscope.Scope = orig }()
+	lintest.Run(t, lockscope.Analyzer, "testdata/src/lockclean")
+}

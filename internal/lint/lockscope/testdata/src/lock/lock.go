@@ -1,0 +1,131 @@
+// Package lock is lockscope testdata: callouts and blocking operations
+// under a sync lock in a serving type.
+package lock
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/sil/ast"
+)
+
+type server struct {
+	mu      sync.Mutex
+	state   map[string]int
+	onEvict func(string)
+	work    chan string
+}
+
+// renderUnderLock holds the cache lock across HTTP I/O: findings.
+func (s *server) renderUnderLock(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "%d entries", len(s.state)) // want `writer output \(fmt\.Fprintf\) while holding s\.mu`
+	http.Error(w, "busy", 503)                 // want `HTTP I/O \(net/http\.Error\) while holding s\.mu`
+}
+
+// encodeUnderLock renders through a json.Encoder onto the response writer
+// while holding the lock: finding (the ResponseWriter Write method).
+func (s *server) encodeUnderLock(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = w.Write([]byte("x")) // want `HTTP I/O \(http Write method\) while holding s\.mu`
+	_ = json.NewEncoder(w)
+}
+
+// callbackUnderLock invokes a stored user callback under the lock: finding.
+func (s *server) callbackUnderLock(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.state, key)
+	s.onEvict(key) // want `callback s\.onEvict while holding s\.mu`
+}
+
+// callbackParamUnderLock invokes a callback parameter under the lock.
+func (s *server) callbackParamUnderLock(visit func(string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.state {
+		visit(k) // want `callback visit while holding s\.mu`
+	}
+}
+
+// channelUnderLock blocks the pool on scheduler progress: findings.
+func (s *server) channelUnderLock(k string) {
+	s.mu.Lock()
+	s.work <- k // want `channel send while holding s\.mu`
+	<-s.work    // want `channel receive while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// analyzeUnderLock runs the expensive pipeline under the cache lock:
+// finding.
+func (s *server) analyzeUnderLock(prog *ast.Program) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = analysis.Analyze(prog, analysis.Options{}) // want `the analysis pipeline \(repro/internal/analysis\.Analyze\) while holding s\.mu`
+}
+
+// waitUnderLock blocks on other goroutines' progress: finding.
+func (s *server) waitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `sync Wait while holding s\.mu`
+}
+
+// doubleLock re-acquires a held lock: finding.
+func (s *server) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu locked again while already held: self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// releaseFirst is the correct shape: the lock guards only own state.
+func (s *server) releaseFirst(w http.ResponseWriter) {
+	s.mu.Lock()
+	n := len(s.state)
+	s.mu.Unlock()
+	fmt.Fprintf(w, "%d entries", n)
+}
+
+// checkUnlockEarlyReturn is the coalescing idiom: the branch releases
+// before blocking, so the receive is clean.
+func (s *server) checkUnlockEarlyReturn(k string) int {
+	s.mu.Lock()
+	if n, ok := s.state[k]; ok {
+		s.mu.Unlock()
+		return n
+	}
+	s.mu.Unlock()
+	<-s.work
+	return 0
+}
+
+// lockedClosure lock-balances inside a function literal: a fresh scope,
+// no findings.
+func (s *server) lockedClosure() func() {
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.state["x"]++
+	}
+}
+
+// pureWorkUnderLock touches only own state: clean.
+func (s *server) pureWorkUnderLock(k string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state[k]++
+	return fmt.Sprintf("%s=%d", k, s.state[k])
+}
+
+// suppressed is the audited escape hatch.
+func (s *server) suppressed(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprint(w, "ok") //sillint:allow lockscope startup-only path, never concurrent
+}

@@ -1,0 +1,20 @@
+// Package lockclean repeats a render-under-lock pattern in a package the
+// lockscope discipline does not cover: no findings expected.
+package lockclean
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+type widget struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (w *widget) render(rw http.ResponseWriter) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fmt.Fprintf(rw, "%d", w.n)
+}

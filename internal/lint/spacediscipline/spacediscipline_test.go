@@ -1,0 +1,21 @@
+package spacediscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintest"
+	"repro/internal/lint/spacediscipline"
+)
+
+// TestLibraryPackage seeds every banned process-global form (positive
+// cases), the Space-receiver forms (negative cases), the //sillint:allow
+// escape hatch, and the _test.go exemption.
+func TestLibraryPackage(t *testing.T) {
+	lintest.Run(t, spacediscipline.Analyzer, "testdata/src/a")
+}
+
+// TestMainPackageExempt proves package main is a composition root: the
+// same banned forms produce zero findings.
+func TestMainPackageExempt(t *testing.T) {
+	lintest.Run(t, spacediscipline.Analyzer, "testdata/src/mainpkg")
+}

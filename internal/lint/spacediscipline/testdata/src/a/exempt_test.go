@@ -1,0 +1,15 @@
+package a
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/path"
+)
+
+// _test.go files are exempt: tests legitimately exercise the process-wide
+// convenience API. No findings expected anywhere in this file.
+func testOnlyHelpers() {
+	_ = path.DefaultSpace()
+	_ = path.MustParse("D+")
+	_ = matrix.New()
+	_ = matrix.DefaultSpace()
+}

@@ -1,0 +1,15 @@
+// Package main is a composition root: binaries pick the process-global
+// Space deliberately, so no form is a finding here.
+package main
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/path"
+)
+
+func main() {
+	_ = path.DefaultSpace()
+	_ = path.MustParseSet("S, D+?")
+	_ = matrix.New()
+	_ = matrix.DefaultSpace()
+}

@@ -1,0 +1,13 @@
+// Nested tool-dependency module: pins the staticcheck release CI runs
+// without adding any dependency to the main (zero-dependency) module.
+// The go tool skips directories containing their own go.mod, so this
+// module is invisible to `go build ./...` / `go test ./...` at the root.
+//
+// honnef.co/go/tools v0.6.1 is the module version of staticcheck release
+// 2025.1.1. To bump staticcheck, change the version here; CI's lint job
+// runs `go mod tidy && go install` inside this directory.
+module repro/tools
+
+go 1.24
+
+require honnef.co/go/tools v0.6.1

@@ -1,0 +1,10 @@
+//go:build tools
+
+// Package tools records the repo's tool dependencies as blank imports so
+// `go mod tidy` keeps them in go.mod. The "tools" build tag is never set,
+// so nothing here is ever compiled into a binary.
+package tools
+
+import (
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
