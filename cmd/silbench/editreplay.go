@@ -1,0 +1,340 @@
+package main
+
+// The -edit-replay mode: the incremental-analysis benchmark. For each
+// corpus program it synthesizes a single-procedure edit (a shape-neutral
+// integer tweak, so the program recompiles and the analysis verdicts
+// stay comparable), replays the edit against a summary-store-backed
+// service, and reports four latencies per program:
+//
+//	cold        — first analysis, empty store
+//	resubmit    — identical program re-analyzed seeded from the store
+//	warm_edit   — the edited program analyzed with every untouched
+//	              procedure's summary still warm
+//	cache_hit   — the result cache replaying rendered bytes (the floor)
+//
+// alongside the engine-level dirty-work accounting: FixpointSteps of the
+// cold and seeded runs, and how many procedures stayed seeded across the
+// edit. The target the report tracks (non-gating, like -server) is
+// warm_edit staying within a small factor of cache_hit and the seeded
+// step count collapsing to the edited SCC plus its callers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/progs"
+	"repro/internal/service"
+	"repro/internal/sil/ast"
+	"repro/internal/sil/printer"
+)
+
+type editReplayConfig struct {
+	Out         string
+	Samples     int
+	Workers     int
+	MaxContexts int
+}
+
+// editProgram is the per-program edit-replay record.
+type editProgram struct {
+	Name       string `json:"name"`
+	EditedProc string `json:"edited_proc"`
+	Procs      int    `json:"procs"`
+
+	// Engine-level dirty-work accounting (deterministic).
+	ColdSteps     int  `json:"cold_steps"`      // fixpoint items, empty tables
+	EditColdSteps int  `json:"edit_cold_steps"` // edited program, empty tables
+	EditWarmSteps int  `json:"edit_warm_steps"` // edited program, carried seeds
+	SeededProcs   int  `json:"seeded_procs"`    // summaries that survived the edit
+	SeedsFellBack bool `json:"seeds_fell_back,omitempty"`
+
+	// Service-level latencies (medians over -samples).
+	ColdMs     float64 `json:"cold_ms"`
+	ResubmitMs float64 `json:"resubmit_ms"`
+	WarmEditMs float64 `json:"warm_edit_ms"`
+	CacheHitMs float64 `json:"cache_hit_ms"`
+}
+
+// editReplayReport is the whole BENCH_incremental.json document.
+type editReplayReport struct {
+	Schema    string    `json:"schema"`
+	Timestamp time.Time `json:"timestamp"`
+	GoVersion string    `json:"go_version"`
+	NumCPU    int       `json:"num_cpu"`
+	Samples   int       `json:"samples"`
+	Mode      string    `json:"mode"`
+
+	Programs []editProgram `json:"programs"`
+
+	// Headline ratios, medians across programs: how close a warm edited
+	// re-analysis comes to a byte-replay cache hit, what it saves against
+	// a cold analysis, and what fraction of the cold fixpoint work an
+	// edit re-runs.
+	WarmEditOverCacheHit float64 `json:"warm_edit_over_cache_hit"`
+	WarmEditOverCold     float64 `json:"warm_edit_over_cold"`
+	WarmStepFraction     float64 `json:"warm_step_fraction"`
+}
+
+// mutateOneInt finds the last procedure (preferring non-main) containing
+// an integer literal in its body, adds delta to that literal, and returns
+// the procedure's name plus an undo function. Returns "" when the program
+// has no editable literal.
+func mutateOneInt(prog *ast.Program, delta int) (string, func()) {
+	var lit *ast.IntLit
+	var in string
+	var findExpr func(e ast.Expr)
+	findExpr = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.IntLit:
+			lit = e
+		case *ast.Binary:
+			findExpr(e.X)
+			findExpr(e.Y)
+		case *ast.Unary:
+			findExpr(e.X)
+		case *ast.CallExpr:
+			for _, a := range e.Args {
+				findExpr(a)
+			}
+		}
+	}
+	pick := func(d *ast.ProcDecl) *ast.IntLit {
+		lit = nil
+		var walk func(s ast.Stmt)
+		walk = func(s ast.Stmt) {
+			switch s := s.(type) {
+			case *ast.Block:
+				for _, st := range s.Stmts {
+					walk(st)
+				}
+			case *ast.Par:
+				for _, st := range s.Branches {
+					walk(st)
+				}
+			case *ast.If:
+				findExpr(s.Cond)
+				walk(s.Then)
+				walk(s.Else)
+			case *ast.While:
+				findExpr(s.Cond)
+				walk(s.Body)
+			case *ast.Assign:
+				findExpr(s.Rhs)
+			case *ast.CallStmt:
+				for _, a := range s.Args {
+					findExpr(a)
+				}
+			}
+		}
+		walk(d.Body)
+		return lit
+	}
+	var chosen *ast.IntLit
+	for _, d := range prog.Decls {
+		if l := pick(d); l != nil {
+			if chosen == nil || d.Name != "main" {
+				chosen, in = l, d.Name
+			}
+		}
+	}
+	if chosen == nil {
+		return "", nil
+	}
+	old := chosen.Val
+	chosen.Val = old + int64(delta)
+	return in, func() { chosen.Val = old }
+}
+
+// editedSource renders the program with one integer literal shifted by
+// delta, returning the edited canonical source and the edited procedure.
+func editedSource(src string, delta int) (edited, proc string, err error) {
+	prog, err := progs.Compile(src)
+	if err != nil {
+		return "", "", err
+	}
+	proc, undo := mutateOneInt(prog, delta)
+	if proc == "" {
+		return "", "", nil
+	}
+	defer undo()
+	return printer.Print(prog), proc, nil
+}
+
+func runEditReplay(cfg editReplayConfig) error {
+	if cfg.Samples < 1 {
+		cfg.Samples = 1
+	}
+	aopts := analysis.Options{Workers: cfg.Workers, MaxContexts: cfg.MaxContexts}
+	mode := "context"
+	if !aopts.ContextSensitive() {
+		mode = "merged"
+	}
+	rep := editReplayReport{
+		Schema:    "sil-bench-incremental/v1",
+		Timestamp: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Samples:   cfg.Samples,
+		Mode:      mode,
+	}
+	var ratios, saves, fractions []float64
+	for _, e := range progs.Catalog {
+		ep, err := replayOne(e, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if ep == nil {
+			continue // no editable literal
+		}
+		rep.Programs = append(rep.Programs, *ep)
+		if ep.CacheHitMs > 0 {
+			ratios = append(ratios, ep.WarmEditMs/ep.CacheHitMs)
+		}
+		if ep.ColdMs > 0 {
+			saves = append(saves, ep.WarmEditMs/ep.ColdMs)
+		}
+		if ep.EditColdSteps > 0 {
+			fractions = append(fractions, float64(ep.EditWarmSteps)/float64(ep.EditColdSteps))
+		}
+		fmt.Fprintf(os.Stderr, "%-16s edit=%-10s steps %3d -> %3d (seeded %d/%d)  cold %.2fms resubmit %.2fms warm-edit %.2fms cache-hit %.2fms\n",
+			ep.Name, ep.EditedProc, ep.EditColdSteps, ep.EditWarmSteps, ep.SeededProcs, ep.Procs,
+			ep.ColdMs, ep.ResubmitMs, ep.WarmEditMs, ep.CacheHitMs)
+	}
+	rep.WarmEditOverCacheHit = median(ratios)
+	rep.WarmEditOverCold = median(saves)
+	rep.WarmStepFraction = median(fractions)
+	fmt.Fprintf(os.Stderr, "edit-replay: warm-edit/cache-hit median %.1fx, warm-edit/cold median %.2f, warm step fraction median %.2f over %d programs\n",
+		rep.WarmEditOverCacheHit, rep.WarmEditOverCold, rep.WarmStepFraction, len(rep.Programs))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if cfg.Out == "-" {
+		os.Stdout.Write(data)
+		return nil
+	}
+	if err := os.WriteFile(cfg.Out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", cfg.Out)
+	return nil
+}
+
+// replayOne runs the edit-replay protocol for one corpus program; nil
+// when the program carries no editable integer literal.
+func replayOne(e progs.Entry, cfg editReplayConfig) (*editProgram, error) {
+	aopts := analysis.Options{ExternalRoots: e.Roots, Workers: cfg.Workers, MaxContexts: cfg.MaxContexts}
+
+	// Engine-level accounting with the FIRST edit variant: carry exactly
+	// the seeds the summary store would (unchanged cohort fingerprints).
+	editSrc, editedProc, err := editedSource(e.Source, 1)
+	if err != nil {
+		return nil, err
+	}
+	if editedProc == "" {
+		return nil, nil
+	}
+	orig, err := progs.Compile(e.Source)
+	if err != nil {
+		return nil, err
+	}
+	edited, err := progs.Compile(editSrc)
+	if err != nil {
+		return nil, fmt.Errorf("edited program does not recompile: %w", err)
+	}
+	cold, err := analysis.Analyze(orig, aopts)
+	if err != nil {
+		return nil, err
+	}
+	seeds := analysis.ExportSeeds(cold)
+	origFps := service.ProcFingerprints(orig)
+	editFps := service.ProcFingerprints(edited)
+	carried := map[string]*analysis.ProcSeed{}
+	for name, seed := range seeds {
+		if editFps[name].Cohort == origFps[name].Cohort {
+			carried[name] = seed
+		}
+	}
+	editCold, err := analysis.Analyze(edited, aopts)
+	if err != nil {
+		return nil, err
+	}
+	wopts := aopts
+	wopts.Seeds = carried
+	editWarm, err := analysis.Analyze(edited, wopts)
+	if err != nil {
+		return nil, err
+	}
+	ep := &editProgram{
+		Name:          e.Name,
+		EditedProc:    editedProc,
+		Procs:         len(orig.Decls),
+		ColdSteps:     cold.FixpointSteps,
+		EditColdSteps: editCold.FixpointSteps,
+		EditWarmSteps: editWarm.FixpointSteps,
+		SeededProcs:   editWarm.SeededProcs,
+		SeedsFellBack: editWarm.SeedsFellBack,
+	}
+
+	// Service-level latencies. Each sample uses fresh services (cold
+	// state is unrepeatable otherwise) and a fresh edit delta so the
+	// edited procedures genuinely miss the store every sample.
+	var coldMs, resubMs, warmMs, hitMs []float64
+	for s := 0; s < cfg.Samples; s++ {
+		editSrc, _, err := editedSource(e.Source, s+1)
+		if err != nil {
+			return nil, err
+		}
+		svc := service.New(service.Options{
+			Analysis:      aopts,
+			CacheCapacity: -1, // every request re-analyzes: isolates the store's effect
+		})
+		req := service.Request{Name: e.Name, Source: e.Source, Roots: e.Roots}
+		timed := func(r service.Request) (float64, error) {
+			start := time.Now()
+			resp := svc.Analyze(r)
+			ms := float64(time.Since(start).Nanoseconds()) / 1e6
+			if resp.Err != nil {
+				return 0, fmt.Errorf("analyze %s: %v", r.Name, resp.Err)
+			}
+			return ms, nil
+		}
+		ms, err := timed(req)
+		if err != nil {
+			return nil, err
+		}
+		coldMs = append(coldMs, ms)
+		if ms, err = timed(req); err != nil {
+			return nil, err
+		}
+		resubMs = append(resubMs, ms)
+		if ms, err = timed(service.Request{Name: e.Name, Source: editSrc, Roots: e.Roots}); err != nil {
+			return nil, err
+		}
+		warmMs = append(warmMs, ms)
+
+		// Cache-hit floor: a default service replaying rendered bytes.
+		cached := service.New(service.Options{Analysis: aopts})
+		cresp := cached.Analyze(req)
+		if cresp.Err != nil {
+			return nil, fmt.Errorf("cache warmup: %v", cresp.Err)
+		}
+		start := time.Now()
+		cresp = cached.Analyze(req)
+		if cresp.Err != nil {
+			return nil, fmt.Errorf("cache hit: %v", cresp.Err)
+		}
+		hitMs = append(hitMs, float64(time.Since(start).Nanoseconds())/1e6)
+	}
+	ep.ColdMs = median(coldMs)
+	ep.ResubmitMs = median(resubMs)
+	ep.WarmEditMs = median(warmMs)
+	ep.CacheHitMs = median(hitMs)
+	return ep, nil
+}

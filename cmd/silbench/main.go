@@ -38,6 +38,17 @@
 // -shards mirrors silserver -shards (fingerprint-sharded serving); the
 // report then carries per-shard counters alongside the aggregate, so the
 // sharded and single-shard artifacts compare directly.
+//
+// With -edit-replay the tool measures the incremental-analysis path
+// instead:
+//
+//	silbench -edit-replay [-samples 3] [-ctx 0] [-out BENCH_incremental.json]
+//
+// For each corpus program it synthesizes a single-procedure edit, replays
+// it against a summary-store-backed service, and reports cold / seeded
+// resubmit / warm-after-edit / cache-hit latencies plus the fixpoint step
+// counts showing how much of the program an edit actually re-analyzes
+// (see editreplay.go). Non-gating, like -server.
 package main
 
 import (
@@ -150,7 +161,21 @@ func main() {
 	zipfS := flag.Float64("zipf", 1.2, "server mode: Zipf skew parameter s (>1; larger = more skewed)")
 	cacheCap := flag.Int("cache", 256, "server mode: result-cache capacity (negative disables)")
 	shards := flag.Int("shards", 1, "server mode: fingerprint shards (silserver -shards)")
+	editReplay := flag.Bool("edit-replay", false, "edit-replay mode: measure warm re-analysis of singly-edited corpus programs against the summary store")
 	flag.Parse()
+
+	if *editReplay {
+		out := *out
+		if out == "BENCH_analysis.json" {
+			out = "BENCH_incremental.json"
+		}
+		if err := runEditReplay(editReplayConfig{
+			Out: out, Samples: *samples, Workers: *workers, MaxContexts: *ctx,
+		}); err != nil {
+			log.Fatalf("edit-replay mode: %v", err)
+		}
+		return
+	}
 
 	if *server {
 		if err := runServerLoad(serverLoadConfig{

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	silserver [-addr :8080] [-cache 256] [-sessions 0] [-shards 1]
-//	          [-ctx 0] [-reset-paths 1048576] [-workers 0]
+//	silserver [-addr :8080] [-cache 256] [-summary-cap 4096] [-sessions 0]
+//	          [-shards 1] [-ctx 0] [-reset-paths 1048576] [-workers 0]
 //
 // Endpoints:
 //
@@ -38,6 +38,7 @@ func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", 256, "result-cache capacity (entries; negative disables)")
+	summaryCap := flag.Int("summary-cap", 0, "per-procedure summary-store capacity (records; 0 = default 4096, negative disables)")
 	sessions := flag.Int("sessions", 0, "session pool size / worker budget (0 = default)")
 	workers := flag.Int("workers", 0, "per-analysis worker pool size (0 = default; does not affect results)")
 	ctx := flag.Int("ctx", 0, "context-table cap: 0 = default, >0 = override, <0 = merged mode")
@@ -48,6 +49,7 @@ func main() {
 	router := service.NewRouter(*shards, service.Options{
 		Analysis:           analysis.Options{Workers: *workers, MaxContexts: *ctx},
 		CacheCapacity:      *cache,
+		SummaryCapacity:    *summaryCap,
 		Sessions:           *sessions,
 		ResetInternedPaths: *resetPaths,
 	})
@@ -56,8 +58,8 @@ func main() {
 		Handler:           service.NewRouterHandler(router),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("silserver listening on %s (shards=%d cache=%d sessions=%d ctx=%d reset-paths=%d)",
-		*addr, *shards, *cache, *sessions, *ctx, *resetPaths)
+	log.Printf("silserver listening on %s (shards=%d cache=%d summary-cap=%d sessions=%d ctx=%d reset-paths=%d)",
+		*addr, *shards, *cache, *summaryCap, *sessions, *ctx, *resetPaths)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}

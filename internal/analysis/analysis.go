@@ -73,6 +73,15 @@ type Options struct {
 	// affects results (matrices render content-based), so it is no part of
 	// any result-cache key.
 	Space *matrix.Space
+	// Seeds provides converged per-procedure summaries from an earlier
+	// run of a program containing the same procedures (incremental.go).
+	// Seeds are validated hints: the fixpoint runs from the seeded tables
+	// and the result is checked against every seed afterwards; on any
+	// mismatch Analyze transparently re-runs cold, so seeding never
+	// changes what is returned — only how much fixpoint work it costs.
+	// Keying seeds correctly (procedure body + reachable callees + every
+	// option above) is the caller's job; internal/service does.
+	Seeds map[string]*ProcSeed
 }
 
 // withDefaults fills the scalar knobs. It deliberately leaves Space alone:
@@ -217,7 +226,19 @@ type Info struct {
 	// Diags are the structure-verification findings, deduplicated.
 	Diags []Diagnostic
 
+	// FixpointSteps counts the (procedure, context) item analyses the
+	// fixpoint consumed — the dirty-work metric of incremental runs (a
+	// fully warm resubmit costs 0; a cold run costs the whole program).
+	FixpointSteps int
+	// SeededProcs counts the summaries seeded from Options.Seeds that
+	// this run committed before the fixpoint.
+	SeededProcs int
+	// SeedsFellBack reports that a seeded run failed post-run validation
+	// and this result came from the automatic cold re-run.
+	SeedsFellBack bool
+
 	stmtProc map[ast.Stmt]string
+	seeded   []seededProc
 }
 
 // ProcOf returns the name of the procedure containing the statement.
@@ -317,6 +338,30 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 		// Space from the defaulted Options and never falls back again.
 		opts.Space = matrix.DefaultSpace() //sillint:allow spacediscipline documented nil-Space contract, bound only here
 	}
+	info, err := analyzeOnce(prog, main, opts)
+	if err == nil && (info.SeededProcs == 0 || info.seedsHeld()) {
+		return info, nil
+	}
+	if err != nil && len(opts.Seeds) == 0 {
+		return nil, err
+	}
+	// A seed was not confirmed by the converged run: the callers of some
+	// seeded procedure present a different context set than the run the
+	// seeds came from, so the warm result may not match a cold run
+	// bit-for-bit. Re-run cold (same Space; the stale interned paths are
+	// reclaimed by the session's normal epoch resets).
+	cold := opts
+	cold.Seeds = nil
+	info, err = analyzeOnce(prog, main, cold)
+	if info != nil {
+		info.SeedsFellBack = true
+	}
+	return info, err
+}
+
+// analyzeOnce is one full fixpoint + recording pass; Analyze wraps it
+// with seed validation and the cold re-run.
+func analyzeOnce(prog *ast.Program, main *ast.ProcDecl, opts Options) (*Info, error) {
 	eng := newEngine(prog, opts, &Info{
 		Prog:      prog,
 		Opts:      opts,
@@ -328,6 +373,8 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 	for _, d := range prog.Decls {
 		walkStmts(d.Body, func(s ast.Stmt) { eng.info.stmtProc[s] = d.Name })
 	}
+	eng.info.seeded = importSeeds(eng, opts.Seeds)
+	eng.info.SeededProcs = len(eng.info.seeded)
 	mainSum := eng.summaryFor(main)
 	lk := mainSum.contextFor(entryForMain(main, opts), opts.Limits, false, false)
 	eng.rootCtx = lk.ctx
@@ -359,6 +406,7 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 			break
 		}
 	}
+	eng.info.FixpointSteps = eng.steps
 	// Final sequential recording pass: a breadth-first closure over the
 	// (procedure, context) bindings reachable from main's root context.
 	// Each reached item is replayed once; record() merges the matrices of

@@ -17,8 +17,8 @@ import (
 
 // fingerprint reduces an Info to a deterministic string covering every
 // output the rest of the pipeline consumes, including every live context
-// of every summary (Contexts() orders them by entry fingerprint, which is
-// content-based and schedule-independent within one Space epoch).
+// of every summary (Contexts() orders them by the canonical content
+// rendering of their entries, which is schedule-independent).
 func fingerprint(t *testing.T, info *Info) string {
 	out := fmt.Sprintf("shape=%s exit=%s\n", info.Shape(), info.ExitShape())
 	for _, d := range info.DiagStrings() {

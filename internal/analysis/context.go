@@ -664,19 +664,22 @@ func (s *Summary) pruneContexts(live map[*ProcContext]bool) {
 }
 
 // Contexts returns the summary's contexts in a deterministic order: exact
-// contexts sorted by entry fingerprint, then the merged fallback (if any).
+// contexts sorted by the canonical content rendering of their entries,
+// then the merged fallback (if any). Content order — not fingerprint
+// order — so the sequence is comparable across Spaces, epochs, and
+// seeded/cold runs: fingerprints incorporate interned IDs, and a seeded
+// run interns the decoded summaries before the program's own matrices,
+// which permuted fingerprint order run-to-run (Options.Seeds is a map).
 // After Analyze returns only live exact contexts remain.
 func (s *Summary) Contexts() []*ProcContext {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := append([]*ProcContext(nil), s.lru...)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].entry.Fingerprint(), out[j].entry.Fingerprint()
-		if a.Hi != b.Hi {
-			return a.Hi < b.Hi
-		}
-		return a.Lo < b.Lo
-	})
+	keys := make(map[*ProcContext]string, len(out))
+	for _, c := range out {
+		keys[c] = canonicalKey(c.entry)
+	}
+	sort.Slice(out, func(i, j int) bool { return keys[out[i]] < keys[out[j]] })
 	if s.merged != nil {
 		out = append(out, s.merged)
 	}

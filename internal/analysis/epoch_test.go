@@ -68,9 +68,9 @@ func epochSnapshot(t *testing.T, src string, roots []string, workers int) string
 		s := info.Summaries[name]
 		fmt.Fprintf(&b, "proc %s mod=%v upd=%v link=%v attach=%v\n",
 			name, s.ModifiesLinks, s.UpdateParams, s.LinkParams, s.AttachesParams)
-		// Contexts() orders by entry fingerprint, which is NOT comparable
-		// across epochs; render every context canonically and sort the
-		// renderings instead.
+		// Contexts() order is content-canonical (comparable across
+		// epochs), but the full renderings are sorted here too so this
+		// dump stands on its own.
 		var ctxs []string
 		for _, c := range s.Contexts() {
 			r := "context"

@@ -29,12 +29,15 @@ import (
 
 // Scope lists the packages the bit-identical property covers. The
 // equivalence suites pin exactly these: analysis results (analysis, path,
-// matrix) and the interference verdicts rendered from them.
+// matrix), the interference verdicts rendered from them, and the service
+// layer (rendered bodies, fingerprints, and summary-store records must be
+// byte-identical across shards, sessions, and warm/cold paths).
 var Scope = []string{
 	"repro/internal/analysis",
 	"repro/internal/path",
 	"repro/internal/matrix",
 	"repro/internal/interfere",
+	"repro/internal/service",
 }
 
 // bannedTimeFuncs are the wall-clock reads; time.Duration arithmetic and

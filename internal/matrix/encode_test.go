@@ -1,0 +1,133 @@
+package matrix
+
+import (
+	"testing"
+
+	"repro/internal/path"
+)
+
+func mustSet(t *testing.T, sp *path.Space, src string) path.Set {
+	t.Helper()
+	s, err := sp.ParseSet(src)
+	if err != nil {
+		t.Fatalf("ParseSet(%q): %v", src, err)
+	}
+	return s
+}
+
+// buildSample constructs a matrix exercising every encoded dimension:
+// attribute lattice points, definite and possible paths, multi-member
+// sets, a cleared diagonal, and a sticky shape.
+func buildSample(sp *Space) *Matrix {
+	ps := sp.Paths()
+	m := NewIn(sp)
+	m.Add("root", Attr{Nil: NonNil, Indeg: Root})
+	m.Add("cur", Attr{Nil: MaybeNil, Indeg: UnknownDeg})
+	m.Add("t", Attr{Nil: DefNil, Indeg: Attached})
+	m.Add("h*1", Attr{Nil: MaybeNil, Indeg: Shared})
+	set := func(src string) path.Set {
+		s, err := ps.ParseSet(src)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	m.Put("root", "cur", set("L1, D2+?"))
+	m.Put("root", "root", set("S"))
+	m.Put("cur", "cur", set("S?"))
+	m.Put("h*1", "cur", set("R1L2?, L+"))
+	m.Put("root", "h*1", set("D1?"))
+	m.ResetShape(ShapeMaybeDAG)
+	return m
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sp := NewSpace(path.NewSpace())
+	m := buildSample(sp)
+	enc := m.Encode()
+	got, err := DecodeIn(sp, enc)
+	if err != nil {
+		t.Fatalf("DecodeIn: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("decoded matrix differs:\n got:\n%s\nwant:\n%s", got, m)
+	}
+	if got.Fingerprint() != m.Fingerprint() {
+		t.Fatalf("fingerprint mismatch: %s vs %s", got.Fingerprint(), m.Fingerprint())
+	}
+	if gh, wh := got.Handles(), m.Handles(); len(gh) != len(wh) {
+		t.Fatalf("handle count: %d vs %d", len(gh), len(wh))
+	} else {
+		for i := range gh {
+			if gh[i] != wh[i] {
+				t.Fatalf("handle order diverged at %d: %s vs %s", i, gh[i], wh[i])
+			}
+		}
+	}
+	if got.StickyShape() != m.StickyShape() {
+		t.Fatalf("sticky: %v vs %v", got.StickyShape(), m.StickyShape())
+	}
+}
+
+// TestEncodeDecodeAcrossSpaces pins the incremental-analysis contract:
+// the encoding carries no interned IDs, so it decodes into a completely
+// fresh Space to the same content.
+func TestEncodeDecodeAcrossSpaces(t *testing.T) {
+	sp1 := NewSpace(path.NewSpace())
+	m := buildSample(sp1)
+	enc := m.Encode()
+
+	sp2 := NewSpace(path.NewSpace())
+	// Skew sp2's intern tables so IDs cannot accidentally line up.
+	skew := NewIn(sp2)
+	skew.Add("zzz", Attr{Nil: NonNil, Indeg: Root})
+	mustSet(t, sp2.Paths(), "L1R1D+?")
+
+	got, err := DecodeIn(sp2, enc)
+	if err != nil {
+		t.Fatalf("DecodeIn: %v", err)
+	}
+	// Cross-Space comparison must be content-based: re-encode.
+	got2 := got.Encode()
+	if len(got2.Handles) != len(enc.Handles) || len(got2.Cells) != len(enc.Cells) {
+		t.Fatalf("re-encode shape mismatch: %+v vs %+v", got2, enc)
+	}
+	for i := range enc.Handles {
+		if got2.Handles[i] != enc.Handles[i] {
+			t.Fatalf("handle %d: %+v vs %+v", i, got2.Handles[i], enc.Handles[i])
+		}
+	}
+	for i := range enc.Cells {
+		if got2.Cells[i] != enc.Cells[i] {
+			t.Fatalf("cell %d: %+v vs %+v", i, got2.Cells[i], enc.Cells[i])
+		}
+	}
+	if got2.Sticky != enc.Sticky {
+		t.Fatalf("sticky: %v vs %v", got2.Sticky, enc.Sticky)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	sp := NewSpace(path.NewSpace())
+	enc := buildSample(sp).Encode()
+
+	bad := enc
+	bad.Cells = append([]EncodedCell(nil), enc.Cells...)
+	bad.Cells[0].Paths = "not a path"
+	if _, err := DecodeIn(sp, bad); err == nil {
+		t.Fatal("want error for corrupt path notation")
+	}
+
+	bad = enc
+	bad.Cells = append([]EncodedCell(nil), enc.Cells...)
+	bad.Cells[0].Row = "ghost"
+	if _, err := DecodeIn(sp, bad); err == nil {
+		t.Fatal("want error for unknown handle")
+	}
+
+	bad = enc
+	bad.Handles = append(append([]EncodedHandle(nil), enc.Handles...), enc.Handles[0])
+	if _, err := DecodeIn(sp, bad); err == nil {
+		t.Fatal("want error for duplicate handle")
+	}
+}

@@ -39,14 +39,30 @@ type ProcDoc struct {
 	Evictions     int  `json:"evictions,omitempty"`
 }
 
+// LimitsDoc reflects the effective path-domain budgets (after service
+// defaults and any per-request override) back to the client.
+type LimitsDoc struct {
+	MaxExact int `json:"max_exact"`
+	MaxSegs  int `json:"max_segs"`
+	MaxPaths int `json:"max_paths"`
+}
+
 // ResultDoc is the canonical per-program analysis result.
+//
+// Schema history: v2 dropped the fallbacks_activated / fallback_analyses /
+// exits_shared counters — they describe HOW a fixpoint was scheduled
+// (lazy-fallback work, exit sharing), which warm summary-seeded runs
+// legitimately skip, so they could not stay in a body that must be
+// byte-identical between cold and warm analyses — and added the effective
+// `limits` block.
 type ResultDoc struct {
 	Schema      string `json:"schema"`
 	Name        string `json:"name"`
 	Fingerprint string `json:"fingerprint"`
 	// Mode is "context" or "merged"; Workers is omitted on purpose —
 	// results are worker-independent.
-	Mode string `json:"mode"`
+	Mode   string    `json:"mode"`
+	Limits LimitsDoc `json:"limits"`
 
 	Shape     string   `json:"shape"`
 	ExitShape string   `json:"exit_shape"`
@@ -57,12 +73,9 @@ type ResultDoc struct {
 	ParBranches   int `json:"par_branches"`
 
 	// Context-table roll-up (see analysis.CtxTableStats).
-	Contexts           int `json:"contexts"`
-	MergedProcs        int `json:"merged_procs"`
-	Evictions          int `json:"evictions"`
-	FallbacksActivated int `json:"fallbacks_activated"`
-	FallbackAnalyses   int `json:"fallback_analyses"`
-	ExitsShared        int `json:"exits_shared"`
+	Contexts    int `json:"contexts"`
+	MergedProcs int `json:"merged_procs"`
+	Evictions   int `json:"evictions"`
 
 	Procedures []ProcDoc `json:"procedures"`
 }
@@ -75,19 +88,21 @@ func renderResult(name string, fp Fp, info *analysis.Info, parRes *par.Result) (
 	}
 	ct := info.ContextTableStats()
 	doc := ResultDoc{
-		Schema:             "sil-analysis/v1",
-		Name:               name,
-		Fingerprint:        fp.String(),
-		Mode:               mode,
-		Shape:              info.Shape().String(),
-		ExitShape:          info.ExitShape().String(),
-		Diags:              info.DiagStrings(),
-		Contexts:           ct.Exact,
-		MergedProcs:        ct.MergedProcs,
-		Evictions:          ct.Evictions,
-		FallbacksActivated: ct.FallbacksActivated,
-		FallbackAnalyses:   ct.FallbackAnalyses,
-		ExitsShared:        ct.ExitsShared,
+		Schema:      "sil-analysis/v2",
+		Name:        name,
+		Fingerprint: fp.String(),
+		Mode:        mode,
+		Limits: LimitsDoc{
+			MaxExact: info.Opts.Limits.MaxExact,
+			MaxSegs:  info.Opts.Limits.MaxSegs,
+			MaxPaths: info.Opts.Limits.MaxPaths,
+		},
+		Shape:       info.Shape().String(),
+		ExitShape:   info.ExitShape().String(),
+		Diags:       info.DiagStrings(),
+		Contexts:    ct.Exact,
+		MergedProcs: ct.MergedProcs,
+		Evictions:   ct.Evictions,
 	}
 	if doc.Diags == nil {
 		doc.Diags = []string{}

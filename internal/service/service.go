@@ -73,6 +73,14 @@ type Options struct {
 	// via the reset hook, its matrix handle table). Other sessions are
 	// never involved. 0 picks 1<<20; negative disables epoch resets.
 	ResetInternedPaths int
+	// SummaryCapacity bounds the per-procedure summary store (records) —
+	// the incremental-analysis warm path consulted on result-cache
+	// misses (summarystore.go). 0 picks 4096; negative disables
+	// incremental analysis entirely.
+	SummaryCapacity int
+	// SummaryStore overrides the store implementation (policy sweeps);
+	// nil builds the LRU baseline with SummaryCapacity.
+	SummaryStore SummaryStore
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +102,9 @@ func (o Options) withDefaults() Options {
 	if o.ResetInternedPaths == 0 {
 		o.ResetInternedPaths = 1 << 20
 	}
+	if o.SummaryCapacity == 0 {
+		o.SummaryCapacity = 4096
+	}
 	return o
 }
 
@@ -110,6 +121,32 @@ type Request struct {
 	// MaxContexts overrides the context-table cap when non-zero (negative
 	// = merged mode), mirroring silbench -ctx.
 	MaxContexts int `json:"max_contexts,omitempty"`
+	// Limits overrides path-domain budgets per request so interactive
+	// clients can set tighter budgets than batch ones. Zero fields keep
+	// the service default; negative fields are rejected with a 400. The
+	// effective limits are part of the result fingerprint and reflected
+	// in the response document.
+	Limits *LimitsSpec `json:"limits,omitempty"`
+}
+
+// LimitsSpec is the wire form of a per-request path.Limits override.
+type LimitsSpec struct {
+	// MaxExact caps exact edge counts per path segment (wider widens to
+	// the >= form); MaxSegs caps direction runs per path; MaxPaths caps
+	// the path set per matrix entry.
+	MaxExact int `json:"max_exact,omitempty"`
+	MaxSegs  int `json:"max_segs,omitempty"`
+	MaxPaths int `json:"max_paths,omitempty"`
+}
+
+// validate rejects malformed per-request overrides before compilation.
+func (r Request) validate() *RequestError {
+	if l := r.Limits; l != nil {
+		if l.MaxExact < 0 || l.MaxSegs < 0 || l.MaxPaths < 0 {
+			return &RequestError{Status: 400, Msg: "limits: fields must be non-negative (zero keeps the default)"}
+		}
+	}
+	return nil
 }
 
 // RequestError describes a per-program failure.
@@ -162,6 +199,12 @@ type Service struct {
 	// cold-start case).
 	inflight map[Fp]*flight
 
+	// sumStore is the per-procedure summary store behind incremental
+	// analysis (summarystore.go); nil when disabled. It is service-level
+	// (not per-session): records are Space-free, so any session can seed
+	// from any record.
+	sumStore SummaryStore
+
 	served    atomic.Uint64
 	analyses  atomic.Uint64
 	hits      atomic.Uint64
@@ -212,6 +255,11 @@ func New(opts Options) *Service {
 		s.sessionList = append(s.sessionList, sess)
 		s.sessions <- sess
 	}
+	if opts.SummaryStore != nil {
+		s.sumStore = opts.SummaryStore
+	} else if opts.SummaryCapacity > 0 {
+		s.sumStore = NewLRUSummaryStore(opts.SummaryCapacity)
+	}
 	return s
 }
 
@@ -231,6 +279,9 @@ type prepared struct {
 // no session state, so any Service instance built from the same Options
 // prepares identically.
 func (s *Service) prepare(req Request) prepared {
+	if verr := req.validate(); verr != nil {
+		return prepared{name: req.Name, err: verr}
+	}
 	prog, err := progs.Compile(req.Source)
 	if err != nil {
 		return prepared{name: req.Name, err: &RequestError{
@@ -306,6 +357,29 @@ func (s *Service) analyzePrepared(p prepared) Response {
 	sess := <-s.sessions
 	opts := p.opts
 	opts.Space = sess.space
+	// Incremental warm path: on a result-cache miss, probe the summary
+	// store for every procedure's (cohort, options) key and seed the
+	// engine with the hits — an edit re-analyzes only the edited SCC and
+	// its callers. The engine validates seeds post-run and re-runs cold
+	// on any mismatch, so this never changes the rendered bytes.
+	var procFps map[string]ProcFp
+	var missing map[string]Fp // procedure -> summary key to backfill
+	if s.sumStore != nil {
+		procFps = ProcFingerprints(p.prog)
+		missing = make(map[string]Fp, len(procFps))
+		seeds := make(map[string]*analysis.ProcSeed, len(procFps))
+		for name, pf := range procFps {
+			key := SummaryKey(pf.Cohort, p.opts)
+			if seed, ok := s.sumStore.Get(key); ok {
+				seeds[name] = seed
+			} else {
+				missing[name] = key
+			}
+		}
+		if len(seeds) > 0 {
+			opts.Seeds = seeds
+		}
+	}
 	info, aerr := analysis.Analyze(p.prog, opts)
 	var parRes *par.Result
 	var body []byte
@@ -319,6 +393,16 @@ func (s *Service) analyzePrepared(p prepared) Response {
 		// label), and the bytes are identical whichever session (or shard)
 		// produced them.
 		body, rerr = renderResult(p.prog.Name, p.fp, info, parRes)
+		if len(missing) > 0 {
+			// Backfill only the store misses: hits were just refreshed by
+			// Get, and deterministic exports make a re-Put a no-op.
+			exported := analysis.ExportSeeds(info)
+			for name, key := range missing {
+				if seed := exported[name]; seed != nil {
+					s.sumStore.Put(key, procFps[name].Body, seed)
+				}
+			}
+		}
 	}
 	sess.served.Add(1)
 	s.maybeReset(sess)
@@ -389,6 +473,22 @@ func (s *Service) requestOptions(req Request) analysis.Options {
 	}
 	if req.MaxContexts != 0 {
 		opts.MaxContexts = req.MaxContexts
+	}
+	if req.Limits != nil {
+		lim := opts.Limits
+		if lim == (path.Limits{}) {
+			lim = path.DefaultLimits
+		}
+		if req.Limits.MaxExact > 0 {
+			lim.MaxExact = req.Limits.MaxExact
+		}
+		if req.Limits.MaxSegs > 0 {
+			lim.MaxSegs = req.Limits.MaxSegs
+		}
+		if req.Limits.MaxPaths > 0 {
+			lim.MaxPaths = req.Limits.MaxPaths
+		}
+		opts.Limits = lim
 	}
 	return opts
 }
@@ -482,6 +582,10 @@ type Stats struct {
 	InternedPaths int     `json:"interned_paths"`
 	MemoVerdicts  int     `json:"memo_verdicts"`
 	MemoHitRate   float64 `json:"memo_hit_rate"`
+
+	// SummaryStore is the per-procedure summary store's counters (all
+	// zero when the store is disabled).
+	SummaryStore SummaryStoreStats `json:"summary_store"`
 }
 
 // Stats snapshots the service counters and the per-session Space tables.
@@ -503,6 +607,9 @@ func (s *Service) Stats() Stats {
 		Coalesced:      s.coalesced.Load(),
 		Sessions:       uint64(s.opts.Sessions),
 		EpochResets:    s.resets.Load(),
+	}
+	if s.sumStore != nil {
+		st.SummaryStore = s.sumStore.Stats()
 	}
 	var memoHits, memoMisses uint64
 	for _, sess := range s.sessionList {

@@ -331,8 +331,11 @@ func TestResultDocumentShape(t *testing.T) {
 	if err := json.Unmarshal(resp.Body, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if doc.Schema != "sil-analysis/v1" || doc.Name != "add_and_reverse" || doc.Mode != "context" {
+	if doc.Schema != "sil-analysis/v2" || doc.Name != "add_and_reverse" || doc.Mode != "context" {
 		t.Errorf("unexpected document header: %+v", doc)
+	}
+	if doc.Limits != (LimitsDoc{MaxExact: 8, MaxSegs: 6, MaxPaths: 8}) {
+		t.Errorf("default limits misreflected: %+v", doc.Limits)
 	}
 	if doc.Fingerprint != resp.Fingerprint {
 		t.Error("document fingerprint differs from response fingerprint")

@@ -168,6 +168,7 @@ func (r *Router) Stats() RouterStats {
 		t.EpochResets += st.EpochResets
 		t.InternedPaths += st.InternedPaths
 		t.MemoVerdicts += st.MemoVerdicts
+		t.SummaryStore = t.SummaryStore.add(st.SummaryStore)
 		memoWeighted += st.MemoHitRate * float64(st.MemoVerdicts)
 		memoVerdicts += st.MemoVerdicts
 	}

@@ -24,6 +24,17 @@ func Print(p *ast.Program) string {
 	return b.String()
 }
 
+// PrintDecl renders a single procedure declaration. The rendering is the
+// same canonical text Print produces for the declaration inside a whole
+// program, so it serves as the content basis for per-procedure body
+// fingerprints: two declarations print identically iff their normalized
+// ASTs are identical.
+func PrintDecl(d *ast.ProcDecl) string {
+	var b strings.Builder
+	printDecl(&b, d)
+	return b.String()
+}
+
 // PrintStmt renders a single statement at the given indent level.
 func PrintStmt(s ast.Stmt, indent int) string {
 	var b strings.Builder
