@@ -9,6 +9,8 @@
 package repro
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -111,7 +113,7 @@ end;
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := analysis.Analyze(prog, analysis.Options{}); err != nil {
+		if _, err := analysis.Analyze(context.Background(), prog, analysis.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -203,7 +205,7 @@ func BenchmarkFig7Analysis(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		info, err := analysis.Analyze(prog, analysis.Options{})
+		info, err := analysis.Analyze(context.Background(), prog, analysis.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,7 +221,7 @@ func BenchmarkFig8Parallelize(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	info, err := analysis.Analyze(prog, analysis.Options{})
+	info, err := analysis.Analyze(context.Background(), prog, analysis.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -312,7 +314,7 @@ func BenchmarkAblationReadOnly(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	info, err := analysis.Analyze(prog, analysis.Options{ExternalRoots: []string{"root"}})
+	info, err := analysis.Analyze(context.Background(), prog, analysis.Options{ExternalRoots: []string{"root"}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -349,7 +351,7 @@ func BenchmarkAblationWidening(b *testing.B) {
 		name := "paths=" + string(rune('0'+lim.MaxPaths))
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := analysis.Analyze(prog, analysis.Options{Limits: lim}); err != nil {
+				if _, err := analysis.Analyze(context.Background(), prog, analysis.Options{Limits: lim}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -409,7 +411,7 @@ func BenchmarkCorpusAnalysis(b *testing.B) {
 		}
 		b.Run(e.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				info, err := analysis.Analyze(prog, analysis.Options{ExternalRoots: e.Roots})
+				info, err := analysis.Analyze(context.Background(), prog, analysis.Options{ExternalRoots: e.Roots})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -432,7 +434,7 @@ func BenchmarkCorpusAnalysisMerged(b *testing.B) {
 		}
 		b.Run(e.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				info, err := analysis.Analyze(prog, analysis.Options{ExternalRoots: e.Roots, MaxContexts: -1})
+				info, err := analysis.Analyze(context.Background(), prog, analysis.Options{ExternalRoots: e.Roots, MaxContexts: -1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -455,7 +457,7 @@ func BenchmarkCorpusAnalysisCap1(b *testing.B) {
 		}
 		b.Run(e.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				info, err := analysis.Analyze(prog, analysis.Options{ExternalRoots: e.Roots, MaxContexts: 1})
+				info, err := analysis.Analyze(context.Background(), prog, analysis.Options{ExternalRoots: e.Roots, MaxContexts: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -475,7 +477,7 @@ func BenchmarkAnalysisWorkers(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := analysis.Analyze(prog, analysis.Options{Workers: w}); err != nil {
+				if _, err := analysis.Analyze(context.Background(), prog, analysis.Options{Workers: w}); err != nil {
 					b.Fatal(err)
 				}
 			}

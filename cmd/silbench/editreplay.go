@@ -19,6 +19,7 @@ package main
 // step count collapsing to the edited SCC plus its callers.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -248,7 +249,7 @@ func replayOne(e progs.Entry, cfg editReplayConfig) (*editProgram, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edited program does not recompile: %w", err)
 	}
-	cold, err := analysis.Analyze(orig, aopts)
+	cold, err := analysis.Analyze(context.Background(), orig, aopts)
 	if err != nil {
 		return nil, err
 	}
@@ -261,13 +262,13 @@ func replayOne(e progs.Entry, cfg editReplayConfig) (*editProgram, error) {
 			carried[name] = seed
 		}
 	}
-	editCold, err := analysis.Analyze(edited, aopts)
+	editCold, err := analysis.Analyze(context.Background(), edited, aopts)
 	if err != nil {
 		return nil, err
 	}
 	wopts := aopts
 	wopts.Seeds = carried
-	editWarm, err := analysis.Analyze(edited, wopts)
+	editWarm, err := analysis.Analyze(context.Background(), edited, wopts)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +299,7 @@ func replayOne(e progs.Entry, cfg editReplayConfig) (*editProgram, error) {
 		req := service.Request{Name: e.Name, Source: e.Source, Roots: e.Roots}
 		timed := func(r service.Request) (float64, error) {
 			start := time.Now()
-			resp := svc.Analyze(r)
+			resp := svc.Analyze(context.Background(), r)
 			ms := float64(time.Since(start).Nanoseconds()) / 1e6
 			if resp.Err != nil {
 				return 0, fmt.Errorf("analyze %s: %v", r.Name, resp.Err)
@@ -321,12 +322,12 @@ func replayOne(e progs.Entry, cfg editReplayConfig) (*editProgram, error) {
 
 		// Cache-hit floor: a default service replaying rendered bytes.
 		cached := service.New(service.Options{Analysis: aopts})
-		cresp := cached.Analyze(req)
+		cresp := cached.Analyze(context.Background(), req)
 		if cresp.Err != nil {
 			return nil, fmt.Errorf("cache warmup: %v", cresp.Err)
 		}
 		start := time.Now()
-		cresp = cached.Analyze(req)
+		cresp = cached.Analyze(context.Background(), req)
 		if cresp.Err != nil {
 			return nil, fmt.Errorf("cache hit: %v", cresp.Err)
 		}

@@ -52,6 +52,8 @@
 package main
 
 import (
+	"context"
+
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -260,7 +262,7 @@ func benchOne(e progs.Entry, iters, samples int, minTime time.Duration, workers,
 	}
 	opts := analysis.Options{ExternalRoots: e.Roots, Workers: workers, MaxContexts: maxContexts}
 	run := func() (*analysis.Info, *par.Result, error) {
-		info, err := analysis.Analyze(prog, opts)
+		info, err := analysis.Analyze(context.Background(), prog, opts)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -90,11 +90,15 @@ type serverReport struct {
 	Mode     string  `json:"mode"`
 	Shards   int     `json:"shards"`
 
-	Total   int            `json:"total_requests"`
-	Errors  int            `json:"errors"`
-	HitRate float64        `json:"hit_rate"`
-	Warm    latencySummary `json:"warm"`
-	Cold    latencySummary `json:"cold"`
+	Total  int `json:"total_requests"`
+	Errors int `json:"errors"`
+	// StatusCounts tallies responses by HTTP status ("200", "429", "503",
+	// "504", ...) so shed/budget/deadline behavior under load is visible in
+	// the artifact even though this mode never gates on it.
+	StatusCounts map[string]int `json:"status_counts"`
+	HitRate      float64        `json:"hit_rate"`
+	Warm         latencySummary `json:"warm"`
+	Cold         latencySummary `json:"cold"`
 	// ColdWarmMedianRatio is cold p50 / warm p50 — the headline number for
 	// what the cache buys under this mix.
 	ColdWarmMedianRatio float64 `json:"cold_warm_median_ratio"`
@@ -104,13 +108,52 @@ type serverReport struct {
 	// PerShard carries each shard's own counters when Shards > 1 (Stats is
 	// then the cross-shard aggregate).
 	PerShard []service.Stats `json:"per_shard_stats,omitempty"`
+	// Metrics is the post-load /v1/metrics exposition flattened to
+	// series-name -> value (comments and histogram bucket series dropped;
+	// _sum/_count kept), so the artifact records exactly what a scraper
+	// would have seen.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// scrapeMetrics fetches url and flattens the Prometheus text exposition,
+// skipping comment lines and per-bucket histogram series.
+func scrapeMetrics(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	out := map[string]float64{}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 || line[0] == '#' || bytes.Contains(line, []byte("_bucket{")) {
+			continue
+		}
+		i := bytes.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(string(line[i+1:]), "%g", &v); err != nil {
+			continue
+		}
+		out[string(line[:i])] = v
+	}
+	return out, nil
 }
 
 type sample struct {
-	prog string
-	dur  time.Duration
-	hit  bool
-	err  bool
+	prog   string
+	dur    time.Duration
+	hit    bool
+	err    bool
+	status int // HTTP status (0 on transport error)
 }
 
 func runServerLoad(cfg serverLoadConfig) error {
@@ -163,6 +206,9 @@ func runServerLoad(cfg serverLoadConfig) error {
 				resp, err := client.Post(base+"/analyze", "application/json", bytes.NewReader(bodies[idx]))
 				dur := time.Since(start)
 				s := sample{prog: catalog[idx].Name, dur: dur}
+				if resp != nil {
+					s.status = resp.StatusCode
+				}
 				if err != nil || resp.StatusCode != http.StatusOK {
 					s.err = true
 				} else {
@@ -184,7 +230,7 @@ func runServerLoad(cfg serverLoadConfig) error {
 		mode = "merged"
 	}
 	rep := serverReport{
-		Schema:    "sil-bench-server/v1",
+		Schema:    "sil-bench-server/v2",
 		Timestamp: time.Now().UTC(),
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
@@ -194,12 +240,14 @@ func runServerLoad(cfg serverLoadConfig) error {
 		Mode:      mode,
 		Shards:    shards,
 	}
+	rep.StatusCounts = map[string]int{}
 	var warm, cold []time.Duration
 	perProg := map[string]*programLoad{}
 	var progWarm, progCold = map[string][]float64{}, map[string][]float64{}
 	for _, rs := range results {
 		for _, s := range rs {
 			rep.Total++
+			rep.StatusCounts[fmt.Sprintf("%d", s.status)]++
 			if s.err {
 				rep.Errors++
 				continue
@@ -246,6 +294,13 @@ func runServerLoad(cfg serverLoadConfig) error {
 		rep.PerShard = rst.PerShard
 	}
 	st := rst.Total
+	// Record the serving-layer exposition itself (what a Prometheus scraper
+	// would have collected after the run).
+	if m, err := scrapeMetrics(&http.Client{}, base+"/v1/metrics"); err != nil {
+		fmt.Fprintf(os.Stderr, "  metrics scrape failed: %v\n", err)
+	} else {
+		rep.Metrics = m
+	}
 
 	fmt.Fprintf(os.Stderr, "server load: %d requests (%d clients x %d, %d shard(s)), hit rate %.3f, errors %d\n",
 		rep.Total, cfg.Clients, cfg.Requests, shards, rep.HitRate, rep.Errors)

@@ -8,20 +8,27 @@
 //
 //	silserver [-addr :8080] [-cache 256] [-summary-cap 4096] [-sessions 0]
 //	          [-shards 1] [-ctx 0] [-reset-paths 1048576] [-workers 0]
+//	          [-timeout 60s] [-max-queue 256] [-budget-rounds 0]
+//	          [-budget-paths 0]
 //
-// Endpoints:
+// Endpoints (also reachable without the /v1 prefix):
 //
-//	POST /analyze  {"source":"program p ...","roots":["root"]}
-//	POST /analyze  {"programs":[{"name":"a","source":"..."}, ...]}
-//	GET  /stats    (?shard=N for one shard's snapshot when -shards > 1)
-//	GET  /healthz
+//	POST /v1/analyze  {"source":"program p ...","roots":["root"]}
+//	POST /v1/analyze  {"programs":[{"name":"a","source":"..."}, ...]}
+//	GET  /v1/stats    (?shard=N for one shard's snapshot when -shards > 1)
+//	GET  /v1/metrics  Prometheus text exposition
+//	GET  /v1/healthz
 //
 // With -shards N the canonical program fingerprint is consistent-hashed
 // across N independent shards, each with its own session pool, Spaces,
 // and result cache; responses are byte-identical whatever N is. A cached
 // response is byte-identical to the fresh one; the X-Sil-Cache header
-// reports "hit" or "miss" per program. Parse/type errors return 400 with
-// diagnostics in the body.
+// reports "hit" or "miss" per program. Failures use the v1 error envelope
+// {"error":{"code":...,"message":...,"diagnostics":[...]}}: parse/type
+// errors are 400 parse_error, admission sheds 429 overloaded (+
+// Retry-After), exceeded work budgets 503 budget_exceeded, expired
+// deadlines 504 deadline_exceeded. Deadlines, budgets, and admission
+// never change a successful response's bytes.
 package main
 
 import (
@@ -44,22 +51,32 @@ func main() {
 	ctx := flag.Int("ctx", 0, "context-table cap: 0 = default, >0 = override, <0 = merged mode")
 	resetPaths := flag.Int("reset-paths", 1<<20, "per-session interned-path budget before an epoch reset (negative disables)")
 	shards := flag.Int("shards", 1, "fingerprint shards; each shard has its own session pool and result cache")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline (0 disables); expired requests return 504")
+	maxQueue := flag.Int("max-queue", 0, "admission-queue bound beyond the session pool: 0 = default 256, negative = no queue; excess requests are shed with 429")
+	budgetRounds := flag.Int("budget-rounds", 0, "per-analysis fixpoint round budget (0 = unlimited); exceeding returns 503")
+	budgetPaths := flag.Int("budget-paths", 0, "per-analysis interned-path growth budget (0 = unlimited); exceeding returns 503")
 	flag.Parse()
 
 	router := service.NewRouter(*shards, service.Options{
-		Analysis:           analysis.Options{Workers: *workers, MaxContexts: *ctx},
+		Analysis: analysis.Options{
+			Workers:     *workers,
+			MaxContexts: *ctx,
+			Budgets:     analysis.Budgets{MaxRounds: *budgetRounds, MaxInternedPaths: *budgetPaths},
+		},
 		CacheCapacity:      *cache,
 		SummaryCapacity:    *summaryCap,
 		Sessions:           *sessions,
 		ResetInternedPaths: *resetPaths,
+		MaxQueue:           *maxQueue,
+		RequestTimeout:     *timeout,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.NewRouterHandler(router),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("silserver listening on %s (shards=%d cache=%d summary-cap=%d sessions=%d ctx=%d reset-paths=%d)",
-		*addr, *shards, *cache, *summaryCap, *sessions, *ctx, *resetPaths)
+	log.Printf("silserver listening on %s (shards=%d cache=%d summary-cap=%d sessions=%d ctx=%d reset-paths=%d timeout=%s max-queue=%d budget-rounds=%d budget-paths=%d)",
+		*addr, *shards, *cache, *summaryCap, *sessions, *ctx, *resetPaths, *timeout, *maxQueue, *budgetRounds, *budgetPaths)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}

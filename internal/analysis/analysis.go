@@ -20,6 +20,8 @@
 package analysis
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -73,6 +75,11 @@ type Options struct {
 	// affects results (matrices render content-based), so it is no part of
 	// any result-cache key.
 	Space *matrix.Space
+	// Budgets bounds the work this run may consume (budget.go). Checked
+	// only at round barriers; the zero value is unlimited. Budgets can
+	// fail a run with ErrBudgetExceeded, never change a successful one,
+	// so — like Workers — they are no part of any result-cache key.
+	Budgets Budgets
 	// Seeds provides converged per-procedure summaries from an earlier
 	// run of a program containing the same procedures (incremental.go).
 	// Seeds are validated hints: the fixpoint runs from the seeded tables
@@ -321,7 +328,14 @@ func (in *Info) DiagStrings() []string {
 // Diagnostics and the Before/After matrices are collected afterwards by a
 // sequential closure pass over the context bindings reachable from main;
 // contexts only visited by transient fixpoint states are pruned.
-func Analyze(prog *ast.Program, opts Options) (*Info, error) {
+//
+// ctx and opts.Budgets bound the run (budget.go): both are checked at
+// round barriers and between recording-pass items, returning ErrCanceled /
+// ErrBudgetExceeded. A nil ctx means context.Background(). Interrupts
+// never alter a successful result's bytes — they only stop runs that would
+// otherwise keep working.
+func Analyze(ctx context.Context, prog *ast.Program, opts Options) (*Info, error) {
+	ctx = background(ctx)
 	if err := types.VerifyBasic(prog); err != nil {
 		return nil, fmt.Errorf("analysis: program is not in basic form: %w", err)
 	}
@@ -338,11 +352,13 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 		// Space from the defaulted Options and never falls back again.
 		opts.Space = matrix.DefaultSpace() //sillint:allow spacediscipline documented nil-Space contract, bound only here
 	}
-	info, err := analyzeOnce(prog, main, opts)
+	info, err := analyzeOnce(ctx, prog, main, opts)
 	if err == nil && (info.SeededProcs == 0 || info.seedsHeld()) {
 		return info, nil
 	}
-	if err != nil && len(opts.Seeds) == 0 {
+	if err != nil && (len(opts.Seeds) == 0 || errors.Is(err, ErrCanceled) || errors.Is(err, ErrBudgetExceeded)) {
+		// An interrupted seeded run must not trigger the cold fallback:
+		// the caller is gone or out of budget either way.
 		return nil, err
 	}
 	// A seed was not confirmed by the converged run: the callers of some
@@ -352,7 +368,7 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 	// reclaimed by the session's normal epoch resets).
 	cold := opts
 	cold.Seeds = nil
-	info, err = analyzeOnce(prog, main, cold)
+	info, err = analyzeOnce(ctx, prog, main, cold)
 	if info != nil {
 		info.SeedsFellBack = true
 	}
@@ -361,7 +377,7 @@ func Analyze(prog *ast.Program, opts Options) (*Info, error) {
 
 // analyzeOnce is one full fixpoint + recording pass; Analyze wraps it
 // with seed validation and the cold re-run.
-func analyzeOnce(prog *ast.Program, main *ast.ProcDecl, opts Options) (*Info, error) {
+func analyzeOnce(ctx context.Context, prog *ast.Program, main *ast.ProcDecl, opts Options) (*Info, error) {
 	eng := newEngine(prog, opts, &Info{
 		Prog:      prog,
 		Opts:      opts,
@@ -382,8 +398,18 @@ func analyzeOnce(prog *ast.Program, main *ast.ProcDecl, opts Options) (*Info, er
 	for _, c := range lk.analyze {
 		work = append(work, item{"main", c})
 	}
+	eng.ctx = ctx
 	for {
 		for len(work) > 0 {
+			// Barrier interrupt point: cancellation and work budgets are
+			// only observed here, between rounds, so an interrupted run
+			// never exposes scheduling-dependent partial state.
+			if err := eng.checkInterrupt(); err != nil {
+				return nil, err
+			}
+			if err := eng.checkRoundBudget(); err != nil {
+				return nil, err
+			}
 			eng.steps += len(work)
 			if eng.steps > eng.budget {
 				return nil, fmt.Errorf("analysis: fixpoint did not converge in %d item analyses", eng.budget)
@@ -394,6 +420,7 @@ func analyzeOnce(prog *ast.Program, main *ast.ProcDecl, opts Options) (*Info, er
 				}
 			}
 			stages := eng.runRound(work)
+			eng.rounds++
 			work = eng.applyRound(work, stages)
 		}
 		// Drain barrier: fallbacks whose entry accumulated two or more
@@ -421,6 +448,11 @@ func analyzeOnce(prog *ast.Program, main *ast.ProcDecl, opts Options) (*Info, er
 		}
 	}
 	for len(queue) > 0 {
+		// The recording pass replays one item per iteration, so between
+		// items is the sequential analogue of the round barrier.
+		if err := eng.checkInterrupt(); err != nil {
+			return nil, err
+		}
 		it := queue[0]
 		queue = queue[1:]
 		if recorded[it] {
@@ -490,6 +522,14 @@ type engine struct {
 	diagSet  map[string]bool
 	steps    int
 	budget   int
+	// ctx, rounds, and internBase drive the barrier interrupt checks
+	// (budget.go): ctx is the caller's cancellation scope (Background for
+	// Replay and nil-ctx callers), rounds counts completed barriers, and
+	// internBase is the Space's interned-path population at engine
+	// creation, so the intern budget charges only this run's growth.
+	ctx        context.Context
+	rounds     int
+	internBase int
 	// rootCtx is main's entry context, the recording pass's seed.
 	rootCtx *ProcContext
 	// keyCache memoizes canonicalKey by matrix fingerprint (structural
@@ -796,12 +836,14 @@ func newEngine(prog *ast.Program, opts Options, info *Info) *engine {
 		info:     info,
 		msp:      msp,
 		psp:      msp.Paths(),
+		ctx:      context.Background(),
 		procDeps: map[string]map[item]bool{},
 		ctxDeps:  map[*ProcContext]map[item]bool{},
 		deferred: map[item]bool{},
 		diagSet:  map[string]bool{},
 		keyCache: map[matrix.Fp][]keyEntry{},
 	}
+	e.internBase = e.psp.InternedCount()
 	if prog != nil {
 		e.scc = callGraphSCC(prog)
 	}

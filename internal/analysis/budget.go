@@ -1,0 +1,90 @@
+// Work budgets and cancellation for the round-based fixpoint.
+//
+// A long-lived serving process cannot let one pathological program stall a
+// session-pool worker indefinitely, so Analyze accepts a context and an
+// optional Budgets. Both are checked only at round barriers (and between
+// items of the sequential recording pass): the bulk-synchronous engine's
+// rounds are the natural preemption points, and checking anywhere finer
+// would let the interrupt observe scheduling-dependent intermediate state.
+//
+// Determinism contract: budgets and cancellation never change what a
+// SUCCESSFUL run returns — they only convert a run that would have kept
+// working into a typed error. A program that converges within its budgets
+// yields bytes identical to an unbudgeted run (pinned by the equivalence
+// tests), which is why Budgets — like Workers — is no part of any
+// result-cache fingerprint.
+package analysis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Budgets bounds the work one Analyze call may consume. The zero value
+// means unlimited (as does any non-positive field). Budgets are pure work
+// caps: they can fail a run, never change a successful one.
+type Budgets struct {
+	// MaxRounds caps the number of fixpoint rounds (barrier-to-barrier
+	// parallel passes). A run that needs more returns ErrBudgetExceeded.
+	MaxRounds int
+	// MaxInternedPaths caps the number of path expressions this run may
+	// intern into its Space, measured as growth since the run started (so
+	// a warm session's existing interned population is not charged).
+	MaxInternedPaths int
+}
+
+// ErrBudgetExceeded reports that an analysis was stopped at a round
+// barrier because it exceeded a Budgets cap. Match with errors.Is.
+var ErrBudgetExceeded = errors.New("analysis budget exceeded")
+
+// ErrCanceled reports that an analysis was stopped at a round barrier
+// because its context was done. Match with errors.Is; the context's own
+// cause (context.Canceled or context.DeadlineExceeded) is wrapped, so
+// errors.Is(err, context.DeadlineExceeded) also works.
+var ErrCanceled = errors.New("analysis canceled")
+
+// canceledError carries the context cause behind ErrCanceled.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string        { return "analysis canceled: " + e.cause.Error() }
+func (e *canceledError) Unwrap() error        { return e.cause }
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+
+// checkInterrupt is the barrier hook: context first (a dead caller's run
+// should stop even if within budget), then the work caps. The partial
+// fixpoint state is discarded by the caller; the session's Space keeps the
+// interned paths until its normal epoch reset, exactly as an over-budget
+// successful run would.
+func (e *engine) checkInterrupt() error {
+	if err := e.ctx.Err(); err != nil {
+		return &canceledError{cause: err}
+	}
+	b := e.opts.Budgets
+	if b.MaxInternedPaths > 0 {
+		if grown := e.psp.InternedCount() - e.internBase; grown > b.MaxInternedPaths {
+			return fmt.Errorf("%w: run interned %d paths (cap %d)", ErrBudgetExceeded, grown, b.MaxInternedPaths)
+		}
+	}
+	return nil
+}
+
+// checkRoundBudget guards the start of ANOTHER fixpoint round: a run that
+// converged in exactly MaxRounds rounds is within budget, so the cap is
+// only consulted when more work remains. Not checked during the recording
+// pass, which runs no rounds.
+func (e *engine) checkRoundBudget() error {
+	if b := e.opts.Budgets; b.MaxRounds > 0 && e.rounds >= b.MaxRounds {
+		return fmt.Errorf("%w: fixpoint needs more than %d rounds", ErrBudgetExceeded, b.MaxRounds)
+	}
+	return nil
+}
+
+// background returns ctx, defaulting a nil context to context.Background()
+// so library callers (Replay, tests) need not thread one.
+func background(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/progs"
+	"repro/internal/sil/ast"
+)
+
+// countdownCtx is a deterministic mid-fixpoint cancellation point: Err()
+// stays nil for the first `left` barrier checks, then reports Canceled.
+// The engine consults ctx.Err() only at round barriers and between
+// recording items, so "cancel on the N-th check" lands at an exact,
+// scheduler-independent spot in the run.
+type countdownCtx struct {
+	context.Context
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func compileTreeAdd(t *testing.T) (prog *ast.Program, roots []string) {
+	t.Helper()
+	p, err := progs.Compile(progs.TreeAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, []string{"root"}
+}
+
+func TestAnalyzePreCanceledContext(t *testing.T) {
+	prog, roots := compileTreeAdd(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Analyze(ctx, prog, Options{ExternalRoots: roots})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err must wrap the context cause: %v", err)
+	}
+	if errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("cancellation must not read as a budget failure: %v", err)
+	}
+}
+
+func TestAnalyzeExpiredDeadline(t *testing.T) {
+	prog, roots := compileTreeAdd(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Unix(1, 0))
+	defer cancel()
+	_, err := Analyze(ctx, prog, Options{ExternalRoots: roots})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestAnalyzeMidFixpointCancel cancels after exactly one round and checks
+// the typed error; the run's partial state is discarded by the engine, so
+// there is nothing else observable — the service-level suite pins the
+// pool-stays-clean half.
+func TestAnalyzeMidFixpointCancel(t *testing.T) {
+	prog, roots := compileTreeAdd(t)
+	ctx := &countdownCtx{Context: context.Background(), left: 1}
+	_, err := Analyze(ctx, prog, Options{ExternalRoots: roots})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-fixpoint cancel: err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestAnalyzeRoundBudget(t *testing.T) {
+	prog, roots := compileTreeAdd(t)
+	_, err := Analyze(context.Background(), prog, Options{
+		ExternalRoots: roots,
+		Budgets:       Budgets{MaxRounds: 1},
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("1-round budget on a recursive program: err = %v, want ErrBudgetExceeded", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Errorf("budget failure must not read as cancellation: %v", err)
+	}
+}
+
+func TestAnalyzeInternBudget(t *testing.T) {
+	prog, roots := compileTreeAdd(t)
+	_, err := Analyze(context.Background(), prog, Options{
+		ExternalRoots: roots,
+		Budgets:       Budgets{MaxInternedPaths: 1},
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("1-path intern budget: err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestBudgetedRunIdenticalToUnbudgeted: generous budgets must not change
+// anything about a successful run — same fixpoint cost, same diagnostics,
+// same shape verdicts. (The service-level suite additionally pins rendered
+// byte-identity across the whole corpus.)
+func TestBudgetedRunIdenticalToUnbudgeted(t *testing.T) {
+	for _, e := range progs.Catalog {
+		prog, err := progs.Compile(e.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Analyze(context.Background(), prog, Options{ExternalRoots: e.Roots})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		prog2, err := progs.Compile(e.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budgeted, err := Analyze(context.Background(), prog2, Options{
+			ExternalRoots: e.Roots,
+			Budgets:       Budgets{MaxRounds: 1 << 20, MaxInternedPaths: 1 << 30},
+		})
+		if err != nil {
+			t.Fatalf("%s (budgeted): %v", e.Name, err)
+		}
+		if plain.FixpointSteps != budgeted.FixpointSteps {
+			t.Errorf("%s: budgets changed fixpoint cost: %d vs %d", e.Name, plain.FixpointSteps, budgeted.FixpointSteps)
+		}
+		if plain.Shape() != budgeted.Shape() || plain.ExitShape() != budgeted.ExitShape() {
+			t.Errorf("%s: budgets changed shape verdicts", e.Name)
+		}
+		pd, bd := plain.DiagStrings(), budgeted.DiagStrings()
+		if len(pd) != len(bd) {
+			t.Errorf("%s: budgets changed diagnostics: %v vs %v", e.Name, pd, bd)
+		} else {
+			for i := range pd {
+				if pd[i] != bd[i] {
+					t.Errorf("%s: diagnostic %d differs: %q vs %q", e.Name, i, pd[i], bd[i])
+				}
+			}
+		}
+	}
+}

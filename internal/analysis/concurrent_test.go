@@ -7,6 +7,8 @@ package analysis
 // -race).
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"sync"
@@ -59,7 +61,7 @@ func analyzeWith(t *testing.T, src string, roots []string, workers, maxContexts 
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	info, err := Analyze(prog, Options{Workers: workers, ExternalRoots: roots, MaxContexts: maxContexts})
+	info, err := Analyze(context.Background(), prog, Options{Workers: workers, ExternalRoots: roots, MaxContexts: maxContexts})
 	if err != nil {
 		t.Fatalf("analyze (workers=%d): %v", workers, err)
 	}
@@ -125,7 +127,7 @@ func TestParallelAnalyzeRuns(t *testing.T) {
 				t.Errorf("compile: %v", err)
 				return
 			}
-			info, err := Analyze(prog, Options{})
+			info, err := Analyze(context.Background(), prog, Options{})
 			if err != nil {
 				t.Errorf("analyze: %v", err)
 				return

@@ -7,6 +7,8 @@ package analysis
 // stacked-handle survival across a Space.Reset epoch.
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -23,7 +25,7 @@ func analyzeMode(t *testing.T, src string, roots []string, maxContexts int) *Inf
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{ExternalRoots: roots, MaxContexts: maxContexts})
+	info, err := Analyze(context.Background(), prog, Options{ExternalRoots: roots, MaxContexts: maxContexts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,11 +177,11 @@ func TestModePrecisionSubsumption(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mergedInfo, err := Analyze(prog, Options{ExternalRoots: tgt.roots, MaxContexts: -1})
+			mergedInfo, err := Analyze(context.Background(), prog, Options{ExternalRoots: tgt.roots, MaxContexts: -1})
 			if err != nil {
 				t.Fatal(err)
 			}
-			ctxInfo, err := Analyze(prog, Options{ExternalRoots: tgt.roots, MaxContexts: 0})
+			ctxInfo, err := Analyze(context.Background(), prog, Options{ExternalRoots: tgt.roots, MaxContexts: 0})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -212,7 +214,7 @@ func TestContextTableOverflowGraceful(t *testing.T) {
 	}
 	roots := []string{"ra", "rb"}
 	run := func() *Info {
-		info, err := Analyze(prog, Options{ExternalRoots: roots, MaxContexts: 1, Workers: 1})
+		info, err := Analyze(context.Background(), prog, Options{ExternalRoots: roots, MaxContexts: 1, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,7 +226,7 @@ func TestContextTableOverflowGraceful(t *testing.T) {
 		t.Fatalf("cap 1 should evict into the merged fallback (evictions=%d merged=%v)", evictions, hasMerged)
 	}
 	// Coverage never exceeds merged mode.
-	mergedInfo, err := Analyze(prog, Options{ExternalRoots: roots, MaxContexts: -1})
+	mergedInfo, err := Analyze(context.Background(), prog, Options{ExternalRoots: roots, MaxContexts: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +255,7 @@ func analyzeBasic(t *testing.T, src string) *Info {
 	if err := types.Check(prog); err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{})
+	info, err := Analyze(context.Background(), prog, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

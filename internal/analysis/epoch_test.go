@@ -13,6 +13,8 @@ package analysis
 // tables from many workers right up to the reset boundary.
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -55,7 +57,7 @@ func epochSnapshot(t *testing.T, src string, roots []string, workers int) string
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	info, err := Analyze(prog, Options{Workers: workers, ExternalRoots: roots})
+	info, err := Analyze(context.Background(), prog, Options{Workers: workers, ExternalRoots: roots})
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
 	}

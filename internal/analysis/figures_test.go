@@ -5,6 +5,8 @@ package analysis
 // spelling of path expressions: the paper's L^1L+L^2 coalesces to L4+).
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/matrix"
@@ -81,7 +83,7 @@ func mustAnalyze(t *testing.T, src string, opts Options) *Info {
 		t.Fatalf("check: %v", err)
 	}
 	types.Normalize(prog)
-	info, err := Analyze(prog, opts)
+	info, err := Analyze(context.Background(), prog, opts)
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
 	}

@@ -9,6 +9,8 @@ package analysis_test
 // payoff the service's summary store builds on.
 
 import (
+	"context"
+
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -87,7 +89,7 @@ func dumpInfo(in *analysis.Info) string {
 
 func analyzeIn(t *testing.T, prog *ast.Program, roots []string, maxCtx, workers int, sp *matrix.Space, seeds map[string]*analysis.ProcSeed) *analysis.Info {
 	t.Helper()
-	info, err := analysis.Analyze(prog, analysis.Options{
+	info, err := analysis.Analyze(context.Background(), prog, analysis.Options{
 		ExternalRoots: roots,
 		MaxContexts:   maxCtx,
 		Workers:       workers,

@@ -4,6 +4,8 @@ package analysis
 // results, mutual recursion, and call-effect mapping.
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/matrix"
@@ -16,7 +18,7 @@ func analyzeCorpus(t *testing.T, src string, roots ...string) *Info {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{ExternalRoots: roots})
+	info, err := Analyze(context.Background(), prog, Options{ExternalRoots: roots})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +120,7 @@ end;
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{ExternalRoots: []string{"ra", "rb"}})
+	info, err := Analyze(context.Background(), prog, Options{ExternalRoots: []string{"ra", "rb"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +166,7 @@ end;
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{})
+	info, err := Analyze(context.Background(), prog, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,8 @@ package analysis
 // procedures.
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/progs"
@@ -26,7 +28,7 @@ func TestLazyFallbackZeroAnalyses(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			info, err := Analyze(prog, Options{ExternalRoots: e.Roots})
+			info, err := Analyze(context.Background(), prog, Options{ExternalRoots: e.Roots})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -61,7 +63,7 @@ func TestDrainFallbackActivation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{ExternalRoots: []string{"ra", "rb"}})
+	info, err := Analyze(context.Background(), prog, Options{ExternalRoots: []string{"ra", "rb"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestExitSharingReadOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{ExternalRoots: []string{"root"}})
+	info, err := Analyze(context.Background(), prog, Options{ExternalRoots: []string{"root"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestExitSharingReadOnly(t *testing.T) {
 		t.Errorf("the shared entry must not become a context of its own: %d exact contexts", exact)
 	}
 	// Sharing is a ctx-mode mechanism only.
-	mergedInfo, err := Analyze(prog, Options{ExternalRoots: []string{"root"}, MaxContexts: -1})
+	mergedInfo, err := Analyze(context.Background(), prog, Options{ExternalRoots: []string{"root"}, MaxContexts: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ end;
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{ExternalRoots: []string{"root"}})
+	info, err := Analyze(context.Background(), prog, Options{ExternalRoots: []string{"root"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +173,7 @@ func TestEvictionActivatesFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{ExternalRoots: []string{"ra", "rb"}, MaxContexts: 1})
+	info, err := Analyze(context.Background(), prog, Options{ExternalRoots: []string{"ra", "rb"}, MaxContexts: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +245,7 @@ return (dl);
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{ExternalRoots: []string{"root"}})
+	info, err := Analyze(context.Background(), prog, Options{ExternalRoots: []string{"root"}})
 	if err != nil {
 		t.Fatal(err)
 	}

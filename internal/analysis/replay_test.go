@@ -8,6 +8,8 @@ package analysis
 // mutation-after-Analyze.
 
 import (
+	"context"
+
 	"fmt"
 	"sync"
 	"testing"
@@ -41,7 +43,7 @@ func TestReplayBindsFallbackAfterEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	roots := []string{"ra", "rb"}
-	info, err := Analyze(prog, Options{ExternalRoots: roots, MaxContexts: 1, Workers: 1})
+	info, err := Analyze(context.Background(), prog, Options{ExternalRoots: roots, MaxContexts: 1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ end;
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Analyze(prog, Options{})
+	info, err := Analyze(context.Background(), prog, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +216,7 @@ func TestSharedInfoConcurrentReaders(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			info, err := Analyze(prog, Options{ExternalRoots: tc.roots, MaxContexts: tc.ctx})
+			info, err := Analyze(context.Background(), prog, Options{ExternalRoots: tc.roots, MaxContexts: tc.ctx})
 			if err != nil {
 				t.Fatal(err)
 			}

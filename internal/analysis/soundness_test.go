@@ -9,6 +9,8 @@ package analysis
 // relationships among handles").
 
 import (
+	"context"
+
 	"fmt"
 	"os"
 	"path/filepath"
@@ -133,7 +135,7 @@ func coverSoundness(t *testing.T, maxContexts int) {
 		if err != nil {
 			t.Fatalf("seed %d: compile: %v", seed, err)
 		}
-		info, err := Analyze(prog, Options{MaxContexts: maxContexts})
+		info, err := Analyze(context.Background(), prog, Options{MaxContexts: maxContexts})
 		if err != nil {
 			t.Fatalf("seed %d: analyze: %v", seed, err)
 		}

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 	"strings"
@@ -52,7 +54,9 @@ func Build(src string, opts Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("check: %w", err)
 	}
 	types.Normalize(prog)
-	info, err := analysis.Analyze(prog, opts.Analysis)
+	// Build is the one-shot CLI/test pipeline: no caller deadline to
+	// thread, so it runs uncancelable (budgets still apply via Options).
+	info, err := analysis.Analyze(context.Background(), prog, opts.Analysis)
 	if err != nil {
 		return nil, fmt.Errorf("analyze: %w", err)
 	}

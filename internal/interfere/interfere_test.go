@@ -1,6 +1,8 @@
 package interfere
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/analysis"
@@ -222,7 +224,7 @@ end;
 		t.Fatalf("check: %v", err)
 	}
 	types.Normalize(prog)
-	info, err := analysis.Analyze(prog, analysis.Options{})
+	info, err := analysis.Analyze(context.Background(), prog, analysis.Options{})
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
 	}
@@ -327,7 +329,7 @@ return (v);
 		t.Fatal(err)
 	}
 	types.Normalize(prog)
-	info, err := analysis.Analyze(prog, analysis.Options{})
+	info, err := analysis.Analyze(context.Background(), prog, analysis.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@
 package lock
 
 import (
+	"context"
+
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -66,7 +68,7 @@ func (s *server) channelUnderLock(k string) {
 func (s *server) analyzeUnderLock(prog *ast.Program) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, _ = analysis.Analyze(prog, analysis.Options{}) // want `the analysis pipeline \(repro/internal/analysis\.Analyze\) while holding s\.mu`
+	_, _ = analysis.Analyze(context.Background(), prog, analysis.Options{}) // want `the analysis pipeline \(repro/internal/analysis\.Analyze\) while holding s\.mu`
 }
 
 // waitUnderLock blocks on other goroutines' progress: finding.

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -15,7 +17,7 @@ func analyzeSrc(t *testing.T, src string, roots ...string) *analysis.Info {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := analysis.Analyze(prog, analysis.Options{ExternalRoots: roots})
+	info, err := analysis.Analyze(context.Background(), prog, analysis.Options{ExternalRoots: roots})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestCtxPairFusesUnderContextSensitivity(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(maxContexts int) string {
-		info, err := analysis.Analyze(prog, analysis.Options{
+		info, err := analysis.Analyze(context.Background(), prog, analysis.Options{
 			ExternalRoots: []string{"ra", "rb"}, MaxContexts: maxContexts,
 		})
 		if err != nil {

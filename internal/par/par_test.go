@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -74,7 +76,7 @@ func analyze(t *testing.T, src string) *analysis.Info {
 		t.Fatalf("check: %v", err)
 	}
 	types.Normalize(prog)
-	info, err := analysis.Analyze(prog, analysis.Options{})
+	info, err := analysis.Analyze(context.Background(), prog, analysis.Options{})
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
 	}

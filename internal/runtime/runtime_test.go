@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/analysis"
@@ -114,7 +116,7 @@ func compileAndParallelize(t *testing.T, src string, roots ...string) (*analysis
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := analysis.Analyze(prog, analysis.Options{ExternalRoots: roots})
+	info, err := analysis.Analyze(context.Background(), prog, analysis.Options{ExternalRoots: roots})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +209,7 @@ func TestSoundnessRandomPrograms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
 		}
-		info, err := analysis.Analyze(prog, analysis.Options{})
+		info, err := analysis.Analyze(context.Background(), prog, analysis.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: analyze: %v\n%s", seed, err, src)
 		}

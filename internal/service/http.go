@@ -1,27 +1,44 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // HTTP transport for the service, shared by cmd/silserver and the silbench
-// -server load mode.
+// -server load mode. The surface is versioned under /v1/; the unversioned
+// paths are thin aliases kept for existing clients.
 //
-//	POST /analyze  {"source": "...", "roots": [...]}            single
-//	POST /analyze  {"programs": [{...}, {...}]}                 batch
-//	GET  /stats    service counters + Space tables (?shard=N when sharded)
-//	GET  /healthz  liveness + current epoch
+//	POST /v1/analyze  {"source": "...", "roots": [...]}           single
+//	POST /v1/analyze  {"programs": [{...}, {...}]}                batch
+//	GET  /v1/stats    service counters + Space tables (?shard=N when sharded)
+//	GET  /v1/metrics  Prometheus text exposition (metrics.go)
+//	GET  /v1/healthz  liveness + current epoch
+//	POST /analyze     alias of /v1/analyze   GET /stats    alias of /v1/stats
+//	GET  /metrics     alias of /v1/metrics   GET /healthz  alias of /v1/healthz
 //
-// Responses for /analyze carry the canonical result document(s) as the
+// Responses for /v1/analyze carry the canonical result document(s) as the
 // body. Cache status is reported OUT OF BAND in the X-Sil-Cache header
 // ("hit" / "miss", comma-joined for batches), so a cached response body is
 // byte-identical to the fresh one — the property the e2e smoke test pins.
-// Parse/type errors return 400 with the diagnostics in the body; internal
-// analysis failures return 500.
+//
+// Every failure, at every route, uses one envelope:
+//
+//	{"error": {"code": "...", "message": "...", "diagnostics": [...]}}
+//
+// with the machine-readable Code* vocabulary (service.go): parse_error and
+// invalid_request behind 400, overloaded behind 429 (+ Retry-After),
+// budget_exceeded behind 503, deadline_exceeded behind 504, canceled
+// behind 499, internal behind 500. Each request runs under a context
+// derived from the client connection plus the service RequestTimeout, so
+// a hung client or an expired deadline frees the session pool at the next
+// round barrier instead of stalling it.
 
 // CacheHeader is the response header carrying per-program cache verdicts.
 const CacheHeader = "X-Sil-Cache"
@@ -31,10 +48,12 @@ const FingerprintHeader = "X-Sil-Fingerprint"
 
 // Analyzer is the serving surface the HTTP transport needs; *Service and
 // *Router both implement it, so one handler covers the single and sharded
-// configurations.
+// configurations. The context carries the caller's deadline/cancellation
+// into the analysis engine's round barriers — there is deliberately no
+// context-less entry point.
 type Analyzer interface {
-	Analyze(Request) Response
-	AnalyzeBatch([]Request) []Response
+	Analyze(ctx context.Context, req Request) Response
+	AnalyzeBatch(ctx context.Context, reqs []Request) []Response
 }
 
 type analyzeRequest struct {
@@ -42,31 +61,65 @@ type analyzeRequest struct {
 	Request            // single-program shorthand: fields inline
 }
 
-type errorDoc struct {
-	Name   string   `json:"name,omitempty"`
-	Status int      `json:"status"`
-	Msg    string   `json:"error"`
-	Diags  []string `json:"diagnostics,omitempty"`
+// errorBody is the inner object of the v1 error envelope.
+type errorBody struct {
+	// Code is the machine-readable error code (Code* constants).
+	Code string `json:"code"`
+	// Message is the human-readable rendering.
+	Message string `json:"message"`
+	// Name labels the failing program in batch errors.
+	Name string `json:"name,omitempty"`
+	// Diagnostics carries compile diagnostics behind parse_error.
+	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+// errorEnvelope is the uniform failure document of every v1 route.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+// writeError emits the envelope with transport concerns attached: the
+// Retry-After hint on 429 (admission sheds are retryable by design — the
+// queue was full, not the request wrong).
+func writeError(w http.ResponseWriter, status int, body errorBody) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorEnvelope{Error: body})
+}
+
+func requestErrorBody(name string, rerr *RequestError) errorBody {
+	return errorBody{Code: rerr.Code, Message: rerr.Msg, Name: name, Diagnostics: rerr.Diags}
+}
+
+// handlerConfig abstracts the single/sharded difference for newMux.
+type handlerConfig struct {
+	stats   func(*http.Request) (any, error)
+	epoch   func() uint64
+	metrics func(io.Writer)
 }
 
 // NewHandler builds the HTTP API around a Service.
 func NewHandler(s *Service) http.Handler {
-	return newMux(s,
-		func(r *http.Request) (any, error) { return s.Stats(), nil },
-		func() uint64 { return s.Stats().Epoch })
+	return newMux(s, s.opts.RequestTimeout, handlerConfig{
+		stats:   func(r *http.Request) (any, error) { return s.Stats(), nil },
+		epoch:   func() uint64 { return s.Stats().Epoch },
+		metrics: s.WriteMetrics,
+	})
 }
 
 // NewRouterHandler builds the HTTP API around a shard Router. With one
 // shard it is exactly NewHandler over that shard — same /stats document —
 // so a -shards 1 server is indistinguishable from an unsharded one. With
 // more, /stats serves the RouterStats aggregate, or one shard's snapshot
-// with ?shard=N.
+// with ?shard=N; /metrics always exposes every shard (one series per
+// shard="N" label).
 func NewRouterHandler(r *Router) http.Handler {
 	if r.NumShards() == 1 {
 		return NewHandler(r.Shard(0))
 	}
-	return newMux(r,
-		func(req *http.Request) (any, error) {
+	return newMux(r, r.Shard(0).opts.RequestTimeout, handlerConfig{
+		stats: func(req *http.Request) (any, error) {
 			if q := req.URL.Query().Get("shard"); q != "" {
 				i, err := strconv.Atoi(q)
 				if err != nil || i < 0 || i >= r.NumShards() {
@@ -76,48 +129,61 @@ func NewRouterHandler(r *Router) http.Handler {
 			}
 			return r.Stats(), nil
 		},
-		func() uint64 { return r.Stats().Total.Epoch })
+		epoch:   func() uint64 { return r.Stats().Total.Epoch },
+		metrics: r.WriteMetrics,
+	})
 }
 
-// newMux wires the three routes around any Analyzer; the stats and epoch
-// closures abstract the single/sharded difference.
-func newMux(a Analyzer, stats func(*http.Request) (any, error), epoch func() uint64) http.Handler {
+// handleBoth registers one handler under its /v1/ path and the legacy
+// unversioned alias; both serve byte-identical responses.
+func handleBoth(mux *http.ServeMux, path string, h http.HandlerFunc) {
+	mux.HandleFunc("/v1"+path, h)
+	mux.HandleFunc(path, h)
+}
+
+// newMux wires the four routes around any Analyzer; handlerConfig
+// abstracts the single/sharded difference, and timeout (the service
+// RequestTimeout) bounds each request's context.
+func newMux(a Analyzer, timeout time.Duration, cfg handlerConfig) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/analyze", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "/analyze", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, `{"error":"POST required"}`, http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, errorBody{Code: CodeInvalidRequest, Message: "POST required"})
 			return
+		}
+		ctx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
 		}
 		var req analyzeRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorDoc{Status: 400, Msg: "bad request body: " + err.Error()})
+			writeError(w, http.StatusBadRequest, errorBody{Code: CodeInvalidRequest, Message: "bad request body: " + err.Error()})
 			return
 		}
 		single := len(req.Programs) == 0
 		reqs := req.Programs
 		if single {
 			if strings.TrimSpace(req.Source) == "" {
-				writeJSON(w, http.StatusBadRequest, errorDoc{Status: 400, Msg: "no source and no programs in request"})
+				writeError(w, http.StatusBadRequest, errorBody{Code: CodeInvalidRequest, Message: "no source and no programs in request"})
 				return
 			}
 			reqs = []Request{req.Request}
 		}
-		resps := a.AnalyzeBatch(reqs)
+		resps := a.AnalyzeBatch(ctx, reqs)
 
 		status := http.StatusOK
-		var errs []errorDoc
+		var errs []errorBody
 		cacheVerdicts := make([]string, len(resps))
 		fps := make([]string, len(resps))
 		for i, resp := range resps {
 			cacheVerdicts[i] = verdict(resp)
 			fps[i] = resp.Fingerprint
 			if resp.Err != nil {
-				errs = append(errs, errorDoc{
-					Name: resp.Name, Status: resp.Err.Status,
-					Msg: resp.Err.Msg, Diags: resp.Err.Diags,
-				})
+				errs = append(errs, requestErrorBody(resp.Name, resp.Err))
 				if resp.Err.Status > status {
 					status = resp.Err.Status
 				}
@@ -126,7 +192,7 @@ func newMux(a Analyzer, stats func(*http.Request) (any, error), epoch func() uin
 		w.Header().Set(CacheHeader, strings.Join(cacheVerdicts, ","))
 		w.Header().Set(FingerprintHeader, strings.Join(fps, ","))
 		if single && len(errs) > 0 {
-			writeJSON(w, status, errs[0])
+			writeError(w, status, errs[0])
 			return
 		}
 		if single {
@@ -142,6 +208,9 @@ func newMux(a Analyzer, stats func(*http.Request) (any, error), epoch func() uin
 		// results: the clean programs were analyzed and cached, so the body
 		// carries them alongside the errors array rather than making the
 		// client strip the bad program and pay for the batch again.
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		w.Write([]byte(`{"results":[`))
@@ -164,27 +233,35 @@ func newMux(a Analyzer, stats func(*http.Request) (any, error), epoch func() uin
 		}
 		w.Write([]byte("}\n"))
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, `{"error":"GET required"}`, http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, errorBody{Code: CodeInvalidRequest, Message: "GET required"})
 			return
 		}
-		doc, err := stats(r)
+		doc, err := cfg.stats(r)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorDoc{Status: 400, Msg: err.Error()})
+			writeError(w, http.StatusBadRequest, errorBody{Code: CodeInvalidRequest, Message: err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, doc)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handleBoth(mux, "/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, `{"error":"GET required"}`, http.StatusMethodNotAllowed)
+			writeError(w, http.StatusMethodNotAllowed, errorBody{Code: CodeInvalidRequest, Message: "GET required"})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.metrics(w)
+	})
+	handleBoth(mux, "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, errorBody{Code: CodeInvalidRequest, Message: "GET required"})
 			return
 		}
 		writeJSON(w, http.StatusOK, struct {
 			Status string `json:"status"`
 			Epoch  uint64 `json:"epoch"`
-		}{"ok", epoch()})
+		}{"ok", cfg.epoch()})
 	})
 	return mux
 }
@@ -204,7 +281,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	data, err := json.Marshal(v)
 	if err != nil {
-		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		fmt.Fprintf(w, `{"error":{"code":%q,"message":%q}}`, CodeInternal, err.Error())
 		return
 	}
 	w.Write(data)

@@ -117,19 +117,17 @@ func TestHTTPParseErrorIs400(t *testing.T) {
 	if resp.StatusCode != 400 {
 		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
 	}
-	var doc struct {
-		Msg   string   `json:"error"`
-		Diags []string `json:"diagnostics"`
-	}
+	var doc errorEnvelope
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if doc.Msg == "" || len(doc.Diags) == 0 {
-		t.Errorf("400 body must carry error and diagnostics: %s", data)
+	if doc.Error.Code != CodeParseError || doc.Error.Message == "" || len(doc.Error.Diagnostics) == 0 {
+		t.Errorf("400 envelope must carry code=parse_error, message, and diagnostics: %s", data)
 	}
-	// Malformed JSON and empty requests are also 400s.
-	if resp, _ := post(t, srv, "{"); resp.StatusCode != 400 {
-		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	// Malformed JSON and empty requests are also 400s, with the
+	// invalid_request code.
+	if resp, data := post(t, srv, "{"); resp.StatusCode != 400 || !strings.Contains(string(data), CodeInvalidRequest) {
+		t.Errorf("malformed JSON: status %d body %s, want 400 invalid_request", resp.StatusCode, data)
 	}
 	if resp, _ := post(t, srv, "{}"); resp.StatusCode != 400 {
 		t.Errorf("empty request: status %d, want 400", resp.StatusCode)
@@ -194,7 +192,7 @@ func TestHTTPBatchPartialFailure(t *testing.T) {
 	}
 	var out struct {
 		Results []json.RawMessage `json:"results"`
-		Errors  []errorDoc        `json:"errors"`
+		Errors  []errorBody       `json:"errors"`
 	}
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatalf("partial-failure body is not valid JSON: %v\n%s", err, data)
@@ -209,8 +207,8 @@ func TestHTTPBatchPartialFailure(t *testing.T) {
 	if string(out.Results[1]) != "null" {
 		t.Errorf("failed slot must be null, got %s", out.Results[1])
 	}
-	if out.Errors[0].Name != "bad" || len(out.Errors[0].Diags) == 0 {
-		t.Errorf("error entry must name the program and carry diagnostics: %+v", out.Errors[0])
+	if out.Errors[0].Name != "bad" || out.Errors[0].Code != CodeParseError || len(out.Errors[0].Diagnostics) == 0 {
+		t.Errorf("error entry must name the program, carry code=parse_error and diagnostics: %+v", out.Errors[0])
 	}
 	if v := resp.Header.Get(CacheHeader); v != "miss,error" {
 		t.Errorf("%s = %q, want miss,error", CacheHeader, v)

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/json"
 	"testing"
@@ -74,13 +76,13 @@ end;
 func TestSummaryWarmEqualsColdCorpus(t *testing.T) {
 	for _, e := range progs.Catalog {
 		ref := New(Options{})
-		want := ref.Analyze(Request{Name: e.Name, Source: e.Source, Roots: e.Roots})
+		want := ref.Analyze(context.Background(), Request{Name: e.Name, Source: e.Source, Roots: e.Roots})
 		if want.Err != nil {
 			t.Fatalf("%s: %v", e.Name, want.Err)
 		}
 		svc := New(Options{CacheCapacity: -1})
 		for pass := 0; pass < 3; pass++ {
-			got := svc.Analyze(Request{Name: e.Name, Source: e.Source, Roots: e.Roots})
+			got := svc.Analyze(context.Background(), Request{Name: e.Name, Source: e.Source, Roots: e.Roots})
 			if got.Err != nil {
 				t.Fatalf("%s pass %d: %v", e.Name, pass, got.Err)
 			}
@@ -103,7 +105,7 @@ func TestSummaryStoreEditWarmPath(t *testing.T) {
 	svc := New(Options{CacheCapacity: -1})
 
 	// Cold: all three procedures miss and are stored.
-	if resp := svc.Analyze(Request{Source: threeProcV1}); resp.Err != nil {
+	if resp := svc.Analyze(context.Background(), Request{Source: threeProcV1}); resp.Err != nil {
 		t.Fatal(resp.Err)
 	}
 	st := svc.Stats().SummaryStore
@@ -112,7 +114,7 @@ func TestSummaryStoreEditWarmPath(t *testing.T) {
 	}
 
 	// Identical resubmit: every procedure hits.
-	if resp := svc.Analyze(Request{Source: threeProcV1}); resp.Err != nil {
+	if resp := svc.Analyze(context.Background(), Request{Source: threeProcV1}); resp.Err != nil {
 		t.Fatal(resp.Err)
 	}
 	st = svc.Stats().SummaryStore
@@ -123,7 +125,7 @@ func TestSummaryStoreEditWarmPath(t *testing.T) {
 	// Edit shift: bump stays warm (1 hit); shift (new body) and main (new
 	// cohort) miss; main's stale record is invalidated by its body
 	// fingerprint, shift's old record merely goes stale in LRU.
-	resp := svc.Analyze(Request{Source: threeProcV2})
+	resp := svc.Analyze(context.Background(), Request{Source: threeProcV2})
 	if resp.Err != nil {
 		t.Fatal(resp.Err)
 	}
@@ -142,7 +144,7 @@ func TestSummaryStoreEditWarmPath(t *testing.T) {
 	}
 
 	// The edited warm body matches a cold service's bit for bit.
-	cold := New(Options{}).Analyze(Request{Source: threeProcV2})
+	cold := New(Options{}).Analyze(context.Background(), Request{Source: threeProcV2})
 	if cold.Err != nil {
 		t.Fatal(cold.Err)
 	}
@@ -209,9 +211,9 @@ func TestLRUSummaryStore(t *testing.T) {
 // service still answers correctly and reports zero store counters.
 func TestSummaryStoreDisabled(t *testing.T) {
 	svc := New(Options{SummaryCapacity: -1, CacheCapacity: -1})
-	want := New(Options{}).Analyze(Request{Source: threeProcV1})
+	want := New(Options{}).Analyze(context.Background(), Request{Source: threeProcV1})
 	for pass := 0; pass < 2; pass++ {
-		got := svc.Analyze(Request{Source: threeProcV1})
+		got := svc.Analyze(context.Background(), Request{Source: threeProcV1})
 		if got.Err != nil {
 			t.Fatal(got.Err)
 		}
@@ -229,16 +231,16 @@ func TestSummaryStoreDisabled(t *testing.T) {
 func TestRequestLimitsOverride(t *testing.T) {
 	svc := New(Options{})
 
-	bad := svc.Analyze(Request{Source: threeProcV1, Limits: &LimitsSpec{MaxExact: -1}})
+	bad := svc.Analyze(context.Background(), Request{Source: threeProcV1, Limits: &LimitsSpec{MaxExact: -1}})
 	if bad.Err == nil || bad.Err.Status != 400 {
 		t.Fatalf("negative limit accepted: %+v", bad.Err)
 	}
 
-	def := svc.Analyze(Request{Source: threeProcV1})
+	def := svc.Analyze(context.Background(), Request{Source: threeProcV1})
 	if def.Err != nil {
 		t.Fatal(def.Err)
 	}
-	tight := svc.Analyze(Request{Source: threeProcV1, Limits: &LimitsSpec{MaxPaths: 2}})
+	tight := svc.Analyze(context.Background(), Request{Source: threeProcV1, Limits: &LimitsSpec{MaxPaths: 2}})
 	if tight.Err != nil {
 		t.Fatal(tight.Err)
 	}

@@ -34,11 +34,14 @@ package service
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/matrix"
@@ -81,6 +84,21 @@ type Options struct {
 	// SummaryStore overrides the store implementation (policy sweeps);
 	// nil builds the LRU baseline with SummaryCapacity.
 	SummaryStore SummaryStore
+	// MaxQueue bounds the ADMISSION QUEUE in front of the session pool:
+	// beyond the Sessions analyses that can run concurrently, at most
+	// MaxQueue further analyses may wait for a session; any request past
+	// that is shed immediately with a 429-style "overloaded" error instead
+	// of queueing unboundedly. Cache hits and coalesced waiters bypass
+	// admission (they consume no session). 0 picks 256; negative admits
+	// only when a session is free (no queue at all).
+	MaxQueue int
+	// RequestTimeout is the per-request deadline the serving layers apply:
+	// the HTTP handler derives each request context from it, and a
+	// coalesced flight's detached context is re-armed with it so a shared
+	// analysis still has SOME deadline after its first caller's scope is
+	// detached. 0 means no service-imposed deadline (callers may still
+	// bring their own via ctx).
+	RequestTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +122,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SummaryCapacity == 0 {
 		o.SummaryCapacity = 4096
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 256
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = -1 // normalized "no queue" (admit only on a free session)
 	}
 	return o
 }
@@ -143,17 +167,43 @@ type LimitsSpec struct {
 func (r Request) validate() *RequestError {
 	if l := r.Limits; l != nil {
 		if l.MaxExact < 0 || l.MaxSegs < 0 || l.MaxPaths < 0 {
-			return &RequestError{Status: 400, Msg: "limits: fields must be non-negative (zero keeps the default)"}
+			return &RequestError{Status: 400, Code: CodeInvalidRequest, Msg: "limits: fields must be non-negative (zero keeps the default)"}
 		}
 	}
 	return nil
 }
 
+// Machine-readable error codes, the stable vocabulary of the v1 error
+// envelope. errorCodes (metrics.go) lists them all for counters.
+const (
+	// CodeInvalidRequest: malformed request fields (negative limits, …).
+	CodeInvalidRequest = "invalid_request"
+	// CodeParseError: the program failed to compile (parse/type errors).
+	CodeParseError = "parse_error"
+	// CodeBudgetExceeded: the analysis hit a work budget (rounds or
+	// interned paths) and was stopped at a round barrier.
+	CodeBudgetExceeded = "budget_exceeded"
+	// CodeDeadlineExceeded: the request deadline expired before the
+	// result was ready.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeCanceled: the caller went away (client disconnect).
+	CodeCanceled = "canceled"
+	// CodeOverloaded: admission control shed the request — the session
+	// pool and its bounded queue are full. Retry after backoff.
+	CodeOverloaded = "overloaded"
+	// CodeInternal: unexpected analysis/render failure.
+	CodeInternal = "internal"
+)
+
 // RequestError describes a per-program failure.
 type RequestError struct {
-	// Status is the suggested HTTP status: 400 for parse/type errors, 500
-	// for internal analysis failures.
+	// Status is the suggested HTTP status: 400 for parse/type errors, 429
+	// for shed requests, 503 for exceeded budgets, 504 for expired
+	// deadlines, 499 (nginx convention) for a gone client, 500 for
+	// internal analysis failures.
 	Status int `json:"status"`
+	// Code is the machine-readable error code (Code* constants).
+	Code string `json:"code"`
 	// Msg is the error rendering.
 	Msg string `json:"error"`
 	// Diags carries the compile diagnostics behind a 400.
@@ -161,6 +211,28 @@ type RequestError struct {
 }
 
 func (e *RequestError) Error() string { return e.Msg }
+
+// ctxRequestError classifies a done context: deadline vs client-gone.
+func ctxRequestError(ctx context.Context) *RequestError {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return &RequestError{Status: 504, Code: CodeDeadlineExceeded, Msg: "request deadline exceeded"}
+	}
+	return &RequestError{Status: 499, Code: CodeCanceled, Msg: "request canceled by caller"}
+}
+
+// analysisRequestError maps an analysis failure onto the error vocabulary.
+func analysisRequestError(err error) *RequestError {
+	switch {
+	case errors.Is(err, analysis.ErrBudgetExceeded):
+		return &RequestError{Status: 503, Code: CodeBudgetExceeded, Msg: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &RequestError{Status: 504, Code: CodeDeadlineExceeded, Msg: err.Error()}
+	case errors.Is(err, analysis.ErrCanceled):
+		return &RequestError{Status: 499, Code: CodeCanceled, Msg: err.Error()}
+	default:
+		return &RequestError{Status: 500, Code: CodeInternal, Msg: err.Error()}
+	}
+}
 
 // Response is the outcome for one Request.
 type Response struct {
@@ -205,6 +277,14 @@ type Service struct {
 	// from any record.
 	sumStore SummaryStore
 
+	// admit is the admission-control token bucket: capacity Sessions +
+	// MaxQueue. An analysis must take a token (non-blocking — failure is
+	// an immediate shed) before it may wait for a session, so at most
+	// MaxQueue requests ever queue behind the pool and the rest fail fast
+	// with 429 instead of stacking up. Tokens are held until the session
+	// returns. Cache hits and coalesced waiters never take tokens.
+	admit chan struct{}
+
 	served    atomic.Uint64
 	analyses  atomic.Uint64
 	hits      atomic.Uint64
@@ -213,12 +293,30 @@ type Service struct {
 	evictions atomic.Uint64
 	resets    atomic.Uint64
 	errors    atomic.Uint64
+	// shed counts requests refused admission outright; expired counts
+	// requests whose context ended while queued for a session.
+	shed    atomic.Uint64
+	expired atomic.Uint64
+	// busy/queued are instantaneous gauges: sessions checked out and
+	// requests waiting for one.
+	busy   atomic.Int64
+	queued atomic.Int64
+	// errCodes counts failures by error code; phases holds the per-phase
+	// latency histograms (metrics.go).
+	errCodes codeCounters
+	phases   [nPhases]histogram
 }
 
-// flight is one in-progress analysis other requests may wait on.
+// flight is one in-progress analysis other requests may wait on. The
+// executor runs on a context DETACHED from the caller that started it
+// (re-armed with the service RequestTimeout), so one waiter's deadline can
+// never cancel the shared work: each caller independently stops waiting
+// when its own context ends, while the flight runs to completion and
+// populates the cache for the next requester either way.
 type flight struct {
 	done chan struct{}
-	body []byte // nil if the analysis failed (waiters then run their own)
+	body []byte        // rendered bytes on success
+	err  *RequestError // terminal failure, delivered to every waiter
 }
 
 // Session is one pooled analysis workspace. It owns a private matrix/path
@@ -250,6 +348,11 @@ func New(opts Options) *Service {
 		cache:    map[Fp]*list.Element{},
 		inflight: map[Fp]*flight{},
 	}
+	queue := opts.MaxQueue
+	if queue < 0 {
+		queue = 0
+	}
+	s.admit = make(chan struct{}, opts.Sessions+queue)
 	for i := 0; i < opts.Sessions; i++ {
 		sess := &Session{id: i + 1, space: matrix.NewSpace(path.NewSpace())}
 		s.sessionList = append(s.sessionList, sess)
@@ -282,10 +385,13 @@ func (s *Service) prepare(req Request) prepared {
 	if verr := req.validate(); verr != nil {
 		return prepared{name: req.Name, err: verr}
 	}
+	t := metricsNow()
 	prog, err := progs.Compile(req.Source)
+	s.phases[phaseParse].observe(metricsNow().Sub(t))
 	if err != nil {
 		return prepared{name: req.Name, err: &RequestError{
 			Status: 400,
+			Code:   CodeParseError,
 			Msg:    err.Error(),
 			Diags:  []string{err.Error()},
 		}}
@@ -295,68 +401,168 @@ func (s *Service) prepare(req Request) prepared {
 		name = prog.Name
 	}
 	opts := s.requestOptions(req)
+	t = metricsNow()
 	canon := printer.Print(prog)
-	return prepared{name: name, prog: prog, opts: opts, fp: ProgramFingerprint(canon, opts)}
+	fp := ProgramFingerprint(canon, opts)
+	s.phases[phaseFingerprint].observe(metricsNow().Sub(t))
+	return prepared{name: name, prog: prog, opts: opts, fp: fp}
 }
 
 // Analyze serves one program: cache lookup by canonical fingerprint, then
-// a pooled fresh analysis on a miss.
-func (s *Service) Analyze(req Request) Response {
-	return s.analyzePrepared(s.prepare(req))
+// a pooled fresh analysis on a miss. ctx bounds the caller's wait and the
+// caller's own analysis (deadline/cancel); a nil ctx means Background.
+// Deadlines, budgets, and admission can only FAIL a request — a successful
+// response's bytes are identical whatever they are set to.
+func (s *Service) Analyze(ctx context.Context, req Request) Response {
+	return s.analyzePrepared(ctx, s.prepare(req))
 }
 
 // analyzePrepared serves a prepared request on this Service's own cache
 // and session pool.
-func (s *Service) analyzePrepared(p prepared) Response {
+func (s *Service) analyzePrepared(ctx context.Context, p prepared) Response {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.served.Add(1)
 	if p.err != nil {
-		s.errors.Add(1)
-		return Response{Name: p.name, Err: p.err}
+		return s.errResponse(p.name, "", p.err)
 	}
 	if body, ok := s.cacheGet(p.fp); ok {
 		s.hits.Add(1)
 		return Response{Name: p.name, Fingerprint: p.fp.String(), Cached: true, Body: body}
 	}
-	if s.opts.CacheCapacity >= 0 {
-		// Coalesce concurrent misses on the same program: claim leadership
-		// of this fingerprint's flight, or wait for the current leader's
-		// rendered bytes instead of repeating its analysis. If a leader
-		// fails (nil body), the waiter loops and claims leadership itself.
-		var fl *flight
-		for fl == nil {
-			s.mu.Lock()
-			if cur := s.inflight[p.fp]; cur != nil {
-				s.mu.Unlock()
-				<-cur.done
-				if cur.body != nil {
-					s.coalesced.Add(1)
-					return Response{Name: p.name, Fingerprint: p.fp.String(), Cached: true, Body: cur.body}
-				}
-				continue
-			}
-			fl = &flight{done: make(chan struct{})}
-			s.inflight[p.fp] = fl
-			s.mu.Unlock()
+	if s.opts.CacheCapacity < 0 {
+		// Caching disabled: no flights either (nothing to share), every
+		// request runs its own admission-controlled analysis.
+		s.misses.Add(1)
+		body, rerr := s.runAnalysis(ctx, p)
+		if rerr != nil {
+			return s.errResponse(p.name, p.fp.String(), rerr)
 		}
-		defer func() {
-			if body, ok := s.cacheGet(p.fp); ok {
-				fl.body = body
-			}
-			s.mu.Lock()
-			delete(s.inflight, p.fp)
-			s.mu.Unlock()
-			close(fl.done)
-		}()
+		return Response{Name: p.name, Fingerprint: p.fp.String(), Body: body}
 	}
-	s.misses.Add(1)
+	// Coalesce concurrent misses on the same program: the first requester
+	// starts the flight, the rest wait for its rendered bytes instead of
+	// burning sessions on byte-identical work (the Zipf-skewed mixes the
+	// load mode serves make simultaneous same-program misses the common
+	// cold-start case). The flight executor is detached from every
+	// caller's context (flight doc above), so each caller only waits as
+	// long as its OWN context allows.
+	s.mu.Lock()
+	fl := s.inflight[p.fp]
+	leader := fl == nil
+	if leader {
+		fl = &flight{done: make(chan struct{})}
+		s.inflight[p.fp] = fl
+	}
+	s.mu.Unlock()
+	if leader {
+		s.misses.Add(1)
+		go s.runFlight(ctx, p, fl)
+	}
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		return s.errResponse(p.name, p.fp.String(), ctxRequestError(ctx))
+	}
+	if fl.err != nil {
+		// Terminal flight failures (parse-independent: budget, internal)
+		// apply to every waiter — the same program would fail the same way.
+		return s.errResponse(p.name, p.fp.String(), fl.err)
+	}
+	if !leader {
+		s.coalesced.Add(1)
+	}
+	return Response{Name: p.name, Fingerprint: p.fp.String(), Cached: !leader, Body: fl.body}
+}
 
-	// The session is held for the whole pipeline: the analysis interns into
-	// the session's private Space, and the render below reads path sets
-	// that live there, so the session (and with it exclusive ownership of
-	// the Space) must not return to the pool until the bytes are final.
-	sess := <-s.sessions
+// runFlight executes one coalesced analysis to completion on a context
+// detached from the starting caller, then publishes the outcome to every
+// waiter. Detachment is what keeps one caller's deadline from cancelling
+// work other waiters (and the cache) still want; the service's own
+// RequestTimeout is re-armed so a detached flight still cannot run
+// forever.
+func (s *Service) runFlight(callerCtx context.Context, p prepared, fl *flight) {
+	ctx := context.WithoutCancel(callerCtx)
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	fl.body, fl.err = s.runAnalysis(ctx, p)
+	s.mu.Lock()
+	delete(s.inflight, p.fp)
+	s.mu.Unlock()
+	close(fl.done)
+}
+
+// checkout admits the request and takes a session. Admission is two-step:
+// a non-blocking token acquire (failure = the pool AND the bounded queue
+// are full → shed with 429), then a context-bounded wait for a session.
+// The token is held until checkin returns the session, so token capacity
+// (Sessions + MaxQueue) is exactly the maximum number of analyses running
+// or waiting.
+func (s *Service) checkout(ctx context.Context) (*Session, *RequestError) {
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		return nil, &RequestError{
+			Status: 429,
+			Code:   CodeOverloaded,
+			Msg:    fmt.Sprintf("overloaded: %d analyses running and %d queued; retry later", s.opts.Sessions, cap(s.admit)-s.opts.Sessions),
+		}
+	}
+	// Fast path: a free session, no queueing.
+	select {
+	case sess := <-s.sessions:
+		s.busy.Add(1)
+		return sess, nil
+	default:
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case sess := <-s.sessions:
+		s.busy.Add(1)
+		return sess, nil
+	case <-ctx.Done():
+		<-s.admit // release the admission token
+		s.expired.Add(1)
+		return nil, ctxRequestError(ctx)
+	}
+}
+
+// checkin retires the request's exclusive session use — per-session epoch
+// bookkeeping runs here, while the session is still exclusively held —
+// then returns the session before releasing the admission token (token
+// count must never undercount live session claims).
+func (s *Service) checkin(sess *Session) {
+	sess.served.Add(1)
+	s.maybeReset(sess)
+	s.busy.Add(-1)
+	s.sessions <- sess
+	<-s.admit
+}
+
+// runAnalysis is one full admission-controlled analysis pipeline: session
+// checkout, summary-store seeding, fixpoint, parallelize, render, seed
+// backfill, cache fill. The session is held for the whole pipeline: the
+// analysis interns into the session's private Space, and the render reads
+// path sets that live there, so the session (and with it exclusive
+// ownership of the Space) must not return to the pool until the bytes are
+// final. On any failure the session still checks in clean — budgets and
+// cancellation stop the engine at a round barrier, and the Space's next
+// epoch reset reclaims whatever the aborted run interned.
+func (s *Service) runAnalysis(ctx context.Context, p prepared) ([]byte, *RequestError) {
+	sess, rerr := s.checkout(ctx)
+	if rerr != nil {
+		return nil, rerr
+	}
+	defer s.checkin(sess)
 	opts := p.opts
 	opts.Space = sess.space
+	opts.Budgets = s.opts.Analysis.Budgets
 	// Incremental warm path: on a result-cache miss, probe the summary
 	// store for every procedure's (cohort, options) key and seed the
 	// engine with the hits — an edit re-analyzes only the edited SCC and
@@ -380,51 +586,46 @@ func (s *Service) analyzePrepared(p prepared) Response {
 			opts.Seeds = seeds
 		}
 	}
-	info, aerr := analysis.Analyze(p.prog, opts)
-	var parRes *par.Result
-	var body []byte
-	var rerr error
-	if aerr == nil {
-		parRes = par.Parallelize(info, s.opts.Par)
-		// The document is rendered under the program's DECLARED name — a
-		// pure function of the canonical source, like everything else in
-		// the body — so a cache hit is correct for every requester
-		// regardless of the request label (Response.Name carries the
-		// label), and the bytes are identical whichever session (or shard)
-		// produced them.
-		body, rerr = renderResult(p.prog.Name, p.fp, info, parRes)
-		if len(missing) > 0 {
-			// Backfill only the store misses: hits were just refreshed by
-			// Get, and deterministic exports make a re-Put a no-op.
-			exported := analysis.ExportSeeds(info)
-			for name, key := range missing {
-				if seed := exported[name]; seed != nil {
-					s.sumStore.Put(key, procFps[name].Body, seed)
-				}
+	t := metricsNow()
+	info, aerr := analysis.Analyze(ctx, p.prog, opts)
+	if aerr != nil {
+		return nil, analysisRequestError(aerr)
+	}
+	parRes := par.Parallelize(info, s.opts.Par)
+	s.phases[phaseFixpoint].observe(metricsNow().Sub(t))
+	// The document is rendered under the program's DECLARED name — a
+	// pure function of the canonical source, like everything else in
+	// the body — so a cache hit is correct for every requester
+	// regardless of the request label (Response.Name carries the
+	// label), and the bytes are identical whichever session (or shard)
+	// produced them.
+	t = metricsNow()
+	body, rendErr := renderResult(p.prog.Name, p.fp, info, parRes)
+	if rendErr != nil {
+		return nil, &RequestError{Status: 500, Code: CodeInternal, Msg: rendErr.Error()}
+	}
+	if len(missing) > 0 {
+		// Backfill only the store misses: hits were just refreshed by
+		// Get, and deterministic exports make a re-Put a no-op.
+		exported := analysis.ExportSeeds(info)
+		for name, key := range missing {
+			if seed := exported[name]; seed != nil {
+				s.sumStore.Put(key, procFps[name].Body, seed)
 			}
 		}
 	}
-	sess.served.Add(1)
-	s.maybeReset(sess)
-	s.sessions <- sess
-
-	if aerr != nil {
-		s.errors.Add(1)
-		return Response{Name: p.name, Fingerprint: p.fp.String(), Err: &RequestError{
-			Status: 500,
-			Msg:    aerr.Error(),
-		}}
-	}
-	if rerr != nil {
-		s.errors.Add(1)
-		return Response{Name: p.name, Fingerprint: p.fp.String(), Err: &RequestError{
-			Status: 500,
-			Msg:    rerr.Error(),
-		}}
-	}
+	s.phases[phaseRender].observe(metricsNow().Sub(t))
 	s.analyses.Add(1)
 	s.cachePut(p.fp, p.name, body)
-	return Response{Name: p.name, Fingerprint: p.fp.String(), Body: body}
+	return body, nil
+}
+
+// errResponse counts one failed request (total and per-code) and shapes
+// the Response.
+func (s *Service) errResponse(name, fp string, rerr *RequestError) Response {
+	s.errors.Add(1)
+	s.errCodes.inc(rerr.Code)
+	return Response{Name: name, Fingerprint: fp, Err: rerr}
 }
 
 // AnalyzeBatch serves a multi-program request: the programs are analyzed
@@ -432,11 +633,12 @@ func (s *Service) analyzePrepared(p prepared) Response {
 // in request order. The pool bounds the whole per-program pipeline —
 // compile, fingerprint, cache probe, analysis — not just the analysis, so
 // an arbitrarily large batch runs at most Sessions programs (and spawns
-// at most Sessions goroutines) at a time.
-func (s *Service) AnalyzeBatch(reqs []Request) []Response {
+// at most Sessions goroutines) at a time. ctx applies to every program in
+// the batch (one deadline for the whole request).
+func (s *Service) AnalyzeBatch(ctx context.Context, reqs []Request) []Response {
 	out := make([]Response, len(reqs))
 	if len(reqs) == 1 {
-		out[0] = s.Analyze(reqs[0])
+		out[0] = s.Analyze(ctx, reqs[0])
 		return out
 	}
 	workers := s.opts.Sessions
@@ -454,7 +656,7 @@ func (s *Service) AnalyzeBatch(reqs []Request) []Response {
 				if i >= len(reqs) {
 					return
 				}
-				out[i] = s.Analyze(reqs[i])
+				out[i] = s.Analyze(ctx, reqs[i])
 			}
 		}()
 	}
@@ -569,6 +771,20 @@ type Stats struct {
 	// analysis of the same program (cold-start thundering herd absorbed).
 	Coalesced uint64 `json:"coalesced"`
 
+	// Shed counts requests refused admission (pool + queue full, 429);
+	// Expired counts requests whose deadline ended while queued. Busy and
+	// Queued are instantaneous gauges; QueueCapacity echoes MaxQueue
+	// after defaulting (0 = no queue).
+	Shed          uint64 `json:"shed"`
+	Expired       uint64 `json:"expired"`
+	Busy          int64  `json:"sessions_busy"`
+	Queued        int64  `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+
+	// ErrorCodes counts failed requests by machine-readable error code
+	// (only non-zero codes appear).
+	ErrorCodes map[string]uint64 `json:"error_codes,omitempty"`
+
 	Sessions uint64 `json:"sessions"`
 	// SessionLoads is each pooled session's checkout count, in session
 	// order — the balance of the worker budget over the pool.
@@ -605,6 +821,12 @@ func (s *Service) Stats() Stats {
 		CacheSize:      size,
 		CacheCapacity:  s.opts.CacheCapacity,
 		Coalesced:      s.coalesced.Load(),
+		Shed:           s.shed.Load(),
+		Expired:        s.expired.Load(),
+		Busy:           s.busy.Load(),
+		Queued:         s.queued.Load(),
+		QueueCapacity:  cap(s.admit) - s.opts.Sessions,
+		ErrorCodes:     s.errCodes.snapshot(),
 		Sessions:       uint64(s.opts.Sessions),
 		EpochResets:    s.resets.Load(),
 	}

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -28,14 +30,14 @@ func corpusRequests() []Request {
 func TestCachedResponseByteIdentical(t *testing.T) {
 	svc := New(Options{})
 	for _, req := range corpusRequests() {
-		fresh := svc.Analyze(req)
+		fresh := svc.Analyze(context.Background(), req)
 		if fresh.Err != nil {
 			t.Fatalf("%s: %v", req.Name, fresh.Err)
 		}
 		if fresh.Cached {
 			t.Fatalf("%s: first response must be a miss", req.Name)
 		}
-		cached := svc.Analyze(req)
+		cached := svc.Analyze(context.Background(), req)
 		if !cached.Cached {
 			t.Errorf("%s: second response must be a cache hit", req.Name)
 		}
@@ -43,7 +45,7 @@ func TestCachedResponseByteIdentical(t *testing.T) {
 			t.Errorf("%s: cached body differs from fresh body", req.Name)
 		}
 		svc.FlushCache()
-		reFresh := svc.Analyze(req)
+		reFresh := svc.Analyze(context.Background(), req)
 		if reFresh.Cached {
 			t.Fatalf("%s: post-flush response must be a miss", req.Name)
 		}
@@ -62,7 +64,7 @@ func TestResponsesStableAcrossEpochReset(t *testing.T) {
 	svc := New(Options{CacheCapacity: -1}) // no cache: every request re-analyzes
 	reference := map[string][]byte{}
 	for _, req := range corpusRequests() {
-		resp := svc.Analyze(req)
+		resp := svc.Analyze(context.Background(), req)
 		if resp.Err != nil {
 			t.Fatalf("%s: %v", req.Name, resp.Err)
 		}
@@ -80,7 +82,7 @@ func TestResponsesStableAcrossEpochReset(t *testing.T) {
 		t.Fatalf("resets did not advance the session epochs: %d -> %d", epoch, got)
 	}
 	for _, req := range corpusRequests() {
-		resp := svc.Analyze(req)
+		resp := svc.Analyze(context.Background(), req)
 		if resp.Err != nil {
 			t.Fatalf("%s: %v", req.Name, resp.Err)
 		}
@@ -100,7 +102,7 @@ func TestWarmAtLeastFiveTimesFasterThanCold(t *testing.T) {
 	var speedups []float64
 	for _, req := range corpusRequests() {
 		start := time.Now()
-		resp := svc.Analyze(req)
+		resp := svc.Analyze(context.Background(), req)
 		cold := time.Since(start)
 		if resp.Err != nil {
 			t.Fatalf("%s: %v", req.Name, resp.Err)
@@ -110,7 +112,7 @@ func TestWarmAtLeastFiveTimesFasterThanCold(t *testing.T) {
 		var warms []time.Duration
 		for i := 0; i < 5; i++ {
 			start = time.Now()
-			warm := svc.Analyze(req)
+			warm := svc.Analyze(context.Background(), req)
 			warms = append(warms, time.Since(start))
 			if !warm.Cached {
 				t.Fatalf("%s: warm request missed the cache", req.Name)
@@ -140,14 +142,14 @@ func TestBatchMatchesSequential(t *testing.T) {
 	reqs := corpusRequests()
 	want := make([][]byte, len(reqs))
 	for i, req := range reqs {
-		resp := ref.Analyze(req)
+		resp := ref.Analyze(context.Background(), req)
 		if resp.Err != nil {
 			t.Fatalf("%s: %v", req.Name, resp.Err)
 		}
 		want[i] = resp.Body
 	}
 	svc := New(Options{Sessions: 4})
-	resps := svc.AnalyzeBatch(reqs)
+	resps := svc.AnalyzeBatch(context.Background(), reqs)
 	for i, resp := range resps {
 		if resp.Err != nil {
 			t.Fatalf("%s: %v", reqs[i].Name, resp.Err)
@@ -172,7 +174,7 @@ func TestConcurrentLoadWithEvictionsAndResets(t *testing.T) {
 	reqs := corpusRequests()
 	want := map[string][]byte{}
 	for _, req := range reqs {
-		resp := ref.Analyze(req)
+		resp := ref.Analyze(context.Background(), req)
 		if resp.Err != nil {
 			t.Fatalf("%s: %v", req.Name, resp.Err)
 		}
@@ -190,7 +192,7 @@ func TestConcurrentLoadWithEvictionsAndResets(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 3*len(reqs); i++ {
 				req := reqs[(g+i)%len(reqs)]
-				resp := svc.Analyze(req)
+				resp := svc.Analyze(context.Background(), req)
 				if resp.Err != nil {
 					t.Errorf("%s: %v", req.Name, resp.Err)
 					return
@@ -225,7 +227,7 @@ func TestParseErrorIs400(t *testing.T) {
 		"type":   "program broken\nprocedure main()\n  x: int\nbegin\n  x := new()\nend;",
 		"nomain": "program broken\nprocedure helper()\nbegin\n  helper()\nend;",
 	} {
-		resp := svc.Analyze(Request{Name: name, Source: src})
+		resp := svc.Analyze(context.Background(), Request{Name: name, Source: src})
 		if resp.Err == nil {
 			t.Errorf("%s: expected an error", name)
 			continue
@@ -246,11 +248,11 @@ func TestFingerprintCanonicalization(t *testing.T) {
 	svc := New(Options{})
 	spaced := "program p\nprocedure main()\n  a : handle\nbegin\n    a := new( )\nend;"
 	compact := "program p procedure main() a: handle begin a := new() end;"
-	r1 := svc.Analyze(Request{Source: spaced})
+	r1 := svc.Analyze(context.Background(), Request{Source: spaced})
 	if r1.Err != nil {
 		t.Fatal(r1.Err)
 	}
-	r2 := svc.Analyze(Request{Source: compact})
+	r2 := svc.Analyze(context.Background(), Request{Source: compact})
 	if r2.Err != nil {
 		t.Fatal(r2.Err)
 	}
@@ -263,14 +265,14 @@ func TestFingerprintCanonicalization(t *testing.T) {
 	if !bytes.Equal(r1.Body, r2.Body) {
 		t.Error("reformatted source returned different bytes")
 	}
-	r3 := svc.Analyze(Request{Source: compact, MaxContexts: -1})
+	r3 := svc.Analyze(context.Background(), Request{Source: compact, MaxContexts: -1})
 	if r3.Err != nil {
 		t.Fatal(r3.Err)
 	}
 	if r3.Cached || r3.Fingerprint == r1.Fingerprint {
 		t.Error("an option change must produce a distinct cache key")
 	}
-	r4 := svc.Analyze(Request{Source: "program p procedure main() a: handle begin a := nil end;"})
+	r4 := svc.Analyze(context.Background(), Request{Source: "program p procedure main() a: handle begin a := nil end;"})
 	if r4.Err != nil {
 		t.Fatal(r4.Err)
 	}
@@ -284,16 +286,16 @@ func TestStatsCounters(t *testing.T) {
 	svc := New(Options{CacheCapacity: 2})
 	reqs := corpusRequests()[:3]
 	for _, req := range reqs {
-		if resp := svc.Analyze(req); resp.Err != nil {
+		if resp := svc.Analyze(context.Background(), req); resp.Err != nil {
 			t.Fatal(resp.Err)
 		}
 	}
 	// Re-request the last one (still cached: capacity 2 holds the two most
 	// recent) and the first one (evicted: a miss).
-	if resp := svc.Analyze(reqs[2]); resp.Err != nil || !resp.Cached {
+	if resp := svc.Analyze(context.Background(), reqs[2]); resp.Err != nil || !resp.Cached {
 		t.Errorf("most recent program should be cached (err=%v)", resp.Err)
 	}
-	if resp := svc.Analyze(reqs[0]); resp.Err != nil || resp.Cached {
+	if resp := svc.Analyze(context.Background(), reqs[0]); resp.Err != nil || resp.Cached {
 		t.Errorf("evicted program should re-analyze (err=%v)", resp.Err)
 	}
 	st := svc.Stats()
@@ -323,7 +325,7 @@ func TestStatsCounters(t *testing.T) {
 // document fields, including the deterministic procedure ordering.
 func TestResultDocumentShape(t *testing.T) {
 	svc := New(Options{})
-	resp := svc.Analyze(Request{Name: "add_and_reverse", Source: progs.AddAndReverse})
+	resp := svc.Analyze(context.Background(), Request{Name: "add_and_reverse", Source: progs.AddAndReverse})
 	if resp.Err != nil {
 		t.Fatal(resp.Err)
 	}
@@ -370,11 +372,11 @@ func TestResultDocumentShape(t *testing.T) {
 // function of the source), while Response.Name echoes the label.
 func TestCacheHitAcrossRequestNames(t *testing.T) {
 	svc := New(Options{})
-	a := svc.Analyze(Request{Name: "jobA", Source: progs.TreeDagDemo})
+	a := svc.Analyze(context.Background(), Request{Name: "jobA", Source: progs.TreeDagDemo})
 	if a.Err != nil {
 		t.Fatal(a.Err)
 	}
-	b := svc.Analyze(Request{Name: "jobB", Source: progs.TreeDagDemo})
+	b := svc.Analyze(context.Background(), Request{Name: "jobB", Source: progs.TreeDagDemo})
 	if b.Err != nil {
 		t.Fatal(b.Err)
 	}
@@ -404,7 +406,7 @@ func TestBatchBoundedBySessionPool(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		reqs = append(reqs, Request{Name: fmt.Sprintf("r%d", i), Source: progs.TreeDagDemo})
 	}
-	resps := svc.AnalyzeBatch(reqs)
+	resps := svc.AnalyzeBatch(context.Background(), reqs)
 	for _, r := range resps {
 		if r.Err != nil {
 			t.Fatal(r.Err)

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -91,19 +93,21 @@ func (r *Router) shardFor(fp Fp) int {
 
 // Analyze prepares (compiles + fingerprints) the request once, then serves
 // it on the fingerprint's owning shard. prepare touches no per-shard
-// state, so running it on shard 0 unconditionally is sound.
-func (r *Router) Analyze(req Request) Response {
+// counters, so running it on shard 0 unconditionally is sound (phase
+// latencies for parse/fingerprint land on shard 0's histograms — the
+// scraper sums across shards anyway).
+func (r *Router) Analyze(ctx context.Context, req Request) Response {
 	p := r.shards[0].prepare(req)
-	return r.shards[r.shardFor(p.fp)].analyzePrepared(p)
+	return r.shards[r.shardFor(p.fp)].analyzePrepared(ctx, p)
 }
 
 // AnalyzeBatch serves a multi-program request across the shards, responses
 // in request order. The worker budget is the total session count across
 // shards; per-shard queueing still bounds each shard to its own pool.
-func (r *Router) AnalyzeBatch(reqs []Request) []Response {
+func (r *Router) AnalyzeBatch(ctx context.Context, reqs []Request) []Response {
 	out := make([]Response, len(reqs))
 	if len(reqs) == 1 {
-		out[0] = r.Analyze(reqs[0])
+		out[0] = r.Analyze(ctx, reqs[0])
 		return out
 	}
 	workers := 0
@@ -124,7 +128,7 @@ func (r *Router) AnalyzeBatch(reqs []Request) []Response {
 				if i >= len(reqs) {
 					return
 				}
-				out[i] = r.Analyze(reqs[i])
+				out[i] = r.Analyze(ctx, reqs[i])
 			}
 		}()
 	}
@@ -161,6 +165,21 @@ func (r *Router) Stats() RouterStats {
 		t.CacheSize += st.CacheSize
 		t.CacheCapacity += st.CacheCapacity
 		t.Coalesced += st.Coalesced
+		t.Shed += st.Shed
+		t.Expired += st.Expired
+		t.Busy += st.Busy
+		t.Queued += st.Queued
+		t.QueueCapacity += st.QueueCapacity
+		// Merge per-code counts over the FIXED code vocabulary (never by
+		// ranging the map — map-range order must not shape output).
+		for _, code := range errorCodes {
+			if n := st.ErrorCodes[code]; n > 0 {
+				if t.ErrorCodes == nil {
+					t.ErrorCodes = map[string]uint64{}
+				}
+				t.ErrorCodes[code] += n
+			}
+		}
 		t.Sessions += st.Sessions
 		t.SessionLoads = append(t.SessionLoads, st.SessionLoads...)
 		t.SessionEpochs = append(t.SessionEpochs, st.SessionEpochs...)
@@ -186,4 +205,14 @@ func (r *Router) FlushCache() {
 	for _, s := range r.shards {
 		s.FlushCache()
 	}
+}
+
+// WriteMetrics writes the Prometheus exposition with one series per shard
+// (uniform shard="N" labels; see metrics.go).
+func (r *Router) WriteMetrics(w io.Writer) {
+	snaps := make([]metricsSnapshot, len(r.shards))
+	for i, s := range r.shards {
+		snaps[i] = s.metricsSnapshot()
+	}
+	writePrometheus(w, snaps)
 }

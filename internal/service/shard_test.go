@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+
 	"bytes"
 	"fmt"
 	"os"
@@ -42,13 +44,13 @@ func TestShardCountEquivalence(t *testing.T) {
 	ref := New(Options{})
 	want := make([]Response, len(reqs))
 	for i, req := range reqs {
-		want[i] = ref.Analyze(req)
+		want[i] = ref.Analyze(context.Background(), req)
 	}
 	for _, shards := range []int{1, 2, 8} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			r := NewRouter(shards, Options{Sessions: 2})
 			for pass := 0; pass < 2; pass++ {
-				got := r.AnalyzeBatch(reqs)
+				got := r.AnalyzeBatch(context.Background(), reqs)
 				for i, resp := range got {
 					w := want[i]
 					if (resp.Err == nil) != (w.Err == nil) {
@@ -107,8 +109,8 @@ func TestShardCountFromEnv(t *testing.T) {
 	ref := New(Options{})
 	r := NewRouter(shards, Options{Sessions: 2})
 	for _, req := range reqs {
-		want := ref.Analyze(req)
-		got := r.Analyze(req)
+		want := ref.Analyze(context.Background(), req)
+		got := r.Analyze(context.Background(), req)
 		if (got.Err == nil) != (want.Err == nil) {
 			t.Fatalf("%s: error presence diverged", req.Name)
 		}
@@ -158,7 +160,7 @@ func TestResetOnOneShardDoesNotStallAnother(t *testing.T) {
 	ref := New(Options{})
 	want := map[string][]byte{}
 	for _, req := range reqs {
-		resp := ref.Analyze(req)
+		resp := ref.Analyze(context.Background(), req)
 		if resp.Err != nil {
 			t.Fatalf("%s: %v", req.Name, resp.Err)
 		}
@@ -176,7 +178,7 @@ func TestResetOnOneShardDoesNotStallAnother(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 2*len(reqs); i++ {
 				req := reqs[(g+i)%len(reqs)]
-				resp := r.Analyze(req)
+				resp := r.Analyze(context.Background(), req)
 				if resp.Err != nil {
 					t.Errorf("%s: %v", req.Name, resp.Err)
 					return
@@ -213,7 +215,7 @@ func TestRouterStatsAggregation(t *testing.T) {
 	reqs := corpusRequests()
 	for pass := 0; pass < 2; pass++ {
 		for _, req := range reqs {
-			if resp := r.Analyze(req); resp.Err != nil {
+			if resp := r.Analyze(context.Background(), req); resp.Err != nil {
 				t.Fatalf("%s: %v", req.Name, resp.Err)
 			}
 		}
