@@ -2,9 +2,16 @@
 // multichecker over the lintkit analyzers that enforce the invariants the
 // dynamic suites only sample — Space discipline (no process-global Space
 // fallbacks in library code), determinism (no wall-clock/randomness or
-// map-iteration-order leaks in the bit-identical packages), interned
-// equality (== for interned nodes, Equal for content types), and lock
-// scope (no callouts under a sync lock in the serving layer).
+// map-iteration-order leaks in the bit-identical packages, even through
+// callees), interned equality (== for interned nodes, Equal for content
+// types), lock scope (no callouts under a sync lock in the serving layer,
+// directly or transitively), context flow (no detached contexts or
+// dropped/unthreadable ctx before blocking), and fingerprint purity (no
+// wall-clock, env, addresses, or work-cap knobs in Mix-family sinks).
+//
+// All loaded packages form one Program: per-function facts are computed
+// bottom-up over the static call graph, so the interprocedural analyzers
+// see through helpers in other packages.
 //
 // Usage:
 //
@@ -20,7 +27,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/fppurity"
 	"repro/internal/lint/internedeq"
 	"repro/internal/lint/lintkit"
 	"repro/internal/lint/lockscope"
@@ -32,6 +41,8 @@ var analyzers = []*lintkit.Analyzer{
 	determinism.Analyzer,
 	internedeq.Analyzer,
 	lockscope.Analyzer,
+	ctxflow.Analyzer,
+	fppurity.Analyzer,
 }
 
 func main() {
@@ -58,20 +69,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sillint:", err)
 		os.Exit(2)
 	}
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := lintkit.RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sillint:", err)
-			os.Exit(2)
-		}
-		for _, d := range diags {
-			fmt.Println(d)
-			findings++
-		}
+	// One Program over everything loaded: cross-package facts flow from
+	// callees to callers no matter which package each lives in.
+	diags, err := lintkit.NewProgram(pkgs).Run(analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sillint:", err)
+		os.Exit(2)
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "sillint: %d finding(s)\n", findings)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sillint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -9,7 +9,7 @@
 //	silserver [-addr :8080] [-cache 256] [-summary-cap 4096] [-sessions 0]
 //	          [-shards 1] [-ctx 0] [-reset-paths 1048576] [-workers 0]
 //	          [-timeout 60s] [-max-queue 256] [-budget-rounds 0]
-//	          [-budget-paths 0]
+//	          [-budget-paths 0] [-grace 30s]
 //
 // Endpoints (also reachable without the /v1 prefix):
 //
@@ -32,9 +32,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/analysis"
@@ -54,6 +59,7 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request deadline (0 disables); expired requests return 504")
 	maxQueue := flag.Int("max-queue", 0, "admission-queue bound beyond the session pool: 0 = default 256, negative = no queue; excess requests are shed with 429")
 	budgetRounds := flag.Int("budget-rounds", 0, "per-analysis fixpoint round budget (0 = unlimited); exceeding returns 503")
+	grace := flag.Duration("grace", 30*time.Second, "graceful-drain window after SIGTERM/SIGINT before in-flight requests are abandoned")
 	budgetPaths := flag.Int("budget-paths", 0, "per-analysis interned-path growth budget (0 = unlimited); exceeding returns 503")
 	flag.Parse()
 
@@ -70,14 +76,39 @@ func main() {
 		MaxQueue:           *maxQueue,
 		RequestTimeout:     *timeout,
 	})
+	gate := service.NewDrainGate(service.NewRouterHandler(router))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewRouterHandler(router),
+		Handler:           gate,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("silserver listening on %s (shards=%d cache=%d summary-cap=%d sessions=%d ctx=%d reset-paths=%d timeout=%s max-queue=%d budget-rounds=%d budget-paths=%d)",
 		*addr, *shards, *cache, *summaryCap, *sessions, *ctx, *resetPaths, *timeout, *maxQueue, *budgetRounds, *budgetPaths)
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful drain: on SIGTERM/SIGINT the gate starts refusing analyze
+	// requests (503 + Retry-After; healthz/stats/metrics stay up), the
+	// server finishes in-flight requests within the grace window, and the
+	// final metric state is flushed to the log before exit.
+	idle := make(chan struct{})
+	go func() {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+		sig := <-sigs
+		log.Printf("silserver: %s received, draining (grace %s)", sig, *grace)
+		gate.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("silserver: shutdown: %v", err)
+		}
+		close(idle)
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	<-idle
+	log.Printf("silserver: drained (%d request(s) refused); final metrics:", gate.Refused())
+	var final strings.Builder
+	router.WriteMetrics(&final)
+	log.Print(final.String())
 }

@@ -378,7 +378,7 @@ func Analyze(ctx context.Context, prog *ast.Program, opts Options) (*Info, error
 // analyzeOnce is one full fixpoint + recording pass; Analyze wraps it
 // with seed validation and the cold re-run.
 func analyzeOnce(ctx context.Context, prog *ast.Program, main *ast.ProcDecl, opts Options) (*Info, error) {
-	eng := newEngine(prog, opts, &Info{
+	eng := newEngine(ctx, prog, opts, &Info{
 		Prog:      prog,
 		Opts:      opts,
 		Before:    map[ast.Stmt]*matrix.Matrix{},
@@ -398,7 +398,6 @@ func analyzeOnce(ctx context.Context, prog *ast.Program, main *ast.ProcDecl, opt
 	for _, c := range lk.analyze {
 		work = append(work, item{"main", c})
 	}
-	eng.ctx = ctx
 	for {
 		for len(work) > 0 {
 			// Barrier interrupt point: cancellation and work budgets are
@@ -601,7 +600,7 @@ func (e *engine) runRound(work []item) []*stagedUpdates {
 			}
 		}()
 	}
-	wg.Wait()
+	wg.Wait() //sillint:allow ctxflow round barrier by design: workers always drain their share, cancellation lands at the next round boundary
 	return stages
 }
 
@@ -828,7 +827,10 @@ func callGraphSCC(prog *ast.Program) map[string]int {
 	return scc
 }
 
-func newEngine(prog *ast.Program, opts Options, info *Info) *engine {
+// newEngine threads the caller's context at construction so every engine
+// has the lifetime its caller chose; a nil ctx (Replay, whose recording
+// pass observes no interrupt points) defaults through background().
+func newEngine(ctx context.Context, prog *ast.Program, opts Options, info *Info) *engine {
 	msp := opts.Space // non-nil: every caller passes Analyze-defaulted Options
 	e := &engine{
 		prog:     prog,
@@ -836,7 +838,7 @@ func newEngine(prog *ast.Program, opts Options, info *Info) *engine {
 		info:     info,
 		msp:      msp,
 		psp:      msp.Paths(),
-		ctx:      context.Background(),
+		ctx:      background(ctx),
 		procDeps: map[string]map[item]bool{},
 		ctxDeps:  map[*ProcContext]map[item]bool{},
 		deferred: map[item]bool{},
@@ -1014,7 +1016,7 @@ func (a *analyzer) currentSummary() *Summary {
 func (in *Info) Replay(procName string, p0 *matrix.Matrix, seq []ast.Stmt) (map[ast.Stmt]*matrix.Matrix, *matrix.Matrix) {
 	d := in.Prog.Proc(procName)
 	a := &analyzer{
-		eng:       newEngine(in.Prog, in.Opts, in),
+		eng:       newEngine(nil, in.Prog, in.Opts, in),
 		recording: true,
 		mute:      true, // replays must not duplicate diagnostics
 		sink:      map[ast.Stmt]*matrix.Matrix{},

@@ -84,7 +84,7 @@ func (e *engine) checkRoundBudget() error {
 // so library callers (Replay, tests) need not thread one.
 func background(ctx context.Context) context.Context {
 	if ctx == nil {
-		return context.Background()
+		return context.Background() //sillint:allow ctxflow nil-default for library callers (Replay, tests); servers thread a real ctx
 	}
 	return ctx
 }

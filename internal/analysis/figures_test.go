@@ -24,7 +24,7 @@ func newTestAnalyzer() *analyzer {
 		Summaries: map[string]*Summary{},
 	}
 	return &analyzer{
-		eng: newEngine(nil, Options{Space: matrix.DefaultSpace()}.withDefaults(), info),
+		eng: newEngine(nil, nil, Options{Space: matrix.DefaultSpace()}.withDefaults(), info),
 		cur: &ast.ProcDecl{Name: "test"},
 	}
 }

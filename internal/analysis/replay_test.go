@@ -59,7 +59,7 @@ func TestReplayBindsFallbackAfterEviction(t *testing.T) {
 	main := prog.Proc("main")
 	p0 := entryForMain(main, info.Opts)
 	a := &analyzer{
-		eng:       newEngine(info.Prog, info.Opts, info),
+		eng:       newEngine(nil, info.Prog, info.Opts, info),
 		recording: true,
 		mute:      true,
 		sink:      map[ast.Stmt]*matrix.Matrix{},

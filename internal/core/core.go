@@ -56,7 +56,7 @@ func Build(src string, opts Options) (*Pipeline, error) {
 	types.Normalize(prog)
 	// Build is the one-shot CLI/test pipeline: no caller deadline to
 	// thread, so it runs uncancelable (budgets still apply via Options).
-	info, err := analysis.Analyze(context.Background(), prog, opts.Analysis)
+	info, err := analysis.Analyze(context.Background(), prog, opts.Analysis) //sillint:allow ctxflow one-shot CLI/test pipeline: no caller deadline exists to thread
 	if err != nil {
 		return nil, fmt.Errorf("analyze: %w", err)
 	}

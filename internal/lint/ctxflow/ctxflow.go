@@ -1,0 +1,284 @@
+// Package ctxflow enforces the context-threading contract of the v1
+// serving surface: every function on a path from the HTTP handlers or
+// Analyze(ctx, ...) must thread the incoming context down to whatever
+// blocks. The check is interprocedural — a "blocks" fact (channel
+// operations, selects, joins, network/process I/O) is computed for every
+// function in the program and propagated bottom-up over the call graph, so
+// a function two packages away from the blocking syscall still counts as
+// blocking at its call sites.
+//
+// Three rules, all scoped to Scope packages and non-test files:
+//
+//  1. context.Background(), context.TODO(), and context.WithoutCancel()
+//     materialize a context detached from the caller's lifetime; inside
+//     ctx-threaded code that silently outlives deadlines and
+//     cancellation. The sanctioned detach points (the coalesced-flight
+//     re-arm, the nil-ctx library default) carry //sillint:allow
+//     directives with reasons.
+//  2. A function that receives a context but never consults it, while
+//     transitively blocking, has dropped the caller's lifetime on the
+//     floor.
+//  3. A function that holds a context and directly calls a blocking
+//     callee with no context parameter cannot forward its deadline; the
+//     callee needs a parameter (or an annotation arguing it never blocks
+//     in practice, as the pool-channel operations with capacity
+//     invariants do).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"slices"
+
+	"repro/internal/lint/lintkit"
+)
+
+// Scope lists the packages whose functions must thread contexts: the
+// serving layer, the analysis engine it drives, and the one-shot pipeline.
+var Scope = []string{
+	"repro/internal/service",
+	"repro/internal/analysis",
+	"repro/internal/core",
+}
+
+// blockPkgFuncs are package-level functions that block or perform I/O.
+var blockPkgFuncs = map[string]map[string]bool{
+	"time": {"Sleep": true},
+	"net":  {"Dial": true, "DialTimeout": true, "Listen": true},
+	"net/http": {
+		"Get": true, "Head": true, "Post": true, "PostForm": true,
+		"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true,
+	},
+}
+
+// blockMethodPkgs are packages whose method calls count as blocking or
+// I/O-bound: connection and body reads/writes, process waits, lock-free
+// channel-based sync joins.
+var blockMethodPkgs = map[string]bool{
+	"net":      true,
+	"net/http": true,
+	"io":       true,
+	"os/exec":  true,
+}
+
+// blockSyncMethods are the blocking joins of package sync.
+var blockSyncMethods = map[string]bool{"Wait": true}
+
+// BlocksFact marks functions that may block: directly (channel operations,
+// select without default, sync joins, network/process I/O) or through any
+// in-program callee. //sillint:allow ctxflow on the blocking occurrence
+// (with a reason — e.g. a channel send whose capacity invariant makes it
+// non-blocking) keeps it from seeding the fact.
+var BlocksFact = &lintkit.FactDef{
+	Analyzer: "ctxflow",
+	Name:     "blocks",
+	Doc:      "function may block or do I/O, directly or through a callee",
+	Local:    localBlocks,
+}
+
+func localBlocks(fp *lintkit.FuncPass) string {
+	desc := ""
+	seed := func(pos token.Pos, what string) {
+		if desc == "" && !fp.Allowed("ctxflow", pos) {
+			desc = what
+		}
+	}
+	ast.Inspect(fp.Decl.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // independent scope, like the call graph
+		case *ast.GoStmt:
+			return false // spawned work does not block this stack
+		case *ast.SendStmt:
+			seed(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				seed(n.Pos(), "channel receive")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := fp.Pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					seed(n.Pos(), "range over channel")
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				seed(n.Pos(), "select without default")
+			}
+		case *ast.CallExpr:
+			if fn := lintkit.CalleeOf(fp.Pkg.Info, n); fn != nil && fn.Pkg() != nil {
+				path, name := fn.Pkg().Path(), fn.Name()
+				if fn.Type().(*types.Signature).Recv() == nil {
+					if blockPkgFuncs[path][name] {
+						seed(n.Pos(), path+"."+name)
+					}
+				} else if blockMethodPkgs[path] || (path == "sync" && blockSyncMethods[name]) {
+					seed(n.Pos(), "("+path+")."+name)
+				}
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// Analyzer is the ctxflow check.
+var Analyzer = &lintkit.Analyzer{
+	Name:  "ctxflow",
+	Doc:   "contexts from the serving surface must be threaded to everything that blocks: no detached contexts outside sanctioned sites, no dropped ctx parameters, no blocking callees that cannot receive the caller's ctx",
+	Facts: []*lintkit.FactDef{BlocksFact},
+	Run:   run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !slices.Contains(Scope, pass.Package.Path) || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	// Rule 1: detached-context materializations, anywhere in the package
+	// (function literals included — the HTTP handlers are closures).
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintkit.CalleeOf(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			switch fn.Name() {
+			case "Background", "TODO", "WithoutCancel":
+				pass.Reportf(call.Pos(),
+					"context.%s materializes a context detached from the caller's lifetime; thread the incoming ctx, or annotate a sanctioned detach point with its reason",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	// Rules 2 and 3 work on declared functions via the program facts.
+	for _, f := range pass.Prog.Funcs() {
+		if f.Pkg != pass.Package || f.Decl.Body == nil {
+			continue
+		}
+		ctxParams := contextParams(pass, f.Decl)
+		if len(ctxParams) == 0 {
+			continue
+		}
+		for _, p := range ctxParams {
+			if p.obj != nil && usesObject(pass, f.Decl.Body, p.obj) {
+				continue
+			}
+			if pass.Prog.HasFact("ctxflow", "blocks", f.Fn) {
+				pass.Reportf(p.pos,
+					"%s receives a ctx but drops it before blocking (%s); consult it or forward it",
+					f.Fn.Name(), pass.Prog.Why("ctxflow", "blocks", f.Fn))
+			}
+		}
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := lintkit.CalleeOf(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			if _, inProg := pass.Prog.FuncOf(callee); !inProg {
+				return true
+			}
+			if !pass.Prog.HasFact("ctxflow", "blocks", callee) {
+				return true
+			}
+			if hasContextParam(callee) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"blocking callee %s cannot receive this function's ctx (%s); add a context parameter or annotate why it never blocks",
+				callee.Name(), pass.Prog.Why("ctxflow", "blocks", callee))
+			return true
+		})
+	}
+	return nil
+}
+
+type ctxParam struct {
+	pos token.Pos
+	obj types.Object // nil for the blank identifier
+}
+
+// contextParams returns the declared context.Context parameters.
+func contextParams(pass *lintkit.Pass, decl *ast.FuncDecl) []ctxParam {
+	var out []ctxParam
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				out = append(out, ctxParam{pos: name.Pos()})
+				continue
+			}
+			out = append(out, ctxParam{pos: name.Pos(), obj: pass.TypesInfo.Defs[name]})
+		}
+	}
+	return out
+}
+
+func usesObject(pass *lintkit.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+func hasContextParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,30 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/lintest"
+	"repro/internal/lint/lintkit"
+)
+
+// TestContextThreading drives the cross-package fixtures: blocking is
+// seeded in the sibling package dep, findings appear in the in-Scope
+// parent, allow-annotated seeds taint nobody, and detached-context
+// materializations report wherever they occur.
+func TestContextThreading(t *testing.T) {
+	orig := ctxflow.Scope
+	ctxflow.Scope = append([]string{"ctxtree"}, orig...)
+	defer func() { ctxflow.Scope = orig }()
+	lintest.RunTree(t, []*lintkit.Analyzer{ctxflow.Analyzer}, "testdata/src/ctxtree")
+}
+
+// TestOutOfScopePackagesPass proves the same fixtures are silent when the
+// package is not in Scope: the contract covers the serving surface, not
+// every helper in the module.
+func TestOutOfScopePackagesPass(t *testing.T) {
+	orig := ctxflow.Scope
+	ctxflow.Scope = []string{"repro/internal/service"}
+	defer func() { ctxflow.Scope = orig }()
+	lintest.RunTree(t, []*lintkit.Analyzer{ctxflow.Analyzer}, "testdata/src/ctxclean")
+}

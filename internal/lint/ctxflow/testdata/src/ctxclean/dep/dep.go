@@ -1,0 +1,7 @@
+// Package dep mirrors ctxtree/dep without expectations: out of Scope,
+// the same shapes must be silent.
+package dep
+
+func Fetch(ch chan int) int { return <-ch }
+
+func Indirect(ch chan int) int { return Fetch(ch) }

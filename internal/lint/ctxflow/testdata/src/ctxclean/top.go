@@ -1,0 +1,22 @@
+// Package ctxclean repeats the ctxtree violations outside ctxflow's
+// Scope; none of them may report.
+package ctxclean
+
+import (
+	"context"
+
+	"ctxclean/dep"
+)
+
+func Handle(ctx context.Context, ch chan int) int {
+	<-ctx.Done()
+	return dep.Indirect(ch)
+}
+
+func Dropped(ctx context.Context, ch chan int) int {
+	return <-ch
+}
+
+func Detaches() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,42 @@
+// Package dep is the callee side of the cross-package fixtures: nothing
+// in this package is in ctxflow's Scope, so nothing here reports — but
+// the blocks fact computed over these bodies drives the findings in the
+// parent package.
+package dep
+
+import "context"
+
+// Fetch blocks directly and cannot receive a context.
+func Fetch(ch chan int) int { return <-ch }
+
+// Indirect has no blocking syntax of its own: it blocks only through
+// Fetch, which is what makes the caller-side finding interprocedural.
+func Indirect(ch chan int) int { return Fetch(ch) }
+
+// Poll blocks but threads a context, so calling it with a ctx is fine.
+func Poll(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Pure neither blocks nor does I/O.
+func Pure(n int) int { return n + 1 }
+
+// Spawner starts work asynchronously; `go` edges do not make the spawner
+// itself blocking.
+func Spawner(ch chan int) {
+	go Fetch(ch)
+}
+
+// Sanctioned blocks, but the occurrence carries an allow directive with a
+// capacity argument, so it must not seed the fact nor taint callers.
+func Sanctioned(ch chan int) {
+	ch <- 1 //sillint:allow ctxflow fixture: buffered channel sized to its writers
+}
+
+// CallsSanctioned must stay clean: the allowed seed does not propagate.
+func CallsSanctioned(ch chan int) { Sanctioned(ch) }

@@ -1,0 +1,63 @@
+// Package ctxtree is the in-Scope side of the ctxflow fixtures: the
+// violations here are only visible through callees in the sibling package
+// dep.
+package ctxtree
+
+import (
+	"context"
+
+	"ctxtree/dep"
+)
+
+// Handle holds a ctx but hands work to a blocking callee that cannot
+// receive it — and the blocking is two calls away, in another package.
+func Handle(ctx context.Context, ch chan int) int {
+	<-ctx.Done()
+	return dep.Indirect(ch) // want `blocking callee Indirect cannot receive this function's ctx \(.*dep\.Indirect -> .*dep\.Fetch: channel receive\)`
+}
+
+// Threaded forwards its ctx to a callee that accepts one: clean.
+func Threaded(ctx context.Context, ch chan int) int {
+	return dep.Poll(ctx, ch)
+}
+
+// CallsPure calls a non-blocking callee without forwarding ctx: clean.
+func CallsPure(ctx context.Context, n int) int {
+	<-ctx.Done()
+	return dep.Pure(n)
+}
+
+// Dropped receives a ctx, never consults it, and blocks.
+func Dropped(ctx context.Context, ch chan int) int { // want `Dropped receives a ctx but drops it before blocking`
+	return <-ch
+}
+
+// Blank declares its context away entirely while blocking.
+func Blank(_ context.Context, ch chan int) int { // want `Blank receives a ctx but drops it before blocking`
+	return <-ch
+}
+
+// Detaches materializes a fresh root context inside threaded code.
+func Detaches(ch chan int) int {
+	ctx := context.Background() // want `context.Background materializes a context detached from the caller's lifetime`
+	return dep.Poll(ctx, ch)
+}
+
+// Todos is the same mistake with TODO.
+func Todos(ch chan int) int {
+	return dep.Poll(context.TODO(), ch) // want `context.TODO materializes a context detached from the caller's lifetime`
+}
+
+// DetachFlight re-arms a detached context the sanctioned way: annotated,
+// with a reason.
+func DetachFlight(ctx context.Context, ch chan int) int {
+	flight := context.WithoutCancel(ctx) //sillint:allow ctxflow fixture: coalesced flight outlives its first caller
+	return dep.Poll(flight, ch)
+}
+
+// CallsAllowed calls through an allow-annotated seed: clean, because
+// allowed occurrences do not taint callers.
+func CallsAllowed(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+	dep.CallsSanctioned(ch)
+}

@@ -16,6 +16,16 @@
 //     (the repo's collect-then-sort idiom). Writes keyed by the loop
 //     variable into maps, and commutative scalar accumulation (fingerprint
 //     mixing), stay legal.
+//
+// Both families are interprocedural: a "wallclock" fact (reads the wall
+// clock or randomness, directly or through any in-program callee) is
+// computed bottom-up over the program call graph, and a parallel fixpoint
+// marks functions whose returned slices are built in map-iteration order
+// without a sanitizing sort. Scoped call sites into out-of-scope program
+// code report against those summaries, so moving the clock read or the
+// unsorted collect into a helper package no longer hides it. Calls whose
+// results the caller itself sorts before use stay legal — the
+// collect-then-sort idiom works across call boundaries too.
 package determinism
 
 import (
@@ -54,19 +64,55 @@ var printFuncs = map[string]bool{
 	"Fprint": true, "Fprintf": true, "Fprintln": true,
 }
 
+// WallclockFact marks functions that read the wall clock or randomness —
+// directly, or through any in-program callee. An //sillint:allow
+// determinism directive on the occurrence keeps it from seeding the fact.
+var WallclockFact = &lintkit.FactDef{
+	Analyzer: "determinism",
+	Name:     "wallclock",
+	Doc:      "function reads the wall clock or randomness, directly or through a callee",
+	Local:    localWallclock,
+}
+
+func localWallclock(fp *lintkit.FuncPass) string {
+	desc := ""
+	ast.Inspect(fp.Decl.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // independent scope, like the call graph
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := usedPackage(fp.Pkg.Info, sel)
+		banned := (pkg == "time" && bannedTimeFuncs[sel.Sel.Name]) || bannedImports[pkg]
+		if banned && !fp.Allowed("determinism", sel.Pos()) {
+			desc = pkg + "." + sel.Sel.Name
+		}
+		return true
+	})
+	return desc
+}
+
 // Analyzer is the determinism check.
 var Analyzer = &lintkit.Analyzer{
 	Name: "determinism",
 	Doc: "in the bit-identical packages, forbid wall-clock/randomness and " +
 		"map-iteration-order leaks (appends to escaping slices or printing " +
-		"inside a map range without a later sort)",
-	Run: run,
+		"inside a map range without a later sort), directly or through any " +
+		"transitive callee",
+	Facts: []*lintkit.FactDef{WallclockFact},
+	Run:   run,
 }
 
 func run(pass *lintkit.Pass) error {
 	if !slices.Contains(Scope, pass.Pkg.Path()) {
 		return nil
 	}
+	unordered := unorderedFuncs(pass.Prog)
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue
@@ -79,6 +125,7 @@ func run(pass *lintkit.Pass) error {
 				continue
 			}
 			checkMapRanges(pass, fn)
+			checkTransitive(pass, fn, unordered)
 		}
 	}
 	return nil
@@ -101,7 +148,7 @@ func checkTimeCalls(pass *lintkit.Pass, f *ast.File) {
 		if !ok {
 			return true
 		}
-		if pkg := usedPackage(pass, sel); pkg == "time" && bannedTimeFuncs[sel.Sel.Name] {
+		if pkg := usedPackage(pass.TypesInfo, sel); pkg == "time" && bannedTimeFuncs[sel.Sel.Name] {
 			pass.Reportf(sel.Pos(),
 				"time.%s in a bit-identical package: wall-clock reads leak schedule into results",
 				sel.Sel.Name)
@@ -110,25 +157,163 @@ func checkTimeCalls(pass *lintkit.Pass, f *ast.File) {
 	})
 }
 
-// usedPackage returns the import path of the package a selector's base
-// identifier names, or "" when the base is not a package name.
-func usedPackage(pass *lintkit.Pass, sel *ast.SelectorExpr) string {
-	ident, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return ""
+// checkTransitive reports scoped calls into out-of-scope program code that
+// reaches the wall clock or returns a map-ordered slice. In-scope callees
+// are skipped: their seeds are flagged directly in their own package.
+func checkTransitive(pass *lintkit.Pass, fn *ast.FuncDecl, unordered map[*lintkit.ProgFunc]string) {
+	// An assignment whose RHS is an unordered call sanitizes the call when
+	// the target is sorted later in this function — collect-then-sort
+	// across the call boundary. Inspect visits the AssignStmt before the
+	// call itself, so the set is populated in time.
+	sanitized := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				obj := slicelikeTarget(pass.TypesInfo, n.Lhs[i])
+				if obj != nil && sortedAfter(pass.TypesInfo, fn.Body, call.End(), obj) {
+					sanitized[call] = true
+				}
+			}
+		case *ast.CallExpr:
+			callee := lintkit.CalleeOf(pass.TypesInfo, n)
+			if callee == nil {
+				return true
+			}
+			pf, ok := pass.Prog.FuncOf(callee)
+			if !ok || slices.Contains(Scope, pf.Pkg.Path) {
+				return true
+			}
+			if pass.Prog.HasFact("determinism", "wallclock", callee) {
+				pass.Reportf(n.Pos(),
+					"call reaches a wall-clock or randomness read (%s): results would leak schedule or process history",
+					pass.Prog.Why("determinism", "wallclock", callee))
+			}
+			if desc, bad := unordered[pf]; bad && !sanitized[n] {
+				pass.Reportf(n.Pos(),
+					"result is built in map iteration order (%s); sort it here or in the callee", desc)
+			}
+		}
+		return true
+	})
+}
+
+// unorderedFuncs computes, program-wide, the functions whose returned
+// slices are built in map-iteration order without a sanitizing sort — a
+// bottom-up fixpoint over return statements (monotone, so it terminates
+// and is order-independent).
+func unorderedFuncs(prog *lintkit.Program) map[*lintkit.ProgFunc]string {
+	un := map[*lintkit.ProgFunc]string{}
+	funcs := prog.Funcs()
+	for changed := true; changed; {
+		changed = false
+		for _, f := range funcs {
+			if f.Decl.Body == nil {
+				continue
+			}
+			if _, done := un[f]; done {
+				continue
+			}
+			if desc := returnsUnordered(prog, f, un); desc != "" {
+				un[f] = desc
+				changed = true
+			}
+		}
 	}
-	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
-	if !ok {
-		return ""
-	}
-	return pkgName.Imported().Path()
+	return un
+}
+
+// returnsUnordered reports whether f returns a slice appended to inside a
+// map range (and never sorted), or forwards another unordered function's
+// result unsorted.
+func returnsUnordered(prog *lintkit.Program, f *lintkit.ProgFunc, un map[*lintkit.ProgFunc]string) string {
+	info := f.Pkg.Info
+	ordered := mapOrderedLocals(f)
+	desc := ""
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			switch res := ast.Unparen(res).(type) {
+			case *ast.Ident:
+				if obj := info.ObjectOf(res); obj != nil {
+					if d, bad := ordered[obj]; bad {
+						desc = d
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				if callee := lintkit.CalleeOf(info, res); callee != nil {
+					if pf, ok := prog.FuncOf(callee); ok {
+						if d, bad := un[pf]; bad {
+							desc = d + " via " + f.Fn.Name()
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// mapOrderedLocals finds f's locals appended to inside a map range and not
+// sorted afterwards. An //sillint:allow determinism directive on the
+// append keeps it from seeding.
+func mapOrderedLocals(f *lintkit.ProgFunc) map[types.Object]string {
+	info := f.Pkg.Info
+	ordered := map[types.Object]string{}
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(info, rs.X) {
+			return true
+		}
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				if !isAppendCall(info, rhs) || i >= len(assign.Lhs) {
+					continue
+				}
+				obj := slicelikeTarget(info, assign.Lhs[i])
+				if obj == nil || !declaredOutside(obj, rs) {
+					continue
+				}
+				if f.Pkg.AllowedAt(f.Pkg.Fset.Position(rhs.Pos()), "determinism") {
+					continue
+				}
+				if sortedAfter(info, f.Decl.Body, rs.End(), obj) {
+					continue
+				}
+				ordered[obj] = "map-range append in " + f.Fn.Name()
+			}
+			return true
+		})
+		return true
+	})
+	return ordered
 }
 
 func checkMapRanges(pass *lintkit.Pass, fn *ast.FuncDecl) {
 	reported := map[token.Pos]bool{}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
-		if !ok || !isMapType(pass, rs.X) {
+		if !ok || !isMapType(pass.TypesInfo, rs.X) {
 			return true
 		}
 		checkMapRangeBody(pass, fn, rs, reported)
@@ -136,8 +321,8 @@ func checkMapRanges(pass *lintkit.Pass, fn *ast.FuncDecl) {
 	})
 }
 
-func isMapType(pass *lintkit.Pass, x ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[x]
+func isMapType(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
 	if !ok || tv.Type == nil {
 		return false
 	}
@@ -150,10 +335,10 @@ func checkMapRangeBody(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, 
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
-				if !isAppendCall(pass, rhs) || i >= len(n.Lhs) {
+				if !isAppendCall(pass.TypesInfo, rhs) || i >= len(n.Lhs) {
 					continue
 				}
-				if obj := slicelikeTarget(pass, n.Lhs[i]); obj != nil && declaredOutside(obj, rs) {
+				if obj := slicelikeTarget(pass.TypesInfo, n.Lhs[i]); obj != nil && declaredOutside(obj, rs) {
 					reportOrderLeak(pass, fn, rs, n.Pos(), obj, reported,
 						"append to %q (declared outside this map range) leaks map iteration order", obj.Name())
 				}
@@ -171,7 +356,7 @@ func checkCallInMapRange(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt
 		return
 	}
 	// Printing under map iteration emits in map order.
-	if pkg := usedPackage(pass, sel); pkg == "fmt" && printFuncs[sel.Sel.Name] {
+	if pkg := usedPackage(pass.TypesInfo, sel); pkg == "fmt" && printFuncs[sel.Sel.Name] {
 		if !reported[call.Pos()] {
 			reported[call.Pos()] = true
 			pass.Reportf(call.Pos(), "fmt.%s inside a map range emits in map iteration order", sel.Sel.Name)
@@ -207,14 +392,14 @@ func checkCallInMapRange(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt
 }
 
 func reportOrderLeak(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, pos token.Pos, obj types.Object, reported map[token.Pos]bool, format, name string) {
-	if reported[pos] || sortedAfter(pass, fn, rs, obj) {
+	if reported[pos] || sortedAfter(pass.TypesInfo, fn.Body, rs.End(), obj) {
 		return
 	}
 	reported[pos] = true
 	pass.Reportf(pos, format+" (sort it after the loop, or iterate sorted keys)", name)
 }
 
-func isAppendCall(pass *lintkit.Pass, e ast.Expr) bool {
+func isAppendCall(info *types.Info, e ast.Expr) bool {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
 		return false
@@ -223,12 +408,12 @@ func isAppendCall(pass *lintkit.Pass, e ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	b, ok := pass.TypesInfo.Uses[ident].(*types.Builtin)
+	b, ok := info.Uses[ident].(*types.Builtin)
 	return ok && b.Name() == "append"
 }
 
 // slicelikeTarget resolves `x` or `*x` assignment targets to their object.
-func slicelikeTarget(pass *lintkit.Pass, lhs ast.Expr) types.Object {
+func slicelikeTarget(info *types.Info, lhs ast.Expr) types.Object {
 	if star, ok := lhs.(*ast.StarExpr); ok {
 		lhs = star.X
 	}
@@ -236,32 +421,46 @@ func slicelikeTarget(pass *lintkit.Pass, lhs ast.Expr) types.Object {
 	if !ok {
 		return nil
 	}
-	return pass.TypesInfo.ObjectOf(ident)
+	return info.ObjectOf(ident)
 }
 
 func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
 	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
 }
 
-// sortedAfter reports whether a sort./slices. call after the range loop in
-// the same function mentions obj — the repo's collect-then-sort idiom,
-// which restores a canonical order before the slice can escape.
-func sortedAfter(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+// usedPackage returns the import path of the package a selector's base
+// identifier names, or "" when the base is not a package name.
+func usedPackage(info *types.Info, sel *ast.SelectorExpr) string {
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Path()
+}
+
+// sortedAfter reports whether a sort./slices. call after pos in body
+// mentions obj — the repo's collect-then-sort idiom, which restores a
+// canonical order before the slice can escape.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, after token.Pos, obj types.Object) bool {
 	found := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() <= rs.End() || found {
+		if !ok || call.Pos() <= after || found {
 			return !found
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
 		if !ok {
 			return true
 		}
-		if pkg := usedPackage(pass, sel); pkg != "sort" && pkg != "slices" {
+		if pkg := usedPackage(info, sel); pkg != "sort" && pkg != "slices" {
 			return true
 		}
 		for _, arg := range call.Args {
-			if mentionsObject(pass, arg, obj) {
+			if mentionsObject(info, arg, obj) {
 				found = true
 				return false
 			}
@@ -271,10 +470,10 @@ func sortedAfter(pass *lintkit.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, obj ty
 	return found
 }
 
-func mentionsObject(pass *lintkit.Pass, e ast.Expr, obj types.Object) bool {
+func mentionsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
-		if ident, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(ident) == obj {
+		if ident, ok := n.(*ast.Ident); ok && info.ObjectOf(ident) == obj {
 			found = true
 		}
 		return !found

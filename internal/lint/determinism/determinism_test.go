@@ -39,6 +39,18 @@ func TestMapOrderAndClockRules(t *testing.T) {
 	lintest.Run(t, determinism.Analyzer, "testdata/src/det")
 }
 
+// TestTransitiveFactsAcrossPackages drives the interprocedural layer:
+// scoped code consuming a clock read two hops away in a sibling package,
+// and map-ordered slices forwarded through out-of-scope returns — plus
+// the clean shapes (pure callees, annotated seeds, collect-then-sort
+// across the call boundary, callees that sort before returning).
+func TestTransitiveFactsAcrossPackages(t *testing.T) {
+	orig := determinism.Scope
+	determinism.Scope = append([]string{"dettree"}, orig...)
+	defer func() { determinism.Scope = orig }()
+	lintest.RunTree(t, []*lintkit.Analyzer{determinism.Analyzer}, "testdata/src/dettree")
+}
+
 // TestOutOfScopePackagesPass proves the analyzer only covers the
 // bit-identical packages: the same seeded patterns produce zero findings
 // when the package is not in Scope.

@@ -1,0 +1,44 @@
+// Package dep is outside determinism's scope: it may read the clock and
+// build unsorted slices, but scoped callers must not consume them.
+package dep
+
+import (
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Indirect hides the read one hop down.
+func Indirect() int64 { return Stamp() }
+
+// Steady is pure: no fact.
+func Steady() int64 { return 42 }
+
+// Audited is the annotated escape hatch: it seeds no fact.
+func Audited() int64 {
+	return time.Now().UnixNano() //sillint:allow determinism fixture: diagnostics-only timestamp, never fingerprinted
+}
+
+// Keys returns the map's keys in iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeysVia forwards the unordered slice through a second return.
+func KeysVia(m map[string]int) []string { return Keys(m) }
+
+// SortedKeys restores canonical order before returning: clean.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

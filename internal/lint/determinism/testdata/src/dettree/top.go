@@ -1,0 +1,42 @@
+// Package dettree is determinism testdata for the interprocedural layer:
+// scoped code consuming clock reads and map-ordered slices hidden behind a
+// sibling package.
+package dettree
+
+import (
+	"sort"
+
+	"dettree/dep"
+)
+
+// Tick reaches the clock through two out-of-package hops.
+func Tick() int64 {
+	return dep.Indirect() // want `call reaches a wall-clock or randomness read \(dettree/dep\.Indirect -> dettree/dep\.Stamp: time\.Now\)`
+}
+
+// TickDirect calls the seeding function itself.
+func TickDirect() int64 {
+	return dep.Stamp() // want `call reaches a wall-clock or randomness read \(dettree/dep\.Stamp: time\.Now\)`
+}
+
+// Calm calls the pure helper: clean.
+func Calm() int64 { return dep.Steady() }
+
+// CalmAudited inherits the callee's annotation: clean.
+func CalmAudited() int64 { return dep.Audited() }
+
+// Render forwards the callee's map-ordered slice unsorted.
+func Render(m map[string]int) []string {
+	return dep.KeysVia(m) // want `result is built in map iteration order \(map-range append in Keys via KeysVia\); sort it here or in the callee`
+}
+
+// RenderSorted sorts the result: collect-then-sort across the call
+// boundary stays legal.
+func RenderSorted(m map[string]int) []string {
+	ks := dep.Keys(m)
+	sort.Strings(ks)
+	return ks
+}
+
+// RenderCanonical uses the callee that sorts before returning: clean.
+func RenderCanonical(m map[string]int) []string { return dep.SortedKeys(m) }

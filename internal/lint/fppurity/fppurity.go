@@ -1,0 +1,309 @@
+// Package fppurity is the static side of the serving layer's fingerprint
+// contract: a result fingerprint may fold ONLY the canonical program
+// bytes and semantics-affecting options. Anything tied to the process,
+// the schedule, or pure work caps — wall-clock reads, environment
+// variables, pointer addresses, Workers, Budgets, MaxWorklist, pool and
+// cache capacities — must never reach a Mix-family sink, or byte-identical
+// programs would stop sharing cache entries (and worse, entries could
+// collide across genuinely different results only by luck of the knobs).
+//
+// The analysis is a taint analysis over the program call graph: poisoned
+// sources are classified syntactically (with type information), functions
+// whose return values derive from a poisoned source are computed by a
+// bottom-up fixpoint (so a wall-clock read two packages away still
+// poisons the value at the sink), and every argument of every Mix-family
+// sink call in Scope is checked for poisoned subexpressions.
+package fppurity
+
+import (
+	"go/ast"
+	"go/types"
+	"slices"
+	"strings"
+
+	"repro/internal/lint/lintkit"
+)
+
+// Scope lists the packages whose fingerprint sinks are checked.
+var Scope = []string{"repro/internal/service"}
+
+// poisonFields are struct fields that never affect a successful result's
+// bytes: scheduling knobs, pure work caps, and serving capacities. The
+// key is the defining struct's type name — the repo keeps these on
+// analysis.Options/analysis.Budgets and service.Options.
+var poisonFields = map[string]map[string]string{
+	"Options": {
+		"Workers":            "worker count (schedule knob)",
+		"Budgets":            "work budgets (pure caps)",
+		"MaxWorklist":        "worklist cap (pure work cap)",
+		"Sessions":           "session-pool capacity",
+		"CacheCapacity":      "cache capacity",
+		"SummaryCapacity":    "summary-store capacity",
+		"MaxQueue":           "admission-queue bound",
+		"RequestTimeout":     "request deadline",
+		"ResetInternedPaths": "epoch-reset budget",
+	},
+	"Budgets": {
+		"MaxRounds":        "round budget (pure work cap)",
+		"MaxInternedPaths": "interned-path budget (pure work cap)",
+	},
+}
+
+// poisonCalls are functions whose results are process- or time-dependent.
+var poisonCalls = map[string]map[string]string{
+	"time":      {"Now": "wall clock", "Since": "wall clock", "Until": "wall clock"},
+	"os":        {"Getenv": "environment", "LookupEnv": "environment", "Environ": "environment", "Getpid": "process identity"},
+	"math/rand": {"Int": "randomness", "Intn": "randomness", "Int63": "randomness", "Uint64": "randomness", "Float64": "randomness"},
+}
+
+// Analyzer is the fppurity check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "fppurity",
+	Doc:  "only canonical program bytes and semantics-affecting options may flow into fingerprint Mix-family sinks; wall-clock, env, pointer addresses, Workers, Budgets, and capacity knobs are poisoned",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !slices.Contains(Scope, pass.Package.Path) {
+		return nil
+	}
+	tf := taintedFuncs(pass.Prog)
+	for _, f := range pass.Prog.Funcs() {
+		if f.Pkg != pass.Package || f.Decl.Body == nil {
+			continue
+		}
+		locals := taintedLocals(f, tf)
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sink := sinkName(pass.TypesInfo, call)
+			if sink == "" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if desc := poisonIn(f.Pkg.Info, arg, locals, tf); desc != "" {
+					pass.Reportf(arg.Pos(),
+						"%s flows into fingerprint sink %s; only canonical program bytes and semantics-affecting options may be fingerprinted",
+						desc, sink)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkName reports a Mix-family method call on a fingerprint type (a named
+// type called Fp, or any method whose name starts with "mix"/"Mix" on such
+// a type), returning a printable sink name or "".
+func sinkName(info *types.Info, call *ast.CallExpr) string {
+	fn := lintkit.CalleeOf(info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if !strings.HasPrefix(strings.ToLower(fn.Name()), "mix") {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Fp" {
+		return ""
+	}
+	return "Fp." + fn.Name()
+}
+
+// taintedFuncs computes, program-wide, the functions whose return values
+// derive from a poisoned source — a bottom-up boolean fixpoint over the
+// call graph (monotone, so it terminates and is order-independent; SCCs
+// converge by iteration exactly like the fact engine).
+func taintedFuncs(prog *lintkit.Program) map[*lintkit.ProgFunc]string {
+	tainted := map[*lintkit.ProgFunc]string{}
+	funcs := prog.Funcs()
+	for changed := true; changed; {
+		changed = false
+		for _, f := range funcs {
+			if f.Decl.Body == nil {
+				continue
+			}
+			if _, done := tainted[f]; done {
+				continue
+			}
+			if desc := returnsTaint(f, tainted); desc != "" {
+				tainted[f] = desc
+				changed = true
+			}
+		}
+	}
+	return tainted
+}
+
+// returnsTaint reports whether any return statement of f yields a value
+// containing a poisoned source or a tainted local.
+func returnsTaint(f *lintkit.ProgFunc, tainted map[*lintkit.ProgFunc]string) string {
+	locals := taintedLocals(f, tainted)
+	desc := ""
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if d := poisonIn(f.Pkg.Info, res, locals, tainted); d != "" {
+				desc = d + " via " + f.Fn.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// taintedLocals finds local variables assigned (transitively) from
+// poisoned expressions. Assignments are re-scanned until no new local
+// taints, so ordering and loops don't matter.
+func taintedLocals(f *lintkit.ProgFunc, tainted map[*lintkit.ProgFunc]string) map[types.Object]string {
+	locals := map[types.Object]string{}
+	info := f.Pkg.Info
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if _, done := locals[obj]; done {
+					continue
+				}
+				// With one RHS feeding many LHS (multi-value call), any
+				// poison taints every result conservatively.
+				var rhs ast.Expr
+				if len(assign.Rhs) == len(assign.Lhs) {
+					rhs = assign.Rhs[i]
+				} else if len(assign.Rhs) == 1 {
+					rhs = assign.Rhs[0]
+				} else {
+					continue
+				}
+				if desc := poisonIn(info, rhs, locals, tainted); desc != "" {
+					locals[obj] = desc
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return locals
+}
+
+// poisonIn scans an expression for a poisoned subexpression and returns a
+// description of the first one found (deterministic: source order), or "".
+func poisonIn(info *types.Info, expr ast.Expr, locals map[types.Object]string, tainted map[*lintkit.ProgFunc]string) string {
+	desc := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil {
+				if d, ok := locals[obj]; ok {
+					desc = n.Name + " (tainted by " + d + ")"
+				}
+			}
+		case *ast.SelectorExpr:
+			if d := poisonField(info, n); d != "" {
+				desc = d
+			}
+		case *ast.CallExpr:
+			if d := poisonCall(info, n, tainted); d != "" {
+				desc = d
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+func poisonField(info *types.Info, sel *ast.SelectorExpr) string {
+	sn, ok := info.Selections[sel]
+	if !ok || sn.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := sn.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	fields, ok := poisonFields[named.Obj().Name()]
+	if !ok {
+		return ""
+	}
+	if why, bad := fields[sel.Sel.Name]; bad {
+		return named.Obj().Name() + "." + sel.Sel.Name + " (" + why + ")"
+	}
+	return ""
+}
+
+func poisonCall(info *types.Info, call *ast.CallExpr, tainted map[*lintkit.ProgFunc]string) string {
+	// uintptr(unsafe.Pointer(...)) — a pointer address.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) == 1 {
+		if tn, ok := info.Uses[id].(*types.TypeName); ok && tn.Name() == "uintptr" {
+			return "pointer address (uintptr conversion)"
+		}
+	}
+	fn := lintkit.CalleeOf(info, call)
+	if fn == nil {
+		return ""
+	}
+	if fn.Pkg() != nil {
+		if why, bad := poisonCalls[fn.Pkg().Path()][fn.Name()]; bad {
+			return fn.Pkg().Path() + "." + fn.Name() + " (" + why + ")"
+		}
+		// reflect pointer extraction is an address, whatever the method.
+		if fn.Pkg().Path() == "reflect" && (fn.Name() == "Pointer" || fn.Name() == "UnsafeAddr") {
+			return "pointer address (reflect." + fn.Name() + ")"
+		}
+	}
+	// Calls to in-program functions whose returns are tainted.
+	for f, desc := range tainted {
+		if f.Fn.Origin() == fn.Origin() || f.Fn.FullName() == fn.FullName() {
+			return desc
+		}
+	}
+	return ""
+}

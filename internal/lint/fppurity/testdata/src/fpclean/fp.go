@@ -1,0 +1,13 @@
+// Package fpclean repeats a poisoned sink flow outside fppurity's Scope;
+// it must be silent there.
+package fpclean
+
+import "time"
+
+type Fp struct{ Hi, Lo uint64 }
+
+func (f *Fp) mix(v uint64) { f.Hi ^= v; f.Lo += v }
+
+func Stamp(f *Fp) {
+	f.mix(uint64(time.Now().UnixNano()))
+}

@@ -1,0 +1,46 @@
+package fptree
+
+import (
+	"os"
+	"time"
+	"unsafe"
+
+	"fptree/knobs"
+)
+
+// Key exercises every poisoned-source class against the Mix-family sinks.
+func Key(src string, o knobs.Options) Fp {
+	f := Fp{}
+	f.mixString(src)                // clean: canonical bytes
+	f.mixInt(o.MaxLoopIters)        // clean: semantics-affecting option
+	f.mixInt(o.Workers)             // want `Options.Workers \(worker count \(schedule knob\)\) flows into fingerprint sink Fp.mixInt`
+	f.mixInt(o.MaxWorklist)         // want `Options.MaxWorklist.*pure work cap.* flows into fingerprint sink Fp.mixInt`
+	f.mixInt(int(knobs.Wall()))     // want `wall clock.* flows into fingerprint sink Fp.mixInt`
+	f.mixInt(int(knobs.Indirect())) // want `wall clock.* flows into fingerprint sink Fp.mixInt`
+	f.mixInt(int(knobs.Steady()))   // clean: constant-returning callee
+	return f
+}
+
+// Direct sources poison without a callee in between.
+func Direct(f *Fp) {
+	f.mix(uint64(time.Now().UnixNano())) // want `time.Now \(wall clock\) flows into fingerprint sink Fp.mix`
+	f.mixString(os.Getenv("HOME"))       // want `os.Getenv \(environment\) flows into fingerprint sink Fp.mixString`
+}
+
+// Laundered walks a poisoned value through a local before the sink.
+func Laundered(f *Fp) {
+	stamp := time.Now().UnixNano()
+	later := stamp + 10
+	f.mix(uint64(later)) // want `later \(tainted by .*wall clock.*\) flows into fingerprint sink Fp.mix`
+}
+
+// Address mixes a pointer address.
+func Address(f *Fp, p *int) {
+	f.mix(uint64(uintptr(unsafe.Pointer(p)))) // want `pointer address \(uintptr conversion\) flows into fingerprint sink Fp.mix`
+}
+
+// Allowed is the sanctioned escape hatch: an annotated sink call with a
+// reason does not report.
+func Allowed(f *Fp, o knobs.Options) {
+	f.mixInt(o.Workers) //sillint:allow fppurity fixture: deliberately splitting a debug cache by worker count
+}

@@ -1,0 +1,16 @@
+// Package fptree holds the in-Scope fingerprint type and its mixers,
+// mirroring internal/service's Fp.
+package fptree
+
+// Fp is a two-lane fingerprint accumulator.
+type Fp struct{ Hi, Lo uint64 }
+
+func (f *Fp) mix(v uint64) { f.Hi ^= v; f.Lo += v }
+
+func (f *Fp) mixInt(v int) { f.mix(uint64(int64(v))) }
+
+func (f *Fp) mixString(s string) {
+	for i := 0; i < len(s); i++ {
+		f.mix(uint64(s[i]))
+	}
+}

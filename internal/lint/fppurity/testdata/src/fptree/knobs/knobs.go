@@ -1,0 +1,26 @@
+// Package knobs is the sibling package of the fppurity fixtures: poisoned
+// values originate here, out of Scope, and reach the sinks in the parent
+// package only through the taint fixpoint.
+package knobs
+
+import "time"
+
+// Options mirrors the shape the real tree uses: a mix of
+// semantics-affecting options and pure scheduling/capacity knobs.
+type Options struct {
+	MaxLoopIters int // semantics-affecting: may change a successful result
+	Workers      int // schedule knob: poisoned
+	MaxWorklist  int // pure work cap: poisoned
+}
+
+// Wall returns a wall-clock reading; its return value is tainted.
+func Wall() int64 { return time.Now().UnixNano() }
+
+// Indirect launders Wall through a second function; still tainted.
+func Indirect() int64 {
+	v := Wall()
+	return v + 1
+}
+
+// Steady returns a constant; clean.
+func Steady() int64 { return 42 }

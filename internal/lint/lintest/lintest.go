@@ -52,6 +52,39 @@ func Run(t *testing.T, analyzer *lintkit.Analyzer, dir string) {
 	}
 }
 
+// RunTree is the multi-package counterpart of Run: it loads every package
+// directory under root as one program (the root directory becomes package
+// base(root), subdirectories become base(root)/<relative-path>, and
+// fixtures may import each other by those paths), runs the analyzers over
+// the whole program so cross-package facts propagate, and diffs findings
+// against `// want` expectations found in any file of the tree.
+func RunTree(t *testing.T, analyzers []*lintkit.Analyzer, root string) {
+	t.Helper()
+	loader := lintkit.NewLoader()
+	pkgs, err := loader.LoadTree(filepath.Base(root), root, true)
+	if err != nil {
+		t.Fatalf("loading tree %s: %v", root, err)
+	}
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		expects = append(expects, collectExpectations(t, pkg)...)
+	}
+	diags, err := lintkit.NewProgram(pkgs).Run(analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", root, err)
+	}
+	for _, d := range diags {
+		if !matchExpectation(expects, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.rx)
+		}
+	}
+}
+
 func collectExpectations(t *testing.T, pkg *lintkit.Package) []*expectation {
 	t.Helper()
 	var out []*expectation

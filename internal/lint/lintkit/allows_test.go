@@ -1,0 +1,123 @@
+package lintkit_test
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// allowDirective matches a real //sillint:allow directive: the comment
+// opener at line start or after whitespace (a quoted mention inside a doc
+// comment does not count) followed by the analyzer name(s).
+var allowDirective = regexp.MustCompile(`(?:^|\s)//sillint:allow[ \t]+(\S+)`)
+
+// TestAllowBudget pins the repo's suppression budget: the set of
+// //sillint:allow directives in the real tree (outside testdata, _test.go
+// files, and the analyzers' own sources) must exactly match
+// lint-allows.txt at the repo root. Growing the budget is a deliberate,
+// reviewed act — the same commit must add the line.
+func TestAllowBudget(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || path == filepath.Join(root, "internal", "lint") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if m := allowDirective.FindStringSubmatch(line); m != nil {
+				got = append(got, filepath.ToSlash(rel)+" "+m[1])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices.Sort(got)
+
+	var want []string
+	f, err := os.Open(filepath.Join(root, "lint-allows.txt"))
+	if err != nil {
+		t.Fatalf("reading the budget file: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		want = append(want, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	slices.Sort(want)
+
+	if !slices.Equal(got, want) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "suppression budget mismatch between the tree and lint-allows.txt\n")
+		for _, line := range diffLines(want, got) {
+			fmt.Fprintln(&b, line)
+		}
+		b.WriteString("every //sillint:allow needs a matching \"<path> <analyzer>\" line in lint-allows.txt (and vice versa)")
+		t.Error(b.String())
+	}
+}
+
+// diffLines renders a multiset diff: lines only in want (-) or got (+).
+func diffLines(want, got []string) []string {
+	count := map[string]int{}
+	for _, w := range want {
+		count[w]--
+	}
+	for _, g := range got {
+		count[g]++
+	}
+	keys := make([]string, 0, len(count))
+	for k, n := range count {
+		if n != 0 {
+			keys = append(keys, k)
+		}
+	}
+	slices.Sort(keys)
+	var out []string
+	for _, k := range keys {
+		n := count[k]
+		sign := "+"
+		if n < 0 {
+			sign, n = "-", -n
+		}
+		for range n {
+			out = append(out, sign+" "+k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,407 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is lintkit's interprocedural layer: a program-wide static call
+// graph plus per-function boolean fact summaries propagated bottom-up over
+// strongly connected components — the same shape as the analyzer the suite
+// guards (per-procedure summaries, recursion widened to the SCC join).
+//
+// The graph is deliberately conservative in a direction that suits lint
+// facts (may-properties joined with OR):
+//
+//   - only syntactically direct calls produce edges: calls through function
+//     values, interfaces, or method values are invisible, so analyzers that
+//     need them must seed facts from the call site's package instead;
+//   - `go f()` produces no edge — the spawned work does not run on the
+//     caller's stack, and ctxflow treats detachment explicitly;
+//   - function literals are independent scopes, not part of the enclosing
+//     declaration's summary (matching lockscope's treatment of closures);
+//   - edges to functions outside the loaded program (stdlib, other modules)
+//     are dropped: facts about them are seeded locally by each analyzer's
+//     Local hook, which sees the full call expression.
+type Program struct {
+	Pkgs []*Package
+
+	funcs   map[FuncID]*ProgFunc
+	ids     []FuncID            // sorted
+	callees map[FuncID][]FuncID // sorted, deduplicated, in-program only
+	sccs    [][]FuncID          // Tarjan emission order: every SCC precedes its callers
+	facts   map[string]map[FuncID]factVal
+}
+
+// FuncID is a stable cross-package identity for a declared function. The
+// source importer materializes its own *types.Func for an imported
+// function, distinct from the object created when that package is
+// type-checked directly, so object identity cannot key the graph; the
+// origin-normalized FullName ("(*repro/internal/service.Service).Analyze")
+// is identical for both copies.
+type FuncID string
+
+func idOf(fn *types.Func) FuncID {
+	return FuncID(fn.Origin().FullName())
+}
+
+// ProgFunc is one declared function in the loaded program.
+type ProgFunc struct {
+	ID   FuncID
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Fn   *types.Func
+}
+
+type factVal struct {
+	desc string // local seed description; "" when inherited
+	via  FuncID // supporting callee when inherited
+}
+
+// FactDef declares one boolean per-function fact owned by an analyzer.
+// A function has the fact when Local reports a seeding occurrence in its
+// own body, or when any in-program callee has it; recursion joins at the
+// SCC. The OR-join is monotone, so the fixpoint terminates and is
+// independent of evaluation order.
+type FactDef struct {
+	// Analyzer names the owning analyzer; //sillint:allow directives for
+	// that analyzer suppress seeds, so Local implementations must consult
+	// FuncPass.Allowed at each seeding position.
+	Analyzer string
+	// Name identifies the fact ("blocks", "callout", "wallclock", ...).
+	Name string
+	// Doc describes what having the fact means.
+	Doc string
+	// Local inspects one function body and returns a short description of
+	// the occurrence that seeds the fact ("channel send", "time.Now"), or
+	// "" when the body itself is clean.
+	Local func(*FuncPass) string
+}
+
+// FuncPass carries one declared function through one FactDef.Local call.
+type FuncPass struct {
+	Prog *Program
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Fn   *types.Func
+}
+
+// Allowed reports whether a //sillint:allow directive for the named
+// analyzer covers pos, so fact seeding respects the same suppressions as
+// diagnostics: an allowed occurrence must not taint every transitive
+// caller.
+func (fp *FuncPass) Allowed(analyzer string, pos token.Pos) bool {
+	return fp.Pkg.AllowedAt(fp.Pkg.Fset.Position(pos), analyzer)
+}
+
+// InTestFile reports whether pos falls in a _test.go file.
+func (fp *FuncPass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(fp.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// NewProgram builds the call graph over the loaded packages. Declarations
+// in _test.go files are excluded: the invariants facts encode are about
+// library code, and tests legitimately use exempt idioms.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:    pkgs,
+		funcs:   map[FuncID]*ProgFunc{},
+		callees: map[FuncID][]FuncID{},
+		facts:   map[string]map[FuncID]factVal{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				id := idOf(fn)
+				if _, dup := p.funcs[id]; !dup {
+					p.funcs[id] = &ProgFunc{ID: id, Pkg: pkg, Decl: fd, Fn: fn}
+				}
+			}
+		}
+	}
+	for id := range p.funcs {
+		p.ids = append(p.ids, id)
+	}
+	sort.Slice(p.ids, func(i, j int) bool { return p.ids[i] < p.ids[j] })
+	for _, id := range p.ids {
+		f := p.funcs[id]
+		if f.Decl.Body == nil {
+			continue
+		}
+		set := map[FuncID]bool{}
+		goCalls := map[*ast.CallExpr]bool{}
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				goCalls[g.Call] = true
+			}
+			return true
+		})
+		ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if goCalls[n] {
+					return true // arguments still evaluate on this stack
+				}
+				if callee := CalleeOf(f.Pkg.Info, n); callee != nil {
+					cid := idOf(callee)
+					if _, inProg := p.funcs[cid]; inProg {
+						set[cid] = true
+					}
+				}
+			}
+			return true
+		})
+		edges := make([]FuncID, 0, len(set))
+		for cid := range set {
+			edges = append(edges, cid)
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+		p.callees[id] = edges
+	}
+	p.sccs = p.condense()
+	return p
+}
+
+// CalleeOf resolves a call expression to the *types.Func it directly
+// invokes (package function or method), or nil for calls through function
+// values, conversions, and builtins.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// condense runs Tarjan's algorithm over the sorted node order. The
+// emission order is the property the fact engine relies on: when an SCC is
+// emitted, every SCC it can reach has already been emitted, so processing
+// components in this order sees finalized callee facts outside the
+// component and only iterates within it.
+func (p *Program) condense() [][]FuncID {
+	index := map[FuncID]int{}
+	low := map[FuncID]int{}
+	onStack := map[FuncID]bool{}
+	var stack []FuncID
+	var sccs [][]FuncID
+	next := 0
+	var strongconnect func(v FuncID)
+	strongconnect = func(v FuncID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range p.callees[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []FuncID
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Slice(scc, func(i, j int) bool { return scc[i] < scc[j] })
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, id := range p.ids {
+		if _, seen := index[id]; !seen {
+			strongconnect(id)
+		}
+	}
+	return sccs
+}
+
+func (p *Program) computeFacts(defs []*FactDef) {
+	for _, def := range defs {
+		key := def.Analyzer + "/" + def.Name
+		if _, done := p.facts[key]; done {
+			continue
+		}
+		seeds := map[FuncID]string{}
+		for _, id := range p.ids {
+			f := p.funcs[id]
+			if f.Decl.Body == nil {
+				continue
+			}
+			fp := &FuncPass{Prog: p, Pkg: f.Pkg, Decl: f.Decl, Fn: f.Fn}
+			if desc := def.Local(fp); desc != "" {
+				seeds[id] = desc
+			}
+		}
+		res := map[FuncID]factVal{}
+		for _, scc := range p.sccs {
+			for changed := true; changed; {
+				changed = false
+				for _, id := range scc {
+					if _, has := res[id]; has {
+						continue
+					}
+					if desc, ok := seeds[id]; ok {
+						res[id] = factVal{desc: desc}
+						changed = true
+						continue
+					}
+					for _, c := range p.callees[id] {
+						if _, has := res[c]; has {
+							res[id] = factVal{via: c}
+							changed = true
+							break
+						}
+					}
+				}
+			}
+		}
+		p.facts[key] = res
+	}
+}
+
+// HasFact reports whether fn (or anything it transitively calls within the
+// program) carries the named fact. Unknown functions have no facts.
+func (p *Program) HasFact(analyzer, name string, fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	res := p.facts[analyzer+"/"+name]
+	_, ok := res[idOf(fn)]
+	return ok
+}
+
+// Why renders the witness chain for a fact as "caller -> callee -> leaf:
+// occurrence", for diagnostics that must explain a transitive verdict.
+func (p *Program) Why(analyzer, name string, fn *types.Func) string {
+	res := p.facts[analyzer+"/"+name]
+	if fn == nil || res == nil {
+		return ""
+	}
+	id := idOf(fn)
+	seen := map[FuncID]bool{}
+	var parts []string
+	for {
+		v, ok := res[id]
+		if !ok || seen[id] {
+			break
+		}
+		seen[id] = true
+		if v.desc != "" {
+			parts = append(parts, shortID(id)+": "+v.desc)
+			break
+		}
+		parts = append(parts, shortID(id))
+		id = v.via
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// FuncOf returns the program's record for fn, if fn is declared in one of
+// the loaded packages.
+func (p *Program) FuncOf(fn *types.Func) (*ProgFunc, bool) {
+	if fn == nil {
+		return nil, false
+	}
+	f, ok := p.funcs[idOf(fn)]
+	return f, ok
+}
+
+// Funcs returns every declared function in deterministic order.
+func (p *Program) Funcs() []*ProgFunc {
+	out := make([]*ProgFunc, 0, len(p.ids))
+	for _, id := range p.ids {
+		out = append(out, p.funcs[id])
+	}
+	return out
+}
+
+// CalleesOf returns f's in-program direct callees in deterministic order.
+func (p *Program) CalleesOf(f *ProgFunc) []*ProgFunc {
+	ids := p.callees[f.ID]
+	out := make([]*ProgFunc, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, p.funcs[id])
+	}
+	return out
+}
+
+// shortID strips the module prefix so chains stay readable:
+// "(*repro/internal/service.Service).checkin" -> "(*service.Service).checkin".
+func shortID(id FuncID) string {
+	s := string(id)
+	s = strings.ReplaceAll(s, "repro/internal/", "")
+	return strings.ReplaceAll(s, "repro/", "")
+}
+
+// Run computes every analyzer's facts over the whole program, then applies
+// each analyzer to each package, returning findings sorted by position.
+func (p *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var defs []*FactDef
+	for _, a := range analyzers {
+		defs = append(defs, a.Facts...)
+	}
+	p.computeFacts(defs)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range p.Pkgs {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Package:   pkg,
+				Prog:      p,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, &runError{analyzer: a.Name, pkg: pkg.Path, err: err}
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+type runError struct {
+	analyzer, pkg string
+	err           error
+}
+
+func (e *runError) Error() string {
+	return e.analyzer + ": " + e.pkg + ": " + e.err.Error()
+}
+
+func (e *runError) Unwrap() error { return e.err }

@@ -1,0 +1,240 @@
+package lintkit
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// seedFact is a test fact seeded by any call of a function literally named
+// "seedme", skipping function literals the way real analyzers do (the call
+// graph treats closures as independent scopes).
+var seedFact = &FactDef{
+	Analyzer: "tfact",
+	Name:     "tainted",
+	Doc:      "test fact: transitively calls seedme()",
+	Local: func(fp *FuncPass) string {
+		desc := ""
+		ast.Inspect(fp.Decl.Body, func(n ast.Node) bool {
+			if desc != "" {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "seedme" {
+				if !fp.Allowed("tfact", call.Pos()) {
+					desc = "seedme()"
+				}
+			}
+			return true
+		})
+		return desc
+	},
+}
+
+func loadPkgSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	pkg, err := NewLoader().LoadDir("p", writePkg(t, src), true)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return pkg
+}
+
+func factSet(p *Program) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range p.Funcs() {
+		if p.HasFact("tfact", "tainted", f.Fn) {
+			out[string(f.ID)] = true
+		}
+	}
+	return out
+}
+
+// TestFactPropagation pins the core transitive closure: a seed in a leaf
+// reaches every caller chain, `go f()` spawns no edge, closures are
+// independent scopes, and an allowed seed taints nobody.
+func TestFactPropagation(t *testing.T) {
+	pkg := loadPkgSrc(t, `package p
+
+func seedme() {}
+
+func leaf() { seedme() }
+
+func mid() { leaf() }
+
+func top() { mid() }
+
+func clean() {}
+
+func spawns() { go leaf() }
+
+func closes() {
+	f := func() { leaf() }
+	f()
+}
+
+func allowed() {
+	seedme() //sillint:allow tfact sanctioned for the test
+}
+
+func callsAllowed() { allowed() }
+`)
+	prog := NewProgram([]*Package{pkg})
+	prog.computeFacts([]*FactDef{seedFact})
+	got := factSet(prog)
+	want := map[string]bool{"p.leaf": true, "p.mid": true, "p.top": true}
+	for id, has := range want {
+		if got[id] != has {
+			t.Errorf("HasFact(%s) = %v, want %v", id, got[id], has)
+		}
+	}
+	for _, id := range []string{"p.clean", "p.spawns", "p.closes", "p.allowed", "p.callsAllowed", "p.seedme"} {
+		if got[id] {
+			t.Errorf("HasFact(%s) = true, want false", id)
+		}
+	}
+	top, _ := prog.FuncOf(prog.funcs["p.top"].Fn)
+	why := prog.Why("tfact", "tainted", top.Fn)
+	if !strings.Contains(why, "top") || !strings.Contains(why, "leaf: seedme()") {
+		t.Errorf("Why chain = %q, want top -> mid -> leaf: seedme()", why)
+	}
+}
+
+// TestSCCConvergence pins the recursion treatment: a mutually recursive
+// pair joins at the SCC (both members get the fact seeded through either),
+// the fixpoint terminates on cycles with no seed at all, and the result is
+// independent of package presentation order.
+func TestSCCConvergence(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("dep/dep.go", `package dep
+
+func Seedme() {}
+
+func Hit(n int) {
+	if n > 0 {
+		Miss(n - 1)
+	}
+	seedme()
+}
+
+func Miss(n int) {
+	if n > 0 {
+		Hit(n - 1)
+	}
+}
+
+// CleanA and CleanB are a seedless cycle: the fixpoint must terminate
+// without granting either the fact.
+func CleanA(n int) {
+	if n > 0 {
+		CleanB(n - 1)
+	}
+}
+
+func CleanB(n int) {
+	if n > 0 {
+		CleanA(n - 1)
+	}
+}
+
+func seedme() {}
+`)
+	write("top.go", `package sccfix
+
+import "sccfix/dep"
+
+func Caller() { dep.Miss(3) }
+
+func Bystander() { dep.CleanA(3) }
+`)
+	// The dep fixture names its seed "seedme" lowercase; adjust the fact's
+	// target: the shared seedFact looks for literal ident "seedme", which
+	// the unqualified call in dep.Hit satisfies.
+	pkgs, err := NewLoader().LoadTree("sccfix", dir, true)
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("LoadTree returned %d packages, want 2", len(pkgs))
+	}
+	progA := NewProgram(pkgs)
+	progA.computeFacts([]*FactDef{seedFact})
+
+	rev := slices.Clone(pkgs)
+	slices.Reverse(rev)
+	progB := NewProgram(rev)
+	progB.computeFacts([]*FactDef{seedFact})
+
+	gotA, gotB := factSet(progA), factSet(progB)
+	want := map[string]bool{
+		"sccfix/dep.Hit":  true, // seeds directly
+		"sccfix/dep.Miss": true, // SCC join with Hit
+		"sccfix.Caller":   true, // cross-package edge into the SCC
+	}
+	for id, has := range want {
+		if gotA[id] != has {
+			t.Errorf("HasFact(%s) = %v, want %v", id, gotA[id], has)
+		}
+	}
+	for _, id := range []string{"sccfix/dep.CleanA", "sccfix/dep.CleanB", "sccfix.Bystander"} {
+		if gotA[id] {
+			t.Errorf("HasFact(%s) = true, want false (seedless cycle must not self-seed)", id)
+		}
+	}
+	if len(gotA) != len(gotB) {
+		t.Fatalf("fact sets differ by package order: %v vs %v", gotA, gotB)
+	}
+	for id := range gotA {
+		if !gotB[id] {
+			t.Errorf("fact %s present in one package order, absent in the other", id)
+		}
+	}
+	why := progA.Why("tfact", "tainted", progA.funcs["sccfix.Caller"].Fn)
+	if !strings.Contains(why, "Caller") || !strings.Contains(why, "seedme()") {
+		t.Errorf("cross-package Why chain = %q, want Caller -> ... -> seedme()", why)
+	}
+}
+
+// TestMethodEdges pins that method calls produce graph edges keyed
+// identically whether the receiver's package was type-checked directly or
+// reached through the source importer.
+func TestMethodEdges(t *testing.T) {
+	pkg := loadPkgSrc(t, `package p
+
+type S struct{}
+
+func seedme() {}
+
+func (s *S) dirty() { seedme() }
+
+func useMethod() {
+	var s S
+	s.dirty()
+}
+`)
+	prog := NewProgram([]*Package{pkg})
+	prog.computeFacts([]*FactDef{seedFact})
+	got := factSet(prog)
+	if !got["(*p.S).dirty"] || !got["p.useMethod"] {
+		t.Errorf("method facts = %v, want (*p.S).dirty and p.useMethod tainted", got)
+	}
+}

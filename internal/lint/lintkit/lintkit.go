@@ -24,7 +24,12 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by sillint -help.
 	Doc string
-	// Run inspects one package and reports findings via pass.Report.
+	// Facts lists the per-function fact summaries this analyzer exports.
+	// The driver computes them program-wide (bottom-up over SCCs) before
+	// any Run executes, so Run can consult transitive verdicts via
+	// Pass.Prog regardless of package boundaries.
+	Facts []*FactDef
+	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(*Pass) error
 }
 
@@ -36,9 +41,14 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Package is the loaded package record (allow-directive index, dir).
+	Package *Package
+	// Prog is the whole loaded program: call graph and fact summaries.
+	// Single-package drivers (RunAnalyzers) still populate it, with a
+	// one-package program whose cross-package edges dangle.
+	Prog *Program
 
-	diags   []Diagnostic
-	allowed map[int]map[string]bool // file-position line -> analyzer names allowed
+	diags []Diagnostic
 }
 
 // Diagnostic is one finding at one position.
@@ -56,7 +66,7 @@ func (d Diagnostic) String() string {
 // line (or the line above) allows this analyzer.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.allowedAt(position) {
+	if p.Package.AllowedAt(position, p.Analyzer.Name) {
 		return
 	}
 	p.diags = append(p.diags, Diagnostic{
@@ -76,29 +86,33 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 // allowDirective matches "//sillint:allow name[,name...] [reason]".
 var allowDirective = regexp.MustCompile(`^//sillint:allow\s+([a-zA-Z0-9_,-]+)`)
 
-// buildAllowed indexes every //sillint:allow directive by file line. A
+// buildAllowed indexes every //sillint:allow directive by file and line. A
 // directive suppresses findings on its own line and, when it stands alone,
-// on the following line.
-func (p *Pass) buildAllowed() {
-	p.allowed = map[int]map[string]bool{}
-	for _, f := range p.Files {
+// on the following line. The index lives on the Package — not the Pass —
+// because fact seeding (FuncPass.Allowed) consults the same directives as
+// diagnostic reporting: an allowed occurrence must neither report nor
+// taint callers.
+func (pkg *Package) buildAllowed() {
+	pkg.allowed = map[allowKey]map[string]bool{}
+	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := allowDirective.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
+				pos := pkg.Fset.Position(c.Pos())
 				for _, name := range strings.Split(m[1], ",") {
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
 					for _, line := range []int{pos.Line, pos.Line + 1} {
-						if p.allowed[line] == nil {
-							p.allowed[line] = map[string]bool{}
+						k := allowKey{pos.Filename, line}
+						if pkg.allowed[k] == nil {
+							pkg.allowed[k] = map[string]bool{}
 						}
-						p.allowed[line][name] = true
+						pkg.allowed[k][name] = true
 					}
 				}
 			}
@@ -106,31 +120,24 @@ func (p *Pass) buildAllowed() {
 	}
 }
 
-func (p *Pass) allowedAt(pos token.Position) bool {
-	if p.allowed == nil {
-		p.buildAllowed()
+// AllowedAt reports whether a //sillint:allow directive for the named
+// analyzer (or "all") covers the position.
+func (pkg *Package) AllowedAt(pos token.Position, analyzer string) bool {
+	if pkg.allowed == nil {
+		pkg.buildAllowed()
 	}
-	names := p.allowed[pos.Line]
-	return names[p.Analyzer.Name] || names["all"]
+	names := pkg.allowed[allowKey{pos.Filename, pos.Line}]
+	return names[analyzer] || names["all"]
 }
 
-// RunAnalyzers applies every analyzer to the package and returns the
-// findings sorted by position.
+// RunAnalyzers applies every analyzer to the single package and returns the
+// findings sorted by position. It is the one-package form of Program.Run:
+// facts still compute, but edges into other packages dangle.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-		}
-		out = append(out, pass.diags...)
-	}
+	return NewProgram([]*Package{pkg}).Run(analyzers)
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -144,5 +151,4 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }

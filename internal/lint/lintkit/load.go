@@ -3,6 +3,7 @@ package lintkit
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -10,9 +11,12 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Package is one loaded, type-checked package.
@@ -23,6 +27,13 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	allowed map[allowKey]map[string]bool // //sillint:allow index, built lazily
+}
+
+type allowKey struct {
+	file string
+	line int
 }
 
 // Loader parses and type-checks packages. Imports — both standard library
@@ -46,19 +57,30 @@ func NewLoader() *Loader {
 }
 
 // LoadFiles parses and type-checks the given files as one package named
-// path. Files must belong to a single package.
+// path. Files must belong to a single package. All parse errors across the
+// file set, and all type errors across the package, are reported together
+// rather than aborting on the first.
 func (l *Loader) LoadFiles(path, dir string, filenames []string) (*Package, error) {
+	return l.loadFiles(path, dir, filenames, l.imp)
+}
+
+func (l *Loader) loadFiles(path, dir string, filenames []string, imp types.Importer) (*Package, error) {
 	if len(filenames) == 0 {
 		return nil, fmt.Errorf("lintkit: no Go files for %s", path)
 	}
 	sort.Strings(filenames)
 	var files []*ast.File
+	var parseErrs []error
 	for _, name := range filenames {
 		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			parseErrs = append(parseErrs, err)
+			continue
 		}
 		files = append(files, f)
+	}
+	if len(parseErrs) > 0 {
+		return nil, fmt.Errorf("lintkit: parsing %s: %w", path, errors.Join(parseErrs...))
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -67,10 +89,24 @@ func (l *Loader) LoadFiles(path, dir string, filenames []string) (*Package, erro
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	conf := types.Config{Importer: l.imp}
-	tpkg, err := conf.Check(path, l.fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("lintkit: type-checking %s: %w", path, err)
+	// The Error hook makes the checker continue past each error so one
+	// mistake does not mask the rest of the package's problems.
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, checkErr := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, len(typeErrs))
+		for i, e := range typeErrs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("lintkit: type-checking %s: %d error(s):\n\t%s",
+			path, len(typeErrs), strings.Join(msgs, "\n\t"))
+	}
+	if checkErr != nil {
+		return nil, fmt.Errorf("lintkit: type-checking %s: %w", path, checkErr)
 	}
 	return &Package{
 		Path:  path,
@@ -138,16 +174,13 @@ func GoList(patterns ...string) ([]ListedPackage, error) {
 	return pkgs, nil
 }
 
-// Load lists, parses, and type-checks the packages matching the patterns,
-// in deterministic import-path order.
-func Load(patterns ...string) ([]*Package, error) {
-	listed, err := GoList(patterns...)
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
-	l := NewLoader()
+// LoadPackages parses and type-checks every listed package, continuing
+// past failures so one broken package does not hide its siblings' errors:
+// the returned error joins every package's failure. Packages that loaded
+// cleanly are returned even when the batch as a whole errs.
+func (l *Loader) LoadPackages(listed []ListedPackage) ([]*Package, error) {
 	var pkgs []*Package
+	var loadErrs []error
 	for _, lp := range listed {
 		if len(lp.GoFiles) == 0 {
 			continue
@@ -158,9 +191,161 @@ func Load(patterns ...string) ([]*Package, error) {
 		}
 		p, err := l.LoadFiles(lp.ImportPath, lp.Dir, files)
 		if err != nil {
-			return nil, err
+			loadErrs = append(loadErrs, err)
+			continue
 		}
 		pkgs = append(pkgs, p)
 	}
+	return pkgs, errors.Join(loadErrs...)
+}
+
+// Load lists, parses, and type-checks the packages matching the patterns,
+// in deterministic import-path order.
+func Load(patterns ...string) ([]*Package, error) {
+	listed, err := GoList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+	pkgs, err := NewLoader().LoadPackages(listed)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// treeImporter resolves a fixture tree's own import paths to the packages
+// type-checked so far, falling back to the module/stdlib source importer.
+// This is what lets a testdata package import a sibling testdata package
+// that no GOPATH or module file covers.
+type treeImporter struct {
+	local    map[string]*types.Package
+	fallback types.ImporterFrom
+}
+
+func (t *treeImporter) Import(path string) (*types.Package, error) {
+	return t.ImportFrom(path, "", 0)
+}
+
+func (t *treeImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p := t.local[path]; p != nil {
+		return p, nil
+	}
+	return t.fallback.ImportFrom(path, dir, mode)
+}
+
+// LoadTree loads every directory under root that contains .go files as one
+// multi-package program: the directory at root gets import path prefix,
+// subdirectories get prefix + "/" + their slash-separated relative path,
+// and imports of those paths resolve within the tree before falling back
+// to the shared source importer. Packages are type-checked in dependency
+// order and returned sorted by import path.
+func (l *Loader) LoadTree(prefix, root string, includeTests bool) ([]*Package, error) {
+	type treePkg struct {
+		path, dir string
+		filenames []string
+		imports   map[string]bool
+	}
+	byPath := map[string]*treePkg{}
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		matches, err := filepath.Glob(filepath.Join(p, "*.go"))
+		if err != nil {
+			return err
+		}
+		var filenames []string
+		for _, m := range matches {
+			if !includeTests && isTestFile(m) {
+				continue
+			}
+			filenames = append(filenames, m)
+		}
+		if len(filenames) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		ip := prefix
+		if rel != "." {
+			ip = prefix + "/" + filepath.ToSlash(rel)
+		}
+		byPath[ip] = &treePkg{path: ip, dir: p, filenames: filenames, imports: map[string]bool{}}
+		paths = append(paths, ip)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("lintkit: no Go packages under %s", root)
+	}
+	sort.Strings(paths)
+	// Record intra-tree imports (a cheap parse of import clauses only) to
+	// type-check dependencies first; Go forbids import cycles, so a cycle
+	// here is a fixture bug worth a clear error.
+	for _, ip := range paths {
+		tp := byPath[ip]
+		for _, name := range tp.filenames {
+			f, err := parser.ParseFile(token.NewFileSet(), name, nil, parser.ImportsOnly)
+			if err != nil {
+				continue // the real parse below reports this properly
+			}
+			for _, spec := range f.Imports {
+				dep, err := strconv.Unquote(spec.Path.Value)
+				if err == nil && byPath[dep] != nil && dep != ip {
+					tp.imports[dep] = true
+				}
+			}
+		}
+	}
+	imp := &treeImporter{local: map[string]*types.Package{}, fallback: l.imp}
+	checked := map[string]*Package{}
+	visiting := map[string]bool{}
+	var loadErrs []error
+	var check func(ip string) *Package
+	check = func(ip string) *Package {
+		if p, ok := checked[ip]; ok {
+			return p
+		}
+		if visiting[ip] {
+			loadErrs = append(loadErrs, fmt.Errorf("lintkit: import cycle through %s", ip))
+			return nil
+		}
+		visiting[ip] = true
+		defer delete(visiting, ip)
+		tp := byPath[ip]
+		deps := make([]string, 0, len(tp.imports))
+		for dep := range tp.imports {
+			deps = append(deps, dep)
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			check(dep)
+		}
+		p, err := l.loadFiles(ip, tp.dir, tp.filenames, imp)
+		if err != nil {
+			loadErrs = append(loadErrs, err)
+			checked[ip] = nil
+			return nil
+		}
+		checked[ip] = p
+		imp.local[ip] = p.Types
+		return p
+	}
+	var pkgs []*Package
+	for _, ip := range paths {
+		if p := check(ip); p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	if err := errors.Join(loadErrs...); err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
 }

@@ -1,0 +1,100 @@
+package lintkit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadFilesReportsAllTypeErrors pins that one package's type errors
+// are reported together: the old behavior stopped at the first, hiding
+// the rest.
+func TestLoadFilesReportsAllTypeErrors(t *testing.T) {
+	dir := writePkg(t, `package p
+
+func f() int { return "not an int" }
+
+func g() { undeclared() }
+`)
+	_, err := NewLoader().LoadDir("p", dir, true)
+	if err == nil {
+		t.Fatal("LoadDir succeeded on a package with two type errors")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"2 error(s)", "cannot use", "undeclared"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error %q does not mention %q", msg, frag)
+		}
+	}
+}
+
+// TestLoadPackagesReportsSiblingErrors pins the batch contract: a broken
+// package does not hide its siblings' errors, and clean siblings still
+// load.
+func TestLoadPackagesReportsSiblingErrors(t *testing.T) {
+	root := t.TempDir()
+	mk := func(name, src string) ListedPackage {
+		t.Helper()
+		dir := filepath.Join(root, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return ListedPackage{Dir: dir, ImportPath: name, Name: name, GoFiles: []string{name + ".go"}}
+	}
+	listed := []ListedPackage{
+		mk("alpha", "package alpha\n\nfunc A() int { return nope }\n"),
+		mk("beta", "package beta\n\nfunc B() {}\n"),
+		mk("gamma", "package gamma\n\nfunc C() { missing() }\n"),
+	}
+	pkgs, err := NewLoader().LoadPackages(listed)
+	if err == nil {
+		t.Fatal("LoadPackages succeeded with two broken packages in the batch")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"alpha", "gamma"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("batch error %q does not mention broken package %q", msg, frag)
+		}
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "beta" {
+		t.Errorf("clean sibling not returned: got %d packages", len(pkgs))
+	}
+}
+
+// TestLoadTreeResolvesSiblingImports pins the fixture-tree loader: a
+// testdata package importing a sibling testdata package type-checks, with
+// the sibling's types visible.
+func TestLoadTreeResolvesSiblingImports(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "dep")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "dep.go"),
+		[]byte("package dep\n\ntype Thing struct{ N int }\n\nfunc Make() Thing { return Thing{N: 1} }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "top.go"),
+		[]byte("package tree\n\nimport \"tree/dep\"\n\nfunc Use() int { return dep.Make().N }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader().LoadTree("tree", dir, true)
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	if len(pkgs) != 2 || pkgs[0].Path != "tree" || pkgs[1].Path != "tree/dep" {
+		t.Fatalf("LoadTree packages = %v, want [tree tree/dep]", pkgPaths(pkgs))
+	}
+}
+
+func pkgPaths(pkgs []*Package) []string {
+	out := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = p.Path
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/lint/lintest"
+	"repro/internal/lint/lintkit"
 	"repro/internal/lint/lockscope"
 )
 
@@ -16,6 +17,17 @@ func TestLockDiscipline(t *testing.T) {
 	lockscope.Scope = append([]string{"testdata/lock"}, orig...)
 	defer func() { lockscope.Scope = orig }()
 	lintest.Run(t, lockscope.Analyzer, "testdata/src/lock")
+}
+
+// TestTransitiveCalloutAcrossPackages is the regression the direct scan
+// provably missed: the HTTP call hides behind a helper chain in a sibling
+// package (a method, which the selector-based scan could never classify),
+// and only the bottom-up callout fact carries it back under the held lock.
+func TestTransitiveCalloutAcrossPackages(t *testing.T) {
+	orig := lockscope.Scope
+	lockscope.Scope = append([]string{"lockm"}, orig...)
+	defer func() { lockscope.Scope = orig }()
+	lintest.RunTree(t, []*lintkit.Analyzer{lockscope.Analyzer}, "testdata/src/lockm")
 }
 
 // TestOutOfScopePackagesPass proves the discipline is scoped to the

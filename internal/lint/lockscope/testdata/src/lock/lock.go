@@ -131,3 +131,51 @@ func (s *server) suppressed(w http.ResponseWriter) {
 	defer s.mu.Unlock()
 	fmt.Fprint(w, "ok") //sillint:allow lockscope startup-only path, never concurrent
 }
+
+// flush hides the HTTP call one hop below the lock scope.
+func (s *server) flush() {
+	_, _ = http.Get("http://upstream/flush")
+}
+
+// notify hides it a second hop down.
+func (s *server) notify() { s.flush() }
+
+// notifyUnderLock is the regression the direct scan provably missed: the
+// callout is two same-package helper calls away, so no callout syntax is
+// visible in this body — only the bottom-up fact carries it back here.
+func (s *server) notifyUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notify() // want `transitive callout \(.*notify -> .*flush: HTTP I/O \(net/http\.Get\)\) while holding s\.mu`
+}
+
+// spawnUnderLock spawns the same helper: the goroutine runs on its own
+// stack, not under s.mu, so the transitive check stays silent.
+func (s *server) spawnUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.notify()
+}
+
+// bump is a pure own-state helper: no callout fact.
+func (s *server) bump(k string) { s.state[k]++ }
+
+// bumpUnderLock calls the pure helper under the lock: clean.
+func (s *server) bumpUnderLock(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump(k)
+}
+
+// auditedFlush's occurrence is annotated, so it seeds no callout fact and
+// lock-holding callers stay clean.
+func (s *server) auditedFlush() {
+	_, _ = http.Get("http://localhost/healthz") //sillint:allow lockscope startup probe, never under load
+}
+
+// auditedUnderLock inherits the audit: clean.
+func (s *server) auditedUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.auditedFlush()
+}

@@ -1,0 +1,20 @@
+// Package dep hosts the leaf I/O one package away from the lock.
+package dep
+
+import "net/http"
+
+// Client pings an upstream; the HTTP call is a method, so the old
+// direct scan's package-selector check could never see it.
+type Client struct{}
+
+// Ping does the actual network I/O.
+func (Client) Ping() error {
+	_, err := http.Get("http://upstream/ping")
+	return err
+}
+
+// Relay adds a second hop between the lock and the I/O.
+func Relay(c Client) error { return c.Ping() }
+
+// Size is a pure helper: no callout fact, callers stay clean.
+func Size() int { return 4 }

@@ -1,0 +1,38 @@
+// Package lockm is the cross-package regression: the callout hides
+// behind a helper chain in a sibling package, and only the bottom-up
+// callout fact carries it back under the held lock.
+package lockm
+
+import (
+	"sync"
+
+	"lockm/dep"
+)
+
+type pool struct {
+	mu sync.Mutex
+	c  dep.Client
+	n  int
+}
+
+// pingUnderLock holds the lock across a sibling package's helper chain
+// whose leaf does HTTP I/O: finding.
+func (p *pool) pingUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = dep.Relay(p.c) // want `transitive callout \(lockm/dep\.Relay -> \(lockm/dep\.Client\)\.Ping: HTTP I/O \(net/http\.Get\)\) while holding p\.mu`
+}
+
+// pingReleased releases first: clean.
+func (p *pool) pingReleased() {
+	p.mu.Lock()
+	p.mu.Unlock()
+	_ = dep.Relay(p.c)
+}
+
+// sizeUnderLock calls a pure sibling helper under the lock: clean.
+func (p *pool) sizeUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n = dep.Size()
+}

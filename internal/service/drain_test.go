@@ -1,0 +1,74 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/progs"
+)
+
+// TestDrainGateRefusesAnalyzeKeepsObservability drives the graceful-drain
+// contract: before Drain everything serves; after, analyze routes get 503
+// with the draining code and a Retry-After hint, while healthz, stats,
+// and metrics (versioned and legacy paths) stay up for the orchestrator.
+func TestDrainGateRefusesAnalyzeKeepsObservability(t *testing.T) {
+	gate := NewDrainGate(NewHandler(New(Options{})))
+	srv := httptest.NewServer(gate)
+	defer srv.Close()
+	body, _ := json.Marshal(Request{Name: "treeadd", Source: progs.TreeAdd, Roots: []string{"root"}})
+
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pre-drain analyze: status %d, want 200", resp.StatusCode)
+	}
+	if gate.Draining() {
+		t.Error("gate reports draining before Drain")
+	}
+
+	gate.Drain()
+	gate.Drain() // idempotent
+
+	for _, path := range []string{"/v1/analyze", "/analyze"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("draining POST %s: status %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("draining POST %s: no Retry-After hint", path)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			t.Fatalf("draining POST %s: bad envelope %q: %v", path, data, err)
+		}
+		if env.Error.Code != CodeDraining {
+			t.Errorf("draining POST %s: code %q, want %q", path, env.Error.Code, CodeDraining)
+		}
+	}
+	if got := gate.Refused(); got != 2 {
+		t.Errorf("Refused() = %d, want 2", got)
+	}
+
+	for _, path := range []string{"/v1/healthz", "/healthz", "/v1/stats", "/stats", "/v1/metrics", "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("draining GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -59,6 +59,10 @@ func (f *Fp) mixInt(v int) { f.mix(uint64(int64(v))) }
 // plus every option that can change the result. The analysis worker count
 // is deliberately excluded — the round-based engine is bit-identical
 // across pool sizes, so results are worker-independent by construction.
+// MaxWorklist is excluded for the same reason as Workers and Budgets: a
+// pure work cap can only fail a run, never change a successful result's
+// bytes, so folding it would split the cache on a non-semantic knob
+// (fppurity enforces this class statically).
 func ProgramFingerprint(canonicalSource string, opts analysis.Options) Fp {
 	f := Fp{Hi: fpSeedHi, Lo: fpSeedLo}
 	f.mixString("sil-result/v1")
@@ -69,7 +73,6 @@ func ProgramFingerprint(canonicalSource string, opts analysis.Options) Fp {
 	}
 	f.mixInt(opts.MaxContexts)
 	f.mixInt(opts.MaxLoopIters)
-	f.mixInt(opts.MaxWorklist)
 	f.mixInt(opts.Limits.MaxExact)
 	f.mixInt(opts.Limits.MaxSegs)
 	f.mixInt(opts.Limits.MaxPaths)

@@ -91,6 +91,7 @@ var errorCodes = [...]string{
 	CodeDeadlineExceeded,
 	CodeCanceled,
 	CodeOverloaded,
+	CodeDraining,
 	CodeInternal,
 }
 

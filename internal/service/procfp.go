@@ -84,7 +84,8 @@ func ProcFingerprints(prog *ast.Program) map[string]ProcFp {
 // SummaryKey keys one procedure's converged summary in the summary
 // store: the cohort fingerprint plus every analysis option that can
 // change a summary — the same option set ProgramFingerprint folds, minus
-// the source (the cohort replaces it).
+// the source (the cohort replaces it). Like ProgramFingerprint, pure work
+// caps (MaxWorklist) stay out: they cannot change a converged summary.
 func SummaryKey(cohort Fp, opts analysis.Options) Fp {
 	f := Fp{Hi: fpSeedHi, Lo: fpSeedLo}
 	f.mixString("sil-summary/v1")
@@ -96,7 +97,6 @@ func SummaryKey(cohort Fp, opts analysis.Options) Fp {
 	}
 	f.mixInt(opts.MaxContexts)
 	f.mixInt(opts.MaxLoopIters)
-	f.mixInt(opts.MaxWorklist)
 	f.mixInt(opts.Limits.MaxExact)
 	f.mixInt(opts.Limits.MaxSegs)
 	f.mixInt(opts.Limits.MaxPaths)

@@ -191,6 +191,10 @@ const (
 	// CodeOverloaded: admission control shed the request — the session
 	// pool and its bounded queue are full. Retry after backoff.
 	CodeOverloaded = "overloaded"
+	// CodeDraining: the server is shutting down gracefully and refuses
+	// new analyses; in-flight work finishes. Retry against another
+	// replica.
+	CodeDraining = "draining"
 	// CodeInternal: unexpected analysis/render failure.
 	CodeInternal = "internal"
 )
@@ -421,7 +425,7 @@ func (s *Service) Analyze(ctx context.Context, req Request) Response {
 // and session pool.
 func (s *Service) analyzePrepared(ctx context.Context, p prepared) Response {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //sillint:allow ctxflow nil-default for direct library callers; HTTP paths always thread the request ctx
 	}
 	s.served.Add(1)
 	if p.err != nil {
@@ -483,7 +487,7 @@ func (s *Service) analyzePrepared(ctx context.Context, p prepared) Response {
 // RequestTimeout is re-armed so a detached flight still cannot run
 // forever.
 func (s *Service) runFlight(callerCtx context.Context, p prepared, fl *flight) {
-	ctx := context.WithoutCancel(callerCtx)
+	ctx := context.WithoutCancel(callerCtx) //sillint:allow ctxflow sanctioned detach: a coalesced flight outlives any one caller; RequestTimeout re-arms a bound below
 	if s.opts.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
@@ -541,8 +545,8 @@ func (s *Service) checkin(sess *Session) {
 	sess.served.Add(1)
 	s.maybeReset(sess)
 	s.busy.Add(-1)
-	s.sessions <- sess
-	<-s.admit
+	s.sessions <- sess //sillint:allow ctxflow check-in send: sessions is buffered to pool size and every live session owns a slot
+	<-s.admit          //sillint:allow ctxflow admission release: admit always holds this request's own token
 }
 
 // runAnalysis is one full admission-controlled analysis pipeline: session
